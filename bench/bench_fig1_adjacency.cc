@@ -1,0 +1,115 @@
+// Regenerates paper Fig. 1: test accuracy against total parameter count for the adjacency
+// strategies of Sec. 3.2 on the 8x8 digits task, one hidden layer, grid over sparsity
+// levels and hidden sizes. Total parameters = neurons + nonzero adjacency entries (as in
+// the paper).
+//
+// Paper finding: quantization-aware connectivity dominates — highest accuracy for a given
+// parameter count; random/constrained-random/spatial strategies trail it.
+
+#include <cstdio>
+#include <string>
+
+#include "src/data/synth.h"
+#include "src/train/trainer.h"
+
+using namespace neuroc;
+
+namespace {
+
+struct Point {
+  std::string strategy;
+  size_t hidden;
+  double density;
+  size_t params;
+  float accuracy;
+};
+
+Point EvaluateFixed(const char* name, AdjacencyStrategy strategy, const Dataset& train,
+                    const Dataset& test, size_t hidden, double density, uint64_t seed) {
+  Rng rng(seed);
+  FixedAdjacencyConfig cfg;
+  cfg.strategy = strategy;
+  cfg.density = density;
+  cfg.fan_in = static_cast<size_t>(density * static_cast<double>(train.input_dim()) + 0.5);
+  cfg.image_width = train.width;
+  // Window radius approximating the target density: (2r+1)^2 / in_dim ≈ density.
+  int radius = 0;
+  while ((2 * radius + 1) * (2 * radius + 1) <
+         density * static_cast<double>(train.input_dim())) {
+    ++radius;
+  }
+  cfg.window_radius = radius;
+  Network net = BuildFixedAdjacency(train.input_dim(),
+                                    static_cast<size_t>(train.num_classes), hidden, cfg, rng);
+  TrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 32;
+  tc.learning_rate = 3e-3f;
+  const TrainResult result = Train(net, train, test, tc);
+  Point p;
+  p.strategy = name;
+  p.hidden = hidden;
+  p.density = density;
+  p.params = net.DeployedParameterCount();
+  p.accuracy = result.best_test_accuracy;
+  return p;
+}
+
+Point EvaluateLearned(const Dataset& train, const Dataset& test, size_t hidden,
+                      double density, uint64_t seed) {
+  Rng rng(seed);
+  NeuroCSpec spec;
+  spec.hidden = {hidden};
+  spec.layer.ternary.target_density = static_cast<float>(density);
+  Network net =
+      BuildNeuroC(train.input_dim(), static_cast<size_t>(train.num_classes), spec, rng);
+  TrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 32;
+  tc.learning_rate = 3e-3f;
+  const TrainResult result = Train(net, train, test, tc);
+  Point p;
+  p.strategy = "quantization";
+  p.hidden = hidden;
+  p.density = density;
+  p.params = net.DeployedParameterCount();
+  p.accuracy = result.best_test_accuracy;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  Dataset all = MakeDigits8x8(3000, 20260706);
+  Rng split_rng(1);
+  auto [train, test] = all.Split(0.2, split_rng);
+  std::printf("Fig. 1: accuracy vs total parameters per adjacency strategy (digits 8x8)\n");
+  std::printf("train %zu / test %zu examples\n\n", train.num_examples(), test.num_examples());
+  std::printf("%-14s %7s %8s %8s %9s\n", "strategy", "hidden", "density", "params",
+              "accuracy");
+
+  const size_t hiddens[] = {16, 32, 64};
+  const double densities[] = {0.08, 0.15, 0.3};
+  uint64_t seed = 100;
+  for (size_t hidden : hiddens) {
+    for (double density : densities) {
+      Point pts[4] = {
+          EvaluateFixed("random", AdjacencyStrategy::kRandom, train, test, hidden, density,
+                        seed++),
+          EvaluateFixed("constrained", AdjacencyStrategy::kConstrainedRandom, train, test,
+                        hidden, density, seed++),
+          EvaluateFixed("spatial", AdjacencyStrategy::kSpatialLocal, train, test, hidden,
+                        density, seed++),
+          EvaluateLearned(train, test, hidden, density, seed++),
+      };
+      for (const Point& p : pts) {
+        std::printf("%-14s %7zu %8.2f %8zu %9.4f\n", p.strategy.c_str(), p.hidden, p.density,
+                    p.params, p.accuracy);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("Shape check vs paper: the quantization-based strategy should reach the\n"
+              "highest accuracy at comparable parameter counts in most grid cells.\n");
+  return 0;
+}

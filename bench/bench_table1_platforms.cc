@@ -1,0 +1,30 @@
+// Regenerates paper Table 1: qualitative classification of MCU resources.
+//
+// Paper rows: Low (no FPU/DSP/SIMD, <128 KB RAM, <512 KB flash, e.g. STM32C0/F0/L0),
+// Medium (FPU + basic SIMD, 128–512 KB RAM, e.g. NXP Kinetis K), Advanced (double FPU,
+// vector SIMD, >512 KB RAM, e.g. Renesas RA8D1).
+
+#include <cstdio>
+
+#include "src/runtime/platform.h"
+
+using namespace neuroc;
+
+int main() {
+  std::printf("Table 1: Qualitative analysis of MCU resources (device registry dump)\n\n");
+  std::printf("%-9s %-14s %-11s %5s %5s %8s %4s %4s %5s\n", "Class", "Device", "Core",
+              "RAM", "Flash", "Clock", "FPU", "DSP", "SIMD");
+  std::printf("%-9s %-14s %-11s %5s %5s %8s %4s %4s %5s\n", "", "", "", "(KB)", "(KB)",
+              "(MHz)", "", "", "");
+  for (const PlatformSpec& p : AllPlatforms()) {
+    std::printf("%-9s %-14s %-11s %5u %5u %8.0f %4s %4s %5s\n", McuClassName(p.mcu_class),
+                p.name.c_str(), p.core.c_str(), p.ram_bytes / 1024, p.flash_bytes / 1024,
+                p.clock_hz / 1e6, p.has_fpu ? "yes" : "no", p.has_dsp_mac ? "yes" : "no",
+                p.has_simd ? "yes" : "no");
+  }
+  std::printf("\nEvaluation platform (paper Sec. 5.1): %s @ %.0f MHz, %u KB RAM, %u KB "
+              "flash.\n",
+              Stm32f072rb().name.c_str(), Stm32f072rb().clock_hz / 1e6,
+              Stm32f072rb().ram_bytes / 1024, Stm32f072rb().flash_bytes / 1024);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared helpers for the paper-reproduction benches: train/quantize/deploy pipelines and
+// fixed-width table printing. Each bench binary regenerates one table or figure of the
+// paper; EXPERIMENTS.md records paper-vs-measured values.
+
+#ifndef NEUROC_BENCH_BENCH_UTIL_H_
+#define NEUROC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/mlp_model.h"
+#include "src/core/neuroc_model.h"
+#include "src/data/synth.h"
+#include "src/runtime/deployed_model.h"
+#include "src/runtime/platform.h"
+#include "src/train/trainer.h"
+
+namespace neuroc {
+namespace benchutil {
+
+// Program-memory budget of the paper's evaluation board.
+inline constexpr size_t kFlashBudget = 128 * 1024;
+
+struct ModelResult {
+  std::string name;
+  float float_accuracy = 0.0f;
+  float quant_accuracy = 0.0f;
+  size_t deployed_params = 0;
+  size_t program_bytes = 0;
+  double latency_ms = 0.0;
+  bool deployable = false;
+  bool converged = true;
+};
+
+// Trains an MLP baseline and measures its quantized deployment (latency measured only when
+// the model fits flash — exactly the paper's deployability rule).
+inline ModelResult EvaluateMlp(const std::string& name, const Dataset& train,
+                               const Dataset& test, const MlpSpec& spec,
+                               const TrainConfig& cfg, uint64_t seed) {
+  Rng rng(seed);
+  Network net = BuildMlp(train.input_dim(), static_cast<size_t>(train.num_classes), spec, rng);
+  const TrainResult tr = Train(net, train, test, cfg);
+  ModelResult r;
+  r.name = name;
+  r.float_accuracy = tr.final_test_accuracy;
+  r.converged = tr.final_test_accuracy > 1.5f / static_cast<float>(train.num_classes);
+  r.deployed_params = net.DeployedParameterCount();
+  MlpModel model = MlpModel::FromTrained(net, train);
+  r.quant_accuracy = model.EvaluateAccuracy(QuantizeInputs(test));
+  r.program_bytes = DeployedModel::EstimateProgramBytes(model);
+  r.deployable = r.program_bytes <= kFlashBudget;
+  if (r.deployable) {
+    DeployedModel deployed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+    r.latency_ms = deployed.MeasureLatencyMs();
+  }
+  return r;
+}
+
+// Trains a Neuro-C model (or its TNN ablation via spec.layer.use_per_neuron_scale) and
+// measures its quantized deployment.
+inline ModelResult EvaluateNeuroC(const std::string& name, const Dataset& train,
+                                  const Dataset& test, const NeuroCSpec& spec,
+                                  const TrainConfig& cfg, uint64_t seed,
+                                  EncodingKind encoding = EncodingKind::kBlock) {
+  Rng rng(seed);
+  Network net =
+      BuildNeuroC(train.input_dim(), static_cast<size_t>(train.num_classes), spec, rng);
+  const TrainResult tr = Train(net, train, test, cfg);
+  ModelResult r;
+  r.name = name;
+  r.float_accuracy = tr.final_test_accuracy;
+  r.converged = tr.final_test_accuracy > 1.5f / static_cast<float>(train.num_classes);
+  r.deployed_params = net.DeployedParameterCount();
+  NeuroCQuantOptions opt;
+  opt.encoding = encoding;
+  NeuroCModel model = NeuroCModel::FromTrained(net, train, opt);
+  r.quant_accuracy = model.EvaluateAccuracy(QuantizeInputs(test));
+  r.program_bytes = DeployedModel::EstimateProgramBytes(model);
+  r.deployable = r.program_bytes <= kFlashBudget;
+  if (r.deployable) {
+    DeployedModel deployed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+    r.latency_ms = deployed.MeasureLatencyMs();
+  }
+  return r;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void PrintModelResultHeader() {
+  std::printf("%-22s %9s %9s %8s %10s %9s %6s\n", "model", "float_acc", "int8_acc", "params",
+              "flash_KB", "lat_ms", "fits");
+}
+
+inline void PrintModelResult(const ModelResult& r) {
+  std::printf("%-22s %9.4f %9.4f %8zu %10.1f ", r.name.c_str(), r.float_accuracy,
+              r.quant_accuracy, r.deployed_params,
+              static_cast<double>(r.program_bytes) / 1024.0);
+  if (r.deployable) {
+    std::printf("%9.2f %6s\n", r.latency_ms, "yes");
+  } else {
+    std::printf("%9s %6s\n", "-", "NO");
+  }
+}
+
+}  // namespace benchutil
+}  // namespace neuroc
+
+#endif  // NEUROC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,69 @@
+// Automated model selection under platform constraints — the paper's future-work item made
+// concrete: given a dataset, a flash budget and a latency budget, run a random architecture
+// search over Neuro-C configurations and print the accuracy/program-memory Pareto front.
+//
+// Usage: architecture_search [trials]     (default 8)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/data/synth.h"
+#include "src/runtime/search.h"
+#include "src/train/metrics.h"
+
+using namespace neuroc;
+
+int main(int argc, char** argv) {
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  Dataset all = MakeFashionLike(3000, 4242);
+  Rng rng(1);
+  auto [train, test] = all.Split(0.25, rng);
+  std::printf("Architecture search on %s (%zu train / %zu validation), %d trials\n",
+              all.name.c_str(), train.num_examples(), test.num_examples(), trials);
+
+  SearchSpace space;
+  space.width_choices = {48, 96, 160, 256};
+  space.min_hidden_layers = 1;
+  space.max_hidden_layers = 2;
+  space.density_choices = {0.06f, 0.1f, 0.15f, 0.22f};
+
+  SearchConstraints constraints;
+  constraints.max_program_bytes = 64 * 1024;  // leave half the flash for the application
+  constraints.max_latency_ms = 60.0;          // duty-cycle budget
+
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.batch_size = 64;
+  cfg.learning_rate = 2e-3f;
+  cfg.lr_decay = 0.9f;
+
+  std::printf("constraints: flash <= %zu KB, latency <= %.0f ms (on %s)\n\n",
+              constraints.max_program_bytes / 1024, constraints.max_latency_ms,
+              Stm32f072rb().name.c_str());
+
+  const SearchResult result =
+      RandomSearch(train, test, space, constraints, trials, cfg, /*seed=*/99);
+
+  std::printf("%-20s %9s %9s %9s %9s\n", "config", "int8_acc", "flash_KB", "lat_ms",
+              "feasible");
+  for (const SearchCandidate& c : result.candidates) {
+    std::printf("%-20s %9.4f %9.1f %9.2f %9s\n", c.description.c_str(), c.accuracy,
+                c.program_bytes / 1024.0, c.latency_ms, c.feasible ? "yes" : "no");
+  }
+
+  std::printf("\nPareto front (memory -> accuracy):\n");
+  for (size_t idx : result.pareto) {
+    const SearchCandidate& c = result.candidates[idx];
+    std::printf("  %-20s acc %.4f at %.1f KB / %.2f ms\n", c.description.c_str(), c.accuracy,
+                c.program_bytes / 1024.0, c.latency_ms);
+  }
+  if (result.best >= 0) {
+    const SearchCandidate& b = result.candidates[static_cast<size_t>(result.best)];
+    std::printf("\nselected: %s (accuracy %.4f within budget)\n", b.description.c_str(),
+                b.accuracy);
+  } else {
+    std::printf("\nno configuration satisfied the constraints — relax the budget.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Lightweight invariant checking used across the library.
+//
+// NEUROC_CHECK(cond) aborts with a diagnostic when `cond` is false; it is always on,
+// including in release builds, because the library targets correctness experiments where a
+// silent out-of-range index would invalidate results. NEUROC_DCHECK compiles out in NDEBUG
+// builds and is meant for hot inner loops.
+
+#ifndef NEUROC_SRC_COMMON_CHECK_H_
+#define NEUROC_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace neuroc {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const char* msg) {
+  std::fprintf(stderr, "NEUROC_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace neuroc
+
+#define NEUROC_CHECK(cond)                                    \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::neuroc::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                         \
+  } while (0)
+
+#define NEUROC_CHECK_MSG(cond, msg)                           \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::neuroc::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define NEUROC_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define NEUROC_DCHECK(cond) NEUROC_CHECK(cond)
+#endif
+
+#endif  // NEUROC_SRC_COMMON_CHECK_H_

@@ -1,0 +1,42 @@
+#include "src/common/fixed_point.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+int ChooseFracBits(float max_abs, int int_bits, int min_frac, int max_frac) {
+  NEUROC_CHECK(int_bits >= 2 && int_bits <= 32);
+  if (!(max_abs > 0.0f)) {
+    return max_frac;
+  }
+  const double limit = std::ldexp(1.0, int_bits - 1) - 1.0;  // e.g. 127 for q7
+  int frac = max_frac;
+  while (frac > min_frac && max_abs * std::ldexp(1.0, frac) > limit) {
+    --frac;
+  }
+  return frac;
+}
+
+int32_t QuantizeFixed(float value, int frac, int container_bits) {
+  NEUROC_CHECK(container_bits == 8 || container_bits == 16 || container_bits == 32);
+  const double scaled = static_cast<double>(value) * std::ldexp(1.0, frac);
+  const double rounded = std::nearbyint(scaled);
+  int64_t v = static_cast<int64_t>(rounded);
+  const int64_t hi = (int64_t{1} << (container_bits - 1)) - 1;
+  const int64_t lo = -(int64_t{1} << (container_bits - 1));
+  if (v > hi) {
+    v = hi;
+  }
+  if (v < lo) {
+    v = lo;
+  }
+  return static_cast<int32_t>(v);
+}
+
+float DequantizeFixed(int32_t value, int frac) {
+  return static_cast<float>(std::ldexp(static_cast<double>(value), -frac));
+}
+
+}  // namespace neuroc

@@ -1,0 +1,75 @@
+// Fixed-point arithmetic helpers shared by the post-training quantizer (host side) and the
+// simulated Cortex-M0 kernels.
+//
+// The deployment arithmetic is deliberately restricted to what a Cortex-M0 executes cheaply:
+// 32x32→32 MULS, adds, and shifts. All scales are therefore powers of two ("Qm.n" format, as
+// in legacy CMSIS-NN q7/q15 kernels): a tensor with `frac` fractional bits stores
+// round(value * 2^frac) saturated to the container width. Requantization between formats is a
+// single rounding right shift.
+
+#ifndef NEUROC_SRC_COMMON_FIXED_POINT_H_
+#define NEUROC_SRC_COMMON_FIXED_POINT_H_
+
+#include <cstdint>
+
+namespace neuroc {
+
+// Saturate a 32-bit value into [-128, 127].
+constexpr int32_t SatInt8(int32_t v) {
+  if (v > 127) {
+    return 127;
+  }
+  if (v < -128) {
+    return -128;
+  }
+  return v;
+}
+
+// Saturate a 32-bit value into [-32768, 32767].
+constexpr int32_t SatInt16(int32_t v) {
+  if (v > 32767) {
+    return 32767;
+  }
+  if (v < -32768) {
+    return -32768;
+  }
+  return v;
+}
+
+// Arithmetic right shift with round-half-up (adds 2^(shift-1) before shifting).
+// shift == 0 is the identity; shift must be in [0, 31].
+constexpr int32_t RoundingRightShift(int32_t v, int shift) {
+  if (shift == 0) {
+    return v;
+  }
+  return (v + (int32_t{1} << (shift - 1))) >> shift;
+}
+
+// 64-bit variant for accumulators that may exceed 32 bits on the host reference path.
+constexpr int64_t RoundingRightShift64(int64_t v, int shift) {
+  if (shift == 0) {
+    return v;
+  }
+  return (v + (int64_t{1} << (shift - 1))) >> shift;
+}
+
+// Chooses the largest number of fractional bits f such that |max_abs| * 2^f still fits the
+// signed container of `int_bits` total bits (e.g. 8 for q7). Returns a value clamped to
+// [min_frac, max_frac]. max_abs <= 0 yields max_frac (the tensor is all zeros).
+int ChooseFracBits(float max_abs, int int_bits, int min_frac = -8, int max_frac = 30);
+
+// Quantize a float to a fixed-point integer with `frac` fractional bits, saturating to the
+// given signed container width (8, 16 or 32 bits).
+int32_t QuantizeFixed(float value, int frac, int container_bits);
+
+// Inverse of QuantizeFixed: fixed-point integer back to float.
+float DequantizeFixed(int32_t value, int frac);
+
+// Convenience wrappers for the common q7 case.
+inline int8_t QuantizeQ7(float value, int frac) {
+  return static_cast<int8_t>(QuantizeFixed(value, frac, 8));
+}
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_COMMON_FIXED_POINT_H_

@@ -1,0 +1,29 @@
+#include "src/common/logging.h"
+
+namespace neuroc {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace log_internal {
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+}  // namespace log_internal
+}  // namespace neuroc

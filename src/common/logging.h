@@ -1,0 +1,37 @@
+// Minimal leveled logging to stderr. The library is a research harness; logging stays
+// dependency-free and printf-based.
+
+#ifndef NEUROC_SRC_COMMON_LOGGING_H_
+#define NEUROC_SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+
+namespace neuroc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace log_internal {
+const char* LevelTag(LogLevel level);
+}  // namespace log_internal
+
+}  // namespace neuroc
+
+#define NEUROC_LOG(level, ...)                                                      \
+  do {                                                                              \
+    if (static_cast<int>(level) >= static_cast<int>(::neuroc::GetLogLevel())) {     \
+      std::fprintf(stderr, "[%s] ", ::neuroc::log_internal::LevelTag(level));       \
+      std::fprintf(stderr, __VA_ARGS__);                                            \
+      std::fprintf(stderr, "\n");                                                   \
+    }                                                                               \
+  } while (0)
+
+#define NEUROC_LOG_INFO(...) NEUROC_LOG(::neuroc::LogLevel::kInfo, __VA_ARGS__)
+#define NEUROC_LOG_WARN(...) NEUROC_LOG(::neuroc::LogLevel::kWarn, __VA_ARGS__)
+#define NEUROC_LOG_ERROR(...) NEUROC_LOG(::neuroc::LogLevel::kError, __VA_ARGS__)
+#define NEUROC_LOG_DEBUG(...) NEUROC_LOG(::neuroc::LogLevel::kDebug, __VA_ARGS__)
+
+#endif  // NEUROC_SRC_COMMON_LOGGING_H_

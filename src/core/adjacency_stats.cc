@@ -1,0 +1,53 @@
+#include "src/core/adjacency_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace neuroc {
+
+AdjacencyStats AnalyzeAdjacency(const TernaryMatrix& m) {
+  AdjacencyStats s;
+  s.in_dim = m.in_dim();
+  s.out_dim = m.out_dim();
+  s.min_fan_in = m.in_dim();
+  for (size_t j = 0; j < m.out_dim(); ++j) {
+    size_t fan = 0;
+    for (const bool positive : {true, false}) {
+      const std::vector<uint32_t> idx = positive ? m.PositiveIndices(j) : m.NegativeIndices(j);
+      fan += idx.size();
+      (positive ? s.positives : s.negatives) += idx.size();
+      if (!idx.empty()) {
+        s.max_first_index = std::max(s.max_first_index, idx.front());
+        for (size_t k = 1; k < idx.size(); ++k) {
+          s.max_gap = std::max(s.max_gap, idx[k] - idx[k - 1]);
+        }
+      }
+    }
+    s.min_fan_in = std::min(s.min_fan_in, fan);
+    s.max_fan_in = std::max(s.max_fan_in, fan);
+    if (fan == 0) {
+      ++s.empty_columns;
+    }
+  }
+  s.nonzeros = s.positives + s.negatives;
+  const size_t cells = m.in_dim() * m.out_dim();
+  s.density = cells == 0 ? 0.0 : static_cast<double>(s.nonzeros) / static_cast<double>(cells);
+  s.mean_fan_in =
+      m.out_dim() == 0 ? 0.0 : static_cast<double>(s.nonzeros) / static_cast<double>(m.out_dim());
+  return s;
+}
+
+std::string FormatAdjacencyStats(const AdjacencyStats& s) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%zux%zu adjacency: %zu nonzeros (density %.3f; +%zu/-%zu)\n"
+                "fan-in min/mean/max: %zu / %.1f / %zu; empty columns: %zu\n"
+                "delta stream: max first index %u, max gap %u -> %s entries\n",
+                s.in_dim, s.out_dim, s.nonzeros, s.density, s.positives, s.negatives,
+                s.min_fan_in, s.mean_fan_in, s.max_fan_in, s.empty_columns,
+                s.max_first_index, s.max_gap,
+                s.DeltaFitsOneByte() ? "8-bit" : "16-bit");
+  return buf;
+}
+
+}  // namespace neuroc

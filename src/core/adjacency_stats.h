@@ -1,0 +1,42 @@
+// Structural statistics of a ternary adjacency matrix: fan-in distribution, polarity
+// balance, and the delta-gap distribution that determines whether the delta encoding's
+// stream fits 8 bits. Feeds encoding selection (examples/encoding_explorer) and the
+// experiment write-ups.
+
+#ifndef NEUROC_SRC_CORE_ADJACENCY_STATS_H_
+#define NEUROC_SRC_CORE_ADJACENCY_STATS_H_
+
+#include <string>
+
+#include "src/core/ternary_matrix.h"
+
+namespace neuroc {
+
+struct AdjacencyStats {
+  size_t in_dim = 0;
+  size_t out_dim = 0;
+  size_t nonzeros = 0;
+  size_t positives = 0;
+  size_t negatives = 0;
+  double density = 0.0;
+  size_t min_fan_in = 0;
+  size_t max_fan_in = 0;
+  double mean_fan_in = 0.0;
+  // Delta-encoding feasibility: largest first-index and largest gap per polarity stream.
+  uint32_t max_first_index = 0;
+  uint32_t max_gap = 0;
+  // Count of columns fully empty (dead output neurons).
+  size_t empty_columns = 0;
+
+  // True iff the delta encoding of this matrix uses 8-bit stream entries.
+  bool DeltaFitsOneByte() const { return max_first_index <= 255 && max_gap <= 255; }
+};
+
+AdjacencyStats AnalyzeAdjacency(const TernaryMatrix& matrix);
+
+// Multi-line summary used by tools.
+std::string FormatAdjacencyStats(const AdjacencyStats& stats);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_CORE_ADJACENCY_STATS_H_

@@ -1,0 +1,116 @@
+#include "src/core/block_encoding.h"
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+BlockEncoding::BlockEncoding(const TernaryMatrix& matrix, size_t block_size)
+    : Encoding(matrix.in_dim(), matrix.out_dim()),
+      block_size_(block_size),
+      num_blocks_((matrix.in_dim() + block_size - 1) / block_size) {
+  NEUROC_CHECK_MSG(block_size >= 1 && block_size <= 256,
+                   "block size must be in [1, 256] for 8-bit indices");
+  pos_ = BuildPolarity(matrix, true);
+  neg_ = BuildPolarity(matrix, false);
+}
+
+BlockEncoding::Polarity BlockEncoding::BuildPolarity(const TernaryMatrix& matrix,
+                                                     bool positive) const {
+  Polarity p;
+  p.counts.assign(num_blocks_ * out_dim_, 0);
+  // Per-column index lists are ascending, so a single pass per column distributes entries
+  // into blocks in order.
+  std::vector<std::vector<uint32_t>> per_block(num_blocks_);
+  for (size_t j = 0; j < out_dim_; ++j) {
+    const std::vector<uint32_t> idx =
+        positive ? matrix.PositiveIndices(j) : matrix.NegativeIndices(j);
+    for (uint32_t i : idx) {
+      const size_t b = i / block_size_;
+      per_block[b].push_back(static_cast<uint32_t>(i % block_size_));
+      ++p.counts[b * out_dim_ + j];
+    }
+    // Counts within a block per column are bounded by block_size_ <= 256... but 256 does not
+    // fit u8; a full column within a block would need count 256. Guard explicitly.
+    for (size_t b = 0; b < num_blocks_; ++b) {
+      NEUROC_CHECK_MSG(p.counts[b * out_dim_ + j] <= 255,
+                       "column fan-in within a block exceeds 8-bit count");
+    }
+  }
+  // Flatten in (block, column) order: for each block, columns contribute their indices in
+  // column order. per_block currently holds indices in (column-major across blocks) arrival
+  // order, which IS (block, column) order per block because columns were visited in order.
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    p.indices.insert(p.indices.end(), per_block[b].begin(), per_block[b].end());
+  }
+  return p;
+}
+
+void BlockEncoding::Accumulate(std::span<const int8_t> input, std::span<int32_t> sums) const {
+  NEUROC_CHECK(input.size() == in_dim_ && sums.size() == out_dim_);
+  std::fill(sums.begin(), sums.end(), 0);
+  size_t pp = 0;
+  size_t np = 0;
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    const size_t base = b * block_size_;
+    for (size_t j = 0; j < out_dim_; ++j) {
+      int32_t acc = sums[j];
+      for (uint32_t k = 0; k < pos_.counts[b * out_dim_ + j]; ++k) {
+        acc += input[base + pos_.indices[pp++]];
+      }
+      for (uint32_t k = 0; k < neg_.counts[b * out_dim_ + j]; ++k) {
+        acc -= input[base + neg_.indices[np++]];
+      }
+      sums[j] = acc;
+    }
+  }
+}
+
+TernaryMatrix BlockEncoding::Decode() const {
+  TernaryMatrix m(in_dim_, out_dim_);
+  size_t pp = 0;
+  size_t np = 0;
+  for (size_t b = 0; b < num_blocks_; ++b) {
+    const size_t base = b * block_size_;
+    for (size_t j = 0; j < out_dim_; ++j) {
+      for (uint32_t k = 0; k < pos_.counts[b * out_dim_ + j]; ++k) {
+        m.set(base + pos_.indices[pp++], j, 1);
+      }
+      for (uint32_t k = 0; k < neg_.counts[b * out_dim_ + j]; ++k) {
+        m.set(base + neg_.indices[np++], j, -1);
+      }
+    }
+  }
+  return m;
+}
+
+EncodingSizeBreakdown BlockEncoding::Sizes() const {
+  EncodingSizeBreakdown s;
+  // Everything is 8-bit by construction.
+  s.metadata_bytes = pos_.counts.size() + neg_.counts.size();
+  s.index_bytes = pos_.indices.size() + neg_.indices.size();
+  return s;
+}
+
+EncodingDeviceLayout BlockEncoding::Pack(std::vector<uint8_t>& blob) const {
+  EncodingDeviceLayout layout;
+  layout.kind = EncodingKind::kBlock;
+  layout.block_size = static_cast<uint32_t>(block_size_);
+  layout.num_blocks = static_cast<uint32_t>(num_blocks_);
+  layout.pos_meta = AppendArray(blob, pos_.counts, 1);
+  layout.pos_idx = AppendArray(blob, pos_.indices, 1);
+  layout.neg_meta = AppendArray(blob, neg_.counts, 1);
+  layout.neg_idx = AppendArray(blob, neg_.indices, 1);
+  return layout;
+}
+
+std::string BlockEncoding::Describe() const {
+  std::string s = "Block encoding (block size " + std::to_string(block_size_) + ", " +
+                  std::to_string(num_blocks_) + " blocks)\n";
+  s += "  pos counts [block x column]: " + FormatArray(pos_.counts) + "\n";
+  s += "  pos block-local indices:     " + FormatArray(pos_.indices) + "\n";
+  s += "  neg counts [block x column]: " + FormatArray(neg_.counts) + "\n";
+  s += "  neg block-local indices:     " + FormatArray(neg_.indices) + "\n";
+  return s;
+}
+
+}  // namespace neuroc

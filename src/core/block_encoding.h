@@ -1,0 +1,47 @@
+// Block-based encoding (paper Fig. 3, bottom right): the input space is partitioned into
+// fixed-size blocks of at most 256 neurons; each block keeps an independent per-column count
+// array and block-local indices. All indices and counts are 8-bit by construction — the most
+// compact layout, at the cost of one traversal pass per block.
+
+#ifndef NEUROC_SRC_CORE_BLOCK_ENCODING_H_
+#define NEUROC_SRC_CORE_BLOCK_ENCODING_H_
+
+#include "src/core/encoding.h"
+
+namespace neuroc {
+
+class BlockEncoding : public Encoding {
+ public:
+  BlockEncoding(const TernaryMatrix& matrix, size_t block_size);
+
+  EncodingKind kind() const override { return EncodingKind::kBlock; }
+  void Accumulate(std::span<const int8_t> input, std::span<int32_t> sums) const override;
+  TernaryMatrix Decode() const override;
+  EncodingSizeBreakdown Sizes() const override;
+  EncodingDeviceLayout Pack(std::vector<uint8_t>& blob) const override;
+  std::string Describe() const override;
+
+  size_t block_size() const { return block_size_; }
+  size_t num_blocks() const { return num_blocks_; }
+
+  struct Polarity {
+    // counts[b * out_dim + j]: nonzeros of column j within block b. Always fits 8 bits.
+    std::vector<uint32_t> counts;
+    // Block-local indices, concatenated in (block, column) order. Always fits 8 bits.
+    std::vector<uint32_t> indices;
+  };
+  const Polarity& positive() const { return pos_; }
+  const Polarity& negative() const { return neg_; }
+
+ private:
+  Polarity BuildPolarity(const TernaryMatrix& matrix, bool positive) const;
+
+  size_t block_size_;
+  size_t num_blocks_;
+  Polarity pos_;
+  Polarity neg_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_CORE_BLOCK_ENCODING_H_

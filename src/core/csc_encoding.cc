@@ -1,0 +1,90 @@
+#include "src/core/csc_encoding.h"
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+namespace {
+
+CscEncoding::Polarity BuildPolarity(const TernaryMatrix& m, bool positive) {
+  CscEncoding::Polarity p;
+  p.pointers.reserve(m.out_dim() + 1);
+  p.pointers.push_back(0);
+  for (size_t j = 0; j < m.out_dim(); ++j) {
+    const std::vector<uint32_t> idx = positive ? m.PositiveIndices(j) : m.NegativeIndices(j);
+    p.indices.insert(p.indices.end(), idx.begin(), idx.end());
+    p.pointers.push_back(static_cast<uint32_t>(p.indices.size()));
+  }
+  p.pointer_width = ElementWidthFor(static_cast<uint32_t>(p.indices.size()));
+  p.index_width =
+      ElementWidthFor(m.in_dim() == 0 ? 0 : static_cast<uint32_t>(m.in_dim() - 1));
+  return p;
+}
+
+}  // namespace
+
+CscEncoding::CscEncoding(const TernaryMatrix& matrix)
+    : Encoding(matrix.in_dim(), matrix.out_dim()),
+      pos_(BuildPolarity(matrix, true)),
+      neg_(BuildPolarity(matrix, false)) {
+  // Both polarities share element widths so a single specialized kernel serves the layer.
+  pos_.pointer_width = neg_.pointer_width = std::max(pos_.pointer_width, neg_.pointer_width);
+  pos_.index_width = neg_.index_width = std::max(pos_.index_width, neg_.index_width);
+}
+
+void CscEncoding::Accumulate(std::span<const int8_t> input, std::span<int32_t> sums) const {
+  NEUROC_CHECK(input.size() == in_dim_ && sums.size() == out_dim_);
+  for (size_t j = 0; j < out_dim_; ++j) {
+    int32_t acc = 0;
+    for (uint32_t k = pos_.pointers[j]; k < pos_.pointers[j + 1]; ++k) {
+      acc += input[pos_.indices[k]];
+    }
+    for (uint32_t k = neg_.pointers[j]; k < neg_.pointers[j + 1]; ++k) {
+      acc -= input[neg_.indices[k]];
+    }
+    sums[j] = acc;
+  }
+}
+
+TernaryMatrix CscEncoding::Decode() const {
+  TernaryMatrix m(in_dim_, out_dim_);
+  for (size_t j = 0; j < out_dim_; ++j) {
+    for (uint32_t k = pos_.pointers[j]; k < pos_.pointers[j + 1]; ++k) {
+      m.set(pos_.indices[k], j, 1);
+    }
+    for (uint32_t k = neg_.pointers[j]; k < neg_.pointers[j + 1]; ++k) {
+      m.set(neg_.indices[k], j, -1);
+    }
+  }
+  return m;
+}
+
+EncodingSizeBreakdown CscEncoding::Sizes() const {
+  EncodingSizeBreakdown s;
+  s.metadata_bytes = pos_.pointers.size() * pos_.pointer_width +
+                     neg_.pointers.size() * neg_.pointer_width;
+  s.index_bytes =
+      pos_.indices.size() * pos_.index_width + neg_.indices.size() * neg_.index_width;
+  return s;
+}
+
+EncodingDeviceLayout CscEncoding::Pack(std::vector<uint8_t>& blob) const {
+  EncodingDeviceLayout layout;
+  layout.kind = EncodingKind::kCsc;
+  layout.pos_meta = AppendArray(blob, pos_.pointers, pos_.pointer_width);
+  layout.pos_idx = AppendArray(blob, pos_.indices, pos_.index_width);
+  layout.neg_meta = AppendArray(blob, neg_.pointers, neg_.pointer_width);
+  layout.neg_idx = AppendArray(blob, neg_.indices, neg_.index_width);
+  return layout;
+}
+
+std::string CscEncoding::Describe() const {
+  std::string s = "CSC encoding\n";
+  s += "  pos pointers: " + FormatArray(pos_.pointers) + "\n";
+  s += "  pos indices:  " + FormatArray(pos_.indices) + "\n";
+  s += "  neg pointers: " + FormatArray(neg_.pointers) + "\n";
+  s += "  neg indices:  " + FormatArray(neg_.indices) + "\n";
+  return s;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,39 @@
+// Baseline CSC encoding: per polarity, a pointer array [out_dim + 1] of absolute offsets
+// into an absolute-index array (paper Fig. 3, top left).
+
+#ifndef NEUROC_SRC_CORE_CSC_ENCODING_H_
+#define NEUROC_SRC_CORE_CSC_ENCODING_H_
+
+#include "src/core/encoding.h"
+
+namespace neuroc {
+
+class CscEncoding : public Encoding {
+ public:
+  explicit CscEncoding(const TernaryMatrix& matrix);
+
+  EncodingKind kind() const override { return EncodingKind::kCsc; }
+  void Accumulate(std::span<const int8_t> input, std::span<int32_t> sums) const override;
+  TernaryMatrix Decode() const override;
+  EncodingSizeBreakdown Sizes() const override;
+  EncodingDeviceLayout Pack(std::vector<uint8_t>& blob) const override;
+  std::string Describe() const override;
+
+  // Exposed for white-box tests.
+  struct Polarity {
+    std::vector<uint32_t> pointers;  // [out_dim + 1]
+    std::vector<uint32_t> indices;   // [nnz], absolute, ascending per column
+    uint8_t pointer_width = 1;
+    uint8_t index_width = 1;
+  };
+  const Polarity& positive() const { return pos_; }
+  const Polarity& negative() const { return neg_; }
+
+ private:
+  Polarity pos_;
+  Polarity neg_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_CORE_CSC_ENCODING_H_

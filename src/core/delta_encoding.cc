@@ -1,0 +1,117 @@
+#include "src/core/delta_encoding.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+namespace {
+
+DeltaEncoding::Polarity BuildPolarity(const TernaryMatrix& m, bool positive) {
+  DeltaEncoding::Polarity p;
+  uint32_t max_count = 0;
+  uint32_t max_entry = 0;
+  for (size_t j = 0; j < m.out_dim(); ++j) {
+    const std::vector<uint32_t> idx = positive ? m.PositiveIndices(j) : m.NegativeIndices(j);
+    p.counts.push_back(static_cast<uint32_t>(idx.size()));
+    max_count = std::max(max_count, p.counts.back());
+    for (size_t k = 0; k < idx.size(); ++k) {
+      const uint32_t entry = k == 0 ? idx[0] : idx[k] - idx[k - 1];
+      p.stream.push_back(entry);
+      max_entry = std::max(max_entry, entry);
+    }
+  }
+  p.count_width = ElementWidthFor(max_count);
+  p.stream_width = ElementWidthFor(max_entry);
+  return p;
+}
+
+}  // namespace
+
+DeltaEncoding::DeltaEncoding(const TernaryMatrix& matrix)
+    : Encoding(matrix.in_dim(), matrix.out_dim()),
+      pos_(BuildPolarity(matrix, true)),
+      neg_(BuildPolarity(matrix, false)) {
+  // Both polarities share element widths so a single specialized kernel serves the layer.
+  pos_.count_width = neg_.count_width = std::max(pos_.count_width, neg_.count_width);
+  pos_.stream_width = neg_.stream_width = std::max(pos_.stream_width, neg_.stream_width);
+}
+
+void DeltaEncoding::Accumulate(std::span<const int8_t> input, std::span<int32_t> sums) const {
+  NEUROC_CHECK(input.size() == in_dim_ && sums.size() == out_dim_);
+  size_t pp = 0;
+  size_t np = 0;
+  for (size_t j = 0; j < out_dim_; ++j) {
+    int32_t acc = 0;
+    // Mirrors the FORWARD_DELTA pseudocode of paper Fig. 4: the first index is absolute,
+    // each following stream entry advances the input pointer by a relative offset.
+    uint32_t count = pos_.counts[j];
+    if (count > 0) {
+      uint32_t i = pos_.stream[pp++];
+      acc += input[i];
+      while (--count > 0) {
+        i += pos_.stream[pp++];
+        acc += input[i];
+      }
+    }
+    count = neg_.counts[j];
+    if (count > 0) {
+      uint32_t i = neg_.stream[np++];
+      acc -= input[i];
+      while (--count > 0) {
+        i += neg_.stream[np++];
+        acc -= input[i];
+      }
+    }
+    sums[j] = acc;
+  }
+}
+
+TernaryMatrix DeltaEncoding::Decode() const {
+  TernaryMatrix m(in_dim_, out_dim_);
+  size_t pp = 0;
+  size_t np = 0;
+  for (size_t j = 0; j < out_dim_; ++j) {
+    uint32_t i = 0;
+    for (uint32_t k = 0; k < pos_.counts[j]; ++k) {
+      i = (k == 0) ? pos_.stream[pp++] : i + pos_.stream[pp++];
+      m.set(i, j, 1);
+    }
+    for (uint32_t k = 0; k < neg_.counts[j]; ++k) {
+      i = (k == 0) ? neg_.stream[np++] : i + neg_.stream[np++];
+      m.set(i, j, -1);
+    }
+  }
+  return m;
+}
+
+EncodingSizeBreakdown DeltaEncoding::Sizes() const {
+  EncodingSizeBreakdown s;
+  s.metadata_bytes =
+      pos_.counts.size() * pos_.count_width + neg_.counts.size() * neg_.count_width;
+  s.index_bytes =
+      pos_.stream.size() * pos_.stream_width + neg_.stream.size() * neg_.stream_width;
+  return s;
+}
+
+EncodingDeviceLayout DeltaEncoding::Pack(std::vector<uint8_t>& blob) const {
+  EncodingDeviceLayout layout;
+  layout.kind = EncodingKind::kDelta;
+  layout.pos_meta = AppendArray(blob, pos_.counts, pos_.count_width);
+  layout.pos_idx = AppendArray(blob, pos_.stream, pos_.stream_width);
+  layout.neg_meta = AppendArray(blob, neg_.counts, neg_.count_width);
+  layout.neg_idx = AppendArray(blob, neg_.stream, neg_.stream_width);
+  return layout;
+}
+
+std::string DeltaEncoding::Describe() const {
+  std::string s = "Delta encoding\n";
+  s += "  pos counts: " + FormatArray(pos_.counts) + "\n";
+  s += "  pos stream: " + FormatArray(pos_.stream) + " (first abs, then offsets)\n";
+  s += "  neg counts: " + FormatArray(neg_.counts) + "\n";
+  s += "  neg stream: " + FormatArray(neg_.stream) + " (first abs, then offsets)\n";
+  return s;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,40 @@
+// Delta encoding (paper Fig. 3 bottom left, Fig. 4): per polarity, a per-column count array
+// plus a stream where each column stores its first input index absolutely and subsequent
+// connections as positive offsets from the previous index. Traversal is pure pointer
+// arithmetic, which makes this the lowest-latency scheme on the Cortex-M0.
+
+#ifndef NEUROC_SRC_CORE_DELTA_ENCODING_H_
+#define NEUROC_SRC_CORE_DELTA_ENCODING_H_
+
+#include "src/core/encoding.h"
+
+namespace neuroc {
+
+class DeltaEncoding : public Encoding {
+ public:
+  explicit DeltaEncoding(const TernaryMatrix& matrix);
+
+  EncodingKind kind() const override { return EncodingKind::kDelta; }
+  void Accumulate(std::span<const int8_t> input, std::span<int32_t> sums) const override;
+  TernaryMatrix Decode() const override;
+  EncodingSizeBreakdown Sizes() const override;
+  EncodingDeviceLayout Pack(std::vector<uint8_t>& blob) const override;
+  std::string Describe() const override;
+
+  struct Polarity {
+    std::vector<uint32_t> counts;  // [out_dim], nonzeros per column
+    std::vector<uint32_t> stream;  // per column: first absolute index, then deltas (>= 1)
+    uint8_t count_width = 1;
+    uint8_t stream_width = 1;
+  };
+  const Polarity& positive() const { return pos_; }
+  const Polarity& negative() const { return neg_; }
+
+ private:
+  Polarity pos_;
+  Polarity neg_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_CORE_DELTA_ENCODING_H_

@@ -1,0 +1,96 @@
+#include "src/core/mixed_encoding.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+namespace {
+
+MixedEncoding::Polarity BuildPolarity(const TernaryMatrix& m, bool positive) {
+  MixedEncoding::Polarity p;
+  uint32_t max_count = 0;
+  for (size_t j = 0; j < m.out_dim(); ++j) {
+    const std::vector<uint32_t> idx = positive ? m.PositiveIndices(j) : m.NegativeIndices(j);
+    p.counts.push_back(static_cast<uint32_t>(idx.size()));
+    max_count = std::max(max_count, p.counts.back());
+    p.indices.insert(p.indices.end(), idx.begin(), idx.end());
+  }
+  p.count_width = ElementWidthFor(max_count);
+  p.index_width =
+      ElementWidthFor(m.in_dim() == 0 ? 0 : static_cast<uint32_t>(m.in_dim() - 1));
+  return p;
+}
+
+}  // namespace
+
+MixedEncoding::MixedEncoding(const TernaryMatrix& matrix)
+    : Encoding(matrix.in_dim(), matrix.out_dim()),
+      pos_(BuildPolarity(matrix, true)),
+      neg_(BuildPolarity(matrix, false)) {
+  // Both polarities share element widths so a single specialized kernel serves the layer.
+  pos_.count_width = neg_.count_width = std::max(pos_.count_width, neg_.count_width);
+  pos_.index_width = neg_.index_width = std::max(pos_.index_width, neg_.index_width);
+}
+
+void MixedEncoding::Accumulate(std::span<const int8_t> input, std::span<int32_t> sums) const {
+  NEUROC_CHECK(input.size() == in_dim_ && sums.size() == out_dim_);
+  size_t pp = 0;
+  size_t np = 0;
+  for (size_t j = 0; j < out_dim_; ++j) {
+    int32_t acc = 0;
+    for (uint32_t k = 0; k < pos_.counts[j]; ++k) {
+      acc += input[pos_.indices[pp++]];
+    }
+    for (uint32_t k = 0; k < neg_.counts[j]; ++k) {
+      acc -= input[neg_.indices[np++]];
+    }
+    sums[j] = acc;
+  }
+}
+
+TernaryMatrix MixedEncoding::Decode() const {
+  TernaryMatrix m(in_dim_, out_dim_);
+  size_t pp = 0;
+  size_t np = 0;
+  for (size_t j = 0; j < out_dim_; ++j) {
+    for (uint32_t k = 0; k < pos_.counts[j]; ++k) {
+      m.set(pos_.indices[pp++], j, 1);
+    }
+    for (uint32_t k = 0; k < neg_.counts[j]; ++k) {
+      m.set(neg_.indices[np++], j, -1);
+    }
+  }
+  return m;
+}
+
+EncodingSizeBreakdown MixedEncoding::Sizes() const {
+  EncodingSizeBreakdown s;
+  s.metadata_bytes =
+      pos_.counts.size() * pos_.count_width + neg_.counts.size() * neg_.count_width;
+  s.index_bytes =
+      pos_.indices.size() * pos_.index_width + neg_.indices.size() * neg_.index_width;
+  return s;
+}
+
+EncodingDeviceLayout MixedEncoding::Pack(std::vector<uint8_t>& blob) const {
+  EncodingDeviceLayout layout;
+  layout.kind = EncodingKind::kMixed;
+  layout.pos_meta = AppendArray(blob, pos_.counts, pos_.count_width);
+  layout.pos_idx = AppendArray(blob, pos_.indices, pos_.index_width);
+  layout.neg_meta = AppendArray(blob, neg_.counts, neg_.count_width);
+  layout.neg_idx = AppendArray(blob, neg_.indices, neg_.index_width);
+  return layout;
+}
+
+std::string MixedEncoding::Describe() const {
+  std::string s = "Mixed encoding\n";
+  s += "  pos counts:  " + FormatArray(pos_.counts) + "\n";
+  s += "  pos indices: " + FormatArray(pos_.indices) + "\n";
+  s += "  neg counts:  " + FormatArray(neg_.counts) + "\n";
+  s += "  neg indices: " + FormatArray(neg_.indices) + "\n";
+  return s;
+}
+
+}  // namespace neuroc

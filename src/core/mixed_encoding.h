@@ -1,0 +1,39 @@
+// Mixed encoding (paper Fig. 3, top right): per polarity, per-column counts (as in the delta
+// format) but absolute indices (as in CSC). Stateless traversal without the sequential
+// dependency of delta decoding, at a footprint between CSC and delta.
+
+#ifndef NEUROC_SRC_CORE_MIXED_ENCODING_H_
+#define NEUROC_SRC_CORE_MIXED_ENCODING_H_
+
+#include "src/core/encoding.h"
+
+namespace neuroc {
+
+class MixedEncoding : public Encoding {
+ public:
+  explicit MixedEncoding(const TernaryMatrix& matrix);
+
+  EncodingKind kind() const override { return EncodingKind::kMixed; }
+  void Accumulate(std::span<const int8_t> input, std::span<int32_t> sums) const override;
+  TernaryMatrix Decode() const override;
+  EncodingSizeBreakdown Sizes() const override;
+  EncodingDeviceLayout Pack(std::vector<uint8_t>& blob) const override;
+  std::string Describe() const override;
+
+  struct Polarity {
+    std::vector<uint32_t> counts;   // [out_dim]
+    std::vector<uint32_t> indices;  // [nnz], absolute
+    uint8_t count_width = 1;
+    uint8_t index_width = 1;
+  };
+  const Polarity& positive() const { return pos_; }
+  const Polarity& negative() const { return neg_; }
+
+ private:
+  Polarity pos_;
+  Polarity neg_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_CORE_MIXED_ENCODING_H_

@@ -1,0 +1,224 @@
+#include "src/core/mlp_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/fixed_point.h"
+#include "src/tensor/matrix_ops.h"
+#include "src/train/layers.h"
+#include "src/train/trainer.h"
+
+namespace neuroc {
+
+namespace {
+
+// Dense layer with optional batch norm folded in, in float form, pre-quantization.
+struct FoldedDense {
+  Tensor weights;  // [in, out]
+  std::vector<float> bias;
+  bool relu = false;
+  size_t output_module = 0;  // module index whose output defines the activation range
+};
+
+}  // namespace
+
+MlpModel MlpModel::FromTrained(Network& net, const Dataset& calibration,
+                               const MlpQuantOptions& options) {
+  const auto& modules = net.modules();
+  // Walk the module list, folding dense(+bn) groups and noting trailing ReLUs.
+  std::vector<FoldedDense> folded;
+  for (size_t m = 0; m < modules.size(); ++m) {
+    auto* dense = dynamic_cast<DenseLayer*>(modules[m].get());
+    if (dense == nullptr) {
+      continue;
+    }
+    FoldedDense fd;
+    fd.weights = dense->weights();
+    fd.bias.assign(dense->bias().flat().begin(), dense->bias().flat().end());
+    size_t out_idx = m;
+    size_t next = m + 1;
+    if (next < modules.size()) {
+      if (auto* bn = dynamic_cast<BatchNorm1dLayer*>(modules[next].get())) {
+        // Fold: w' = w * gamma/sqrt(var+eps); b' = (b − mean) * gamma/sqrt(var+eps) + beta.
+        const size_t out_dim = fd.weights.cols();
+        for (size_t j = 0; j < out_dim; ++j) {
+          const float inv_std =
+              1.0f / std::sqrt(bn->running_var()[j] + bn->epsilon());
+          const float g = bn->gamma()[j] * inv_std;
+          for (size_t i = 0; i < fd.weights.rows(); ++i) {
+            fd.weights.at(i, j) *= g;
+          }
+          fd.bias[j] = (fd.bias[j] - bn->running_mean()[j]) * g + bn->beta()[j];
+        }
+        out_idx = next;
+        ++next;
+      }
+      if (next < modules.size() && dynamic_cast<ReluLayer*>(modules[next].get())) {
+        fd.relu = true;
+        out_idx = next;
+      }
+    }
+    fd.output_module = out_idx;
+    folded.push_back(std::move(fd));
+  }
+  NEUROC_CHECK_MSG(!folded.empty(), "network contains no DenseLayer modules");
+
+  // Calibration pass for activation ranges. Note: BN runs with its running statistics here,
+  // matching what the folded weights will compute.
+  const size_t n_cal = std::min(calibration.num_examples(), options.max_calibration_examples);
+  NEUROC_CHECK(n_cal > 0);
+  std::vector<size_t> idx(n_cal);
+  for (size_t i = 0; i < n_cal; ++i) {
+    idx[i] = i;
+  }
+  Tensor batch;
+  std::vector<int> labels_unused;
+  GatherBatch(calibration, idx, batch, labels_unused);
+  std::vector<float> module_max_abs(modules.size(), 0.0f);
+  {
+    const Tensor* cur = &batch;
+    for (size_t m = 0; m < modules.size(); ++m) {
+      cur = &modules[m]->Forward(*cur, /*training=*/false);
+      module_max_abs[m] = MaxAbs(*cur);
+    }
+  }
+
+  MlpModel model;
+  int prev_out_frac = options.input_frac;
+  for (const FoldedDense& fd : folded) {
+    QuantDenseLayer q;
+    q.in_dim = static_cast<uint32_t>(fd.weights.rows());
+    q.out_dim = static_cast<uint32_t>(fd.weights.cols());
+    q.relu = fd.relu;
+    q.in_frac = prev_out_frac;
+    q.weight_frac = ChooseFracBits(MaxAbs(fd.weights), 8);
+    q.weights.resize(static_cast<size_t>(q.in_dim) * q.out_dim);
+    // Transpose to [out][in] so the device kernel streams weights per output neuron.
+    for (size_t j = 0; j < q.out_dim; ++j) {
+      for (size_t i = 0; i < q.in_dim; ++i) {
+        q.weights[j * q.in_dim + i] = QuantizeQ7(fd.weights.at(i, j), q.weight_frac);
+      }
+    }
+    q.out_frac = ChooseFracBits(module_max_abs[fd.output_module], 8, /*min_frac=*/-8,
+                                /*max_frac=*/q.in_frac + q.weight_frac);
+    q.requant_shift = q.in_frac + q.weight_frac - q.out_frac;
+    NEUROC_CHECK(q.requant_shift >= 0);
+    q.bias_q.resize(q.out_dim);
+    for (size_t j = 0; j < q.out_dim; ++j) {
+      q.bias_q[j] = QuantizeFixed(fd.bias[j], q.in_frac + q.weight_frac, 32);
+    }
+    prev_out_frac = q.out_frac;
+    model.layers_.push_back(std::move(q));
+  }
+  return model;
+}
+
+MlpModel MlpModel::FromLayers(std::vector<QuantDenseLayer> layers) {
+  NEUROC_CHECK(!layers.empty());
+  for (size_t k = 0; k + 1 < layers.size(); ++k) {
+    NEUROC_CHECK(layers[k].out_dim == layers[k + 1].in_dim);
+  }
+  MlpModel model;
+  model.layers_ = std::move(layers);
+  return model;
+}
+
+void RunQuantDenseLayer(const QuantDenseLayer& layer, std::span<const int8_t> input,
+                        std::span<int8_t> output) {
+  NEUROC_CHECK(input.size() == layer.in_dim && output.size() >= layer.out_dim);
+  for (size_t j = 0; j < layer.out_dim; ++j) {
+    const int8_t* w = layer.weights.data() + j * layer.in_dim;
+    int32_t acc = layer.bias_q[j];
+    for (size_t i = 0; i < layer.in_dim; ++i) {
+      acc += static_cast<int32_t>(w[i]) * static_cast<int32_t>(input[i]);
+    }
+    int32_t v = SatInt8(RoundingRightShift(acc, layer.requant_shift));
+    if (layer.relu && v < 0) {
+      v = 0;
+    }
+    output[j] = static_cast<int8_t>(v);
+  }
+}
+
+void MlpModel::Forward(std::span<const int8_t> input, std::vector<int8_t>& out) const {
+  NEUROC_CHECK(!layers_.empty());
+  NEUROC_CHECK(input.size() == in_dim());
+  const size_t max_dim = MaxActivationDim();
+  std::vector<int8_t> buf_a(input.begin(), input.end());
+  std::vector<int8_t> buf_b(max_dim);
+  buf_a.resize(max_dim);
+  std::span<int8_t> cur(buf_a);
+  std::span<int8_t> next(buf_b);
+  size_t cur_dim = in_dim();
+  for (const QuantDenseLayer& layer : layers_) {
+    NEUROC_CHECK(cur_dim == layer.in_dim);
+    RunQuantDenseLayer(layer, std::span<const int8_t>(cur.data(), layer.in_dim), next);
+    std::swap(cur, next);
+    cur_dim = layer.out_dim;
+  }
+  out.assign(cur.begin(), cur.begin() + cur_dim);
+}
+
+int MlpModel::Predict(std::span<const int8_t> input) const {
+  std::vector<int8_t> logits;
+  Forward(input, logits);
+  int best = 0;
+  for (size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+float MlpModel::EvaluateAccuracy(const QuantizedDataset& ds) const {
+  NEUROC_CHECK(ds.input_dim == in_dim());
+  size_t correct = 0;
+  for (size_t i = 0; i < ds.num_examples(); ++i) {
+    if (Predict(std::span<const int8_t>(ds.example(i), ds.input_dim)) == ds.labels[i]) {
+      ++correct;
+    }
+  }
+  return ds.num_examples() == 0
+             ? 0.0f
+             : static_cast<float>(correct) / static_cast<float>(ds.num_examples());
+}
+
+size_t MlpModel::WeightBytes() const {
+  size_t bytes = 0;
+  for (const QuantDenseLayer& l : layers_) {
+    bytes += l.WeightBytes();
+  }
+  return bytes;
+}
+
+size_t MlpModel::MaxActivationDim() const {
+  size_t d = in_dim();
+  for (const QuantDenseLayer& l : layers_) {
+    d = std::max(d, static_cast<size_t>(l.out_dim));
+  }
+  return d;
+}
+
+size_t MlpModel::MaccCount() const {
+  size_t n = 0;
+  for (const QuantDenseLayer& l : layers_) {
+    n += static_cast<size_t>(l.in_dim) * l.out_dim;
+  }
+  return n;
+}
+
+std::string MlpModel::Summary() const {
+  std::string s;
+  for (const QuantDenseLayer& l : layers_) {
+    if (!s.empty()) {
+      s += " -> ";
+    }
+    s += "q7[" + std::to_string(l.in_dim) + "x" + std::to_string(l.out_dim) +
+         (l.relu ? ",relu" : "") + "]";
+  }
+  return s;
+}
+
+}  // namespace neuroc

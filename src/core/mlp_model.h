@@ -1,0 +1,81 @@
+// Post-training quantized dense MLP — the conventional-TinyML baseline of the paper's
+// evaluation. Uses the legacy CMSIS-NN-style q7 scheme (power-of-two scales, int32
+// accumulator, saturating requantization), which is what is realistically deployable on a
+// Cortex-M0 with no DSP extensions. Batch-norm layers from training are folded into the
+// preceding dense weights at export, and dropout disappears at inference.
+
+#ifndef NEUROC_SRC_CORE_MLP_MODEL_H_
+#define NEUROC_SRC_CORE_MLP_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/train/network.h"
+
+namespace neuroc {
+
+struct QuantDenseLayer {
+  uint32_t in_dim = 0;
+  uint32_t out_dim = 0;
+  // Row-major [out][in]: each output neuron's weights are contiguous, giving the q7 kernel a
+  // straight streaming dot product.
+  std::vector<int8_t> weights;
+  std::vector<int32_t> bias_q;  // at frac in_frac + weight_frac
+  int weight_frac = 0;
+  int in_frac = 7;
+  int out_frac = 7;
+  int requant_shift = 0;  // in_frac + weight_frac − out_frac, >= 0
+  bool relu = true;
+
+  size_t WeightBytes() const {
+    return weights.size() * sizeof(int8_t) + bias_q.size() * sizeof(int32_t);
+  }
+};
+
+struct MlpQuantOptions {
+  int input_frac = 7;
+  size_t max_calibration_examples = 512;
+};
+
+class MlpModel {
+ public:
+  MlpModel() = default;
+  MlpModel(MlpModel&&) = default;
+  MlpModel& operator=(MlpModel&&) = default;
+
+  // Exports a trained MLP (sequence built by BuildMlp; batch norm folded, dropout dropped).
+  static MlpModel FromTrained(Network& net, const Dataset& calibration,
+                              const MlpQuantOptions& options = {});
+
+  // Builds a model directly from quantized layers (synthetic benches and tests).
+  static MlpModel FromLayers(std::vector<QuantDenseLayer> layers);
+
+  void Forward(std::span<const int8_t> input, std::vector<int8_t>& out) const;
+  int Predict(std::span<const int8_t> input) const;
+  float EvaluateAccuracy(const QuantizedDataset& ds) const;
+
+  const std::vector<QuantDenseLayer>& layers() const { return layers_; }
+  size_t in_dim() const { return layers_.empty() ? 0 : layers_.front().in_dim; }
+  size_t out_dim() const { return layers_.empty() ? 0 : layers_.back().out_dim; }
+  int input_frac() const { return layers_.empty() ? 7 : layers_.front().in_frac; }
+
+  size_t WeightBytes() const;
+  size_t MaxActivationDim() const;
+  // Total multiply-accumulate operations per inference (the paper's MACC metric).
+  size_t MaccCount() const;
+  std::string Summary() const;
+
+ private:
+  std::vector<QuantDenseLayer> layers_;
+};
+
+// Host reference for one quantized dense layer (shared with the simulator equivalence tests).
+void RunQuantDenseLayer(const QuantDenseLayer& layer, std::span<const int8_t> input,
+                        std::span<int8_t> output);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_CORE_MLP_MODEL_H_

@@ -1,0 +1,196 @@
+#include "src/core/model_image.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+namespace {
+
+constexpr uint32_t kAlign4 = 4;
+
+void Align(std::vector<uint8_t>& blob, uint32_t alignment) {
+  while (blob.size() % alignment != 0) {
+    blob.push_back(0);
+  }
+}
+
+void WriteWord(std::vector<uint8_t>& blob, size_t byte_offset, uint32_t value) {
+  NEUROC_CHECK(byte_offset + 4 <= blob.size());
+  blob[byte_offset + 0] = static_cast<uint8_t>(value & 0xFF);
+  blob[byte_offset + 1] = static_cast<uint8_t>((value >> 8) & 0xFF);
+  blob[byte_offset + 2] = static_cast<uint8_t>((value >> 16) & 0xFF);
+  blob[byte_offset + 3] = static_cast<uint8_t>((value >> 24) & 0xFF);
+}
+
+uint32_t AppendBytes(std::vector<uint8_t>& blob, const uint8_t* data, size_t n,
+                     uint32_t alignment) {
+  Align(blob, alignment);
+  const uint32_t offset = static_cast<uint32_t>(blob.size());
+  blob.insert(blob.end(), data, data + n);
+  return offset;
+}
+
+uint32_t AppendInt8(std::vector<uint8_t>& blob, const std::vector<int8_t>& v) {
+  return AppendBytes(blob, reinterpret_cast<const uint8_t*>(v.data()), v.size(), 1);
+}
+
+uint32_t AppendInt32(std::vector<uint8_t>& blob, const std::vector<int32_t>& v) {
+  Align(blob, kAlign4);
+  const uint32_t offset = static_cast<uint32_t>(blob.size());
+  for (int32_t x : v) {
+    const uint32_t u = static_cast<uint32_t>(x);
+    blob.push_back(static_cast<uint8_t>(u & 0xFF));
+    blob.push_back(static_cast<uint8_t>((u >> 8) & 0xFF));
+    blob.push_back(static_cast<uint8_t>((u >> 16) & 0xFF));
+    blob.push_back(static_cast<uint8_t>((u >> 24) & 0xFF));
+  }
+  return offset;
+}
+
+// SRAM buffer plan shared by both model types.
+struct RamPlan {
+  uint32_t buf[2];       // ping-pong int8 activation buffers
+  uint32_t scratch;      // int32 scratch, max_out entries
+  uint32_t bytes_used;
+};
+
+RamPlan PlanRam(uint32_t ram_base, size_t max_act_dim, size_t max_out_dim) {
+  RamPlan plan{};
+  uint32_t cursor = ram_base;
+  auto align4 = [](uint32_t v) { return (v + 3u) & ~3u; };
+  plan.buf[0] = cursor;
+  cursor = align4(cursor + static_cast<uint32_t>(max_act_dim));
+  plan.buf[1] = cursor;
+  cursor = align4(cursor + static_cast<uint32_t>(max_act_dim));
+  plan.scratch = cursor;
+  cursor += static_cast<uint32_t>(max_out_dim) * 4u;
+  plan.bytes_used = cursor - ram_base;
+  return plan;
+}
+
+}  // namespace
+
+DeviceModelImage PackNeuroCModel(const NeuroCModel& model, uint32_t flash_data_base,
+                                 uint32_t ram_base) {
+  NEUROC_CHECK(!model.layers().empty());
+  DeviceModelImage image;
+  image.flash_data_base = flash_data_base;
+  image.input_dim = static_cast<uint32_t>(model.in_dim());
+  image.output_dim = static_cast<uint32_t>(model.out_dim());
+
+  size_t max_out = 0;
+  for (const auto& l : model.layers()) {
+    max_out = std::max(max_out, static_cast<size_t>(l.out_dim));
+  }
+  const RamPlan ram = PlanRam(ram_base, model.MaxActivationDim(), max_out);
+  image.ram_bytes_used = ram.bytes_used;
+  image.input_addr = ram.buf[0];
+
+  const size_t n = model.layers().size();
+  std::vector<uint8_t>& blob = image.flash;
+  blob.assign(n * kDescriptorBytes, 0);
+
+  for (size_t k = 0; k < n; ++k) {
+    const QuantNeuroCLayer& l = model.layers()[k];
+    const EncodingDeviceLayout enc = l.encoding->Pack(blob);
+    // Pack() appended arrays with offsets relative to blob start; they already include the
+    // descriptor preamble because the descriptors were reserved first.
+    const uint32_t scale_addr =
+        l.has_scale() ? flash_data_base + AppendInt8(blob, l.scale_q) : 0;
+    const uint32_t bias_addr = flash_data_base + AppendInt32(blob, l.bias_q);
+
+    const size_t d = k * kDescriptorBytes;
+    auto word = [&](DescWord w, uint32_t v) { WriteWord(blob, d + w * 4, v); };
+    word(kDescInDim, l.in_dim);
+    word(kDescOutDim, l.out_dim);
+    word(kDescFlags, static_cast<uint32_t>(enc.kind) |
+                         (l.has_scale() ? 1u << 8 : 0u) | (l.relu ? 1u << 16 : 0u));
+    word(kDescPosMetaAddr, flash_data_base + enc.pos_meta.offset);
+    word(kDescPosMetaWidth, enc.pos_meta.elem_width);
+    word(kDescPosIdxAddr, flash_data_base + enc.pos_idx.offset);
+    word(kDescPosIdxWidth, enc.pos_idx.elem_width);
+    word(kDescNegMetaAddr, flash_data_base + enc.neg_meta.offset);
+    word(kDescNegMetaWidth, enc.neg_meta.elem_width);
+    word(kDescNegIdxAddr, flash_data_base + enc.neg_idx.offset);
+    word(kDescNegIdxWidth, enc.neg_idx.elem_width);
+    word(kDescScaleAddr, scale_addr);
+    word(kDescBiasAddr, bias_addr);
+    word(kDescShift, static_cast<uint32_t>(l.requant_shift));
+    word(kDescBlockSize, enc.block_size);
+    word(kDescNumBlocks, enc.num_blocks);
+    word(kDescWeightsAddr, 0);
+    word(kDescInputAddr, ram.buf[k % 2]);
+    word(kDescOutputAddr, ram.buf[(k + 1) % 2]);
+    word(kDescScratchAddr, ram.scratch);
+
+    image.descriptor_addrs.push_back(flash_data_base +
+                                     static_cast<uint32_t>(d));
+    KernelVariant variant;
+    variant.is_dense = false;
+    variant.kind = enc.kind;
+    // Both polarities share widths by construction (same in_dim / comparable ranges); take
+    // the max so one kernel variant covers both.
+    variant.meta_width = std::max(enc.pos_meta.elem_width, enc.neg_meta.elem_width);
+    variant.idx_width = std::max(enc.pos_idx.elem_width, enc.neg_idx.elem_width);
+    variant.has_scale = l.has_scale();
+    image.variants.push_back(variant);
+
+    if (k + 1 == n) {
+      image.output_addr = ram.buf[(k + 1) % 2];
+    }
+  }
+  return image;
+}
+
+DeviceModelImage PackMlpModel(const MlpModel& model, uint32_t flash_data_base,
+                              uint32_t ram_base) {
+  NEUROC_CHECK(!model.layers().empty());
+  DeviceModelImage image;
+  image.flash_data_base = flash_data_base;
+  image.input_dim = static_cast<uint32_t>(model.in_dim());
+  image.output_dim = static_cast<uint32_t>(model.out_dim());
+
+  size_t max_out = 0;
+  for (const auto& l : model.layers()) {
+    max_out = std::max(max_out, static_cast<size_t>(l.out_dim));
+  }
+  const RamPlan ram = PlanRam(ram_base, model.MaxActivationDim(), max_out);
+  image.ram_bytes_used = ram.bytes_used;
+  image.input_addr = ram.buf[0];
+
+  const size_t n = model.layers().size();
+  std::vector<uint8_t>& blob = image.flash;
+  blob.assign(n * kDescriptorBytes, 0);
+
+  for (size_t k = 0; k < n; ++k) {
+    const QuantDenseLayer& l = model.layers()[k];
+    const uint32_t weights_addr = flash_data_base + AppendInt8(blob, l.weights);
+    const uint32_t bias_addr = flash_data_base + AppendInt32(blob, l.bias_q);
+
+    const size_t d = k * kDescriptorBytes;
+    auto word = [&](DescWord w, uint32_t v) { WriteWord(blob, d + w * 4, v); };
+    word(kDescInDim, l.in_dim);
+    word(kDescOutDim, l.out_dim);
+    word(kDescFlags, (l.relu ? 1u << 16 : 0u) | (1u << 24));
+    word(kDescBiasAddr, bias_addr);
+    word(kDescShift, static_cast<uint32_t>(l.requant_shift));
+    word(kDescWeightsAddr, weights_addr);
+    word(kDescInputAddr, ram.buf[k % 2]);
+    word(kDescOutputAddr, ram.buf[(k + 1) % 2]);
+    word(kDescScratchAddr, ram.scratch);
+
+    image.descriptor_addrs.push_back(flash_data_base + static_cast<uint32_t>(d));
+    KernelVariant variant;
+    variant.is_dense = true;
+    image.variants.push_back(variant);
+
+    if (k + 1 == n) {
+      image.output_addr = ram.buf[(k + 1) % 2];
+    }
+  }
+  return image;
+}
+
+}  // namespace neuroc

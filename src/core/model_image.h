@@ -1,0 +1,83 @@
+// Flash-image packing: turns a quantized model into the byte-exact constant-data image the
+// simulated Cortex-M0 kernels consume, mirroring how the paper statically allocates weights
+// and topology in program memory.
+//
+// Image layout (placed at `flash_data_base`):
+//   [layer descriptors, 80 bytes each] [packed arrays: encodings / scales / biases / weights]
+// All pointers inside descriptors are absolute device addresses. Activation buffers are
+// planned in SRAM (ping-pong pair + an int32 scratch used by the block kernel and by dense
+// accumulation checks).
+
+#ifndef NEUROC_SRC_CORE_MODEL_IMAGE_H_
+#define NEUROC_SRC_CORE_MODEL_IMAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/mlp_model.h"
+#include "src/core/neuroc_model.h"
+
+namespace neuroc {
+
+// Descriptor word indices (descriptor is 20 little-endian u32 words = 80 bytes).
+enum DescWord : uint32_t {
+  kDescInDim = 0,
+  kDescOutDim = 1,
+  kDescFlags = 2,  // kind | has_scale<<8 | relu<<16 | is_dense<<24
+  kDescPosMetaAddr = 3,
+  kDescPosMetaWidth = 4,
+  kDescPosIdxAddr = 5,
+  kDescPosIdxWidth = 6,
+  kDescNegMetaAddr = 7,
+  kDescNegMetaWidth = 8,
+  kDescNegIdxAddr = 9,
+  kDescNegIdxWidth = 10,
+  kDescScaleAddr = 11,
+  kDescBiasAddr = 12,
+  kDescShift = 13,
+  kDescBlockSize = 14,
+  kDescNumBlocks = 15,
+  kDescWeightsAddr = 16,
+  kDescInputAddr = 17,
+  kDescOutputAddr = 18,
+  kDescScratchAddr = 19,
+  kDescWordCount = 20,
+};
+inline constexpr uint32_t kDescriptorBytes = kDescWordCount * 4;
+
+// Identifies which specialized kernel routine a layer needs.
+struct KernelVariant {
+  bool is_dense = false;            // dense q7 MLP layer
+  EncodingKind kind = EncodingKind::kCsc;
+  uint8_t meta_width = 1;           // pointer/count element bytes
+  uint8_t idx_width = 1;            // index/delta element bytes
+  bool has_scale = true;            // per-neuron multiply present
+
+  bool operator==(const KernelVariant&) const = default;
+};
+
+struct DeviceModelImage {
+  uint32_t flash_data_base = 0;
+  std::vector<uint8_t> flash;              // contents at flash_data_base
+  std::vector<uint32_t> descriptor_addrs;  // absolute, one per layer
+  std::vector<KernelVariant> variants;     // one per layer
+  uint32_t input_addr = 0;    // SRAM buffer the caller fills with int8 input
+  uint32_t output_addr = 0;   // SRAM buffer holding the final int8 activations
+  uint32_t output_dim = 0;
+  uint32_t input_dim = 0;
+  uint32_t ram_bytes_used = 0;
+
+  size_t num_layers() const { return descriptor_addrs.size(); }
+};
+
+// Packs a quantized Neuro-C model. `ram_base` is where activation buffers start in SRAM.
+DeviceModelImage PackNeuroCModel(const NeuroCModel& model, uint32_t flash_data_base,
+                                 uint32_t ram_base);
+
+// Packs a quantized dense MLP baseline.
+DeviceModelImage PackMlpModel(const MlpModel& model, uint32_t flash_data_base,
+                              uint32_t ram_base);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_CORE_MODEL_IMAGE_H_

@@ -1,0 +1,324 @@
+#include "src/core/model_serde.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "src/common/check.h"
+#include "src/core/block_encoding.h"
+
+namespace neuroc {
+
+namespace {
+
+constexpr uint32_t kMagicNeuroC = 0x314D434Eu;  // "NCM1"
+constexpr uint32_t kMagicMlp = 0x314D4C4Du;     // "MLM1"
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void Bytes(const uint8_t* data, size_t n) { bytes_.insert(bytes_.end(), data, data + n); }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+  uint8_t U8() {
+    if (pos_ + 1 > bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return bytes_[pos_++];
+  }
+  uint32_t U32() {
+    if (pos_ + 4 > bytes_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  bool Bytes(uint8_t* out, size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// 2-bit packing of ternary values: 0 -> 0, +1 -> 1, -1 -> 2 (3 reserved).
+void PackTernary(const TernaryMatrix& m, ByteWriter& w) {
+  uint8_t cur = 0;
+  int fill = 0;
+  for (size_t i = 0; i < m.in_dim(); ++i) {
+    for (size_t j = 0; j < m.out_dim(); ++j) {
+      const int8_t v = m.at(i, j);
+      const uint8_t code = v == 0 ? 0 : (v > 0 ? 1 : 2);
+      cur |= static_cast<uint8_t>(code << (2 * fill));
+      if (++fill == 4) {
+        w.U8(cur);
+        cur = 0;
+        fill = 0;
+      }
+    }
+  }
+  if (fill != 0) {
+    w.U8(cur);
+  }
+}
+
+bool UnpackTernary(ByteReader& r, TernaryMatrix& m) {
+  const size_t total = m.in_dim() * m.out_dim();
+  const size_t bytes = (total + 3) / 4;
+  std::vector<uint8_t> packed(bytes);
+  if (!r.Bytes(packed.data(), bytes)) {
+    return false;
+  }
+  size_t idx = 0;
+  for (size_t i = 0; i < m.in_dim(); ++i) {
+    for (size_t j = 0; j < m.out_dim(); ++j, ++idx) {
+      const uint8_t code = (packed[idx / 4] >> (2 * (idx % 4))) & 3;
+      if (code == 3) {
+        return false;
+      }
+      m.set(i, j, code == 0 ? int8_t{0} : (code == 1 ? int8_t{1} : int8_t{-1}));
+    }
+  }
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  return written == bytes.size();
+}
+
+std::optional<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    return std::nullopt;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeModel(const NeuroCModel& model) {
+  ByteWriter w;
+  w.U32(kMagicNeuroC);
+  w.U32(static_cast<uint32_t>(model.layers().size()));
+  for (const QuantNeuroCLayer& l : model.layers()) {
+    w.U32(l.in_dim);
+    w.U32(l.out_dim);
+    w.U8(static_cast<uint8_t>(l.encoding->kind()));
+    uint32_t block_size = 0;
+    if (const auto* block = dynamic_cast<const BlockEncoding*>(l.encoding.get())) {
+      block_size = static_cast<uint32_t>(block->block_size());
+    }
+    w.U32(block_size);
+    w.U8(l.has_scale() ? 1 : 0);
+    w.I32(l.in_frac);
+    w.I32(l.out_frac);
+    w.I32(l.scale_frac);
+    w.I32(l.requant_shift);
+    w.U8(l.relu ? 1 : 0);
+    if (l.has_scale()) {
+      w.Bytes(reinterpret_cast<const uint8_t*>(l.scale_q.data()), l.scale_q.size());
+    }
+    for (int32_t b : l.bias_q) {
+      w.I32(b);
+    }
+    PackTernary(l.encoding->Decode(), w);
+  }
+  return w.Take();
+}
+
+std::optional<NeuroCModel> DeserializeNeuroCModel(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.U32() != kMagicNeuroC) {
+    return std::nullopt;
+  }
+  const uint32_t n = r.U32();
+  if (!r.ok() || n == 0 || n > 64) {
+    return std::nullopt;
+  }
+  std::vector<QuantNeuroCLayer> layers;
+  for (uint32_t k = 0; k < n; ++k) {
+    QuantNeuroCLayer l;
+    l.in_dim = r.U32();
+    l.out_dim = r.U32();
+    const uint8_t kind_raw = r.U8();
+    const uint32_t block_size = r.U32();
+    const bool has_scale = r.U8() != 0;
+    l.in_frac = r.I32();
+    l.out_frac = r.I32();
+    l.scale_frac = r.I32();
+    l.requant_shift = r.I32();
+    l.relu = r.U8() != 0;
+    if (!r.ok() || kind_raw > 3 || l.in_dim == 0 || l.out_dim == 0 ||
+        l.in_dim > (1u << 20) || l.out_dim > (1u << 20) || l.requant_shift < 0 ||
+        l.requant_shift > 31 || block_size > 256 ||
+        (static_cast<EncodingKind>(kind_raw) == EncodingKind::kBlock && block_size == 0)) {
+      return std::nullopt;
+    }
+    if (has_scale) {
+      l.scale_q.resize(l.out_dim);
+      if (!r.Bytes(reinterpret_cast<uint8_t*>(l.scale_q.data()), l.scale_q.size())) {
+        return std::nullopt;
+      }
+    }
+    l.bias_q.resize(l.out_dim);
+    for (uint32_t j = 0; j < l.out_dim; ++j) {
+      l.bias_q[j] = r.I32();
+    }
+    TernaryMatrix m(l.in_dim, l.out_dim);
+    if (!r.ok() || !UnpackTernary(r, m)) {
+      return std::nullopt;
+    }
+    EncodingOptions opt;
+    if (block_size > 0) {
+      opt.block_size = block_size;
+    }
+    l.encoding = BuildEncoding(static_cast<EncodingKind>(kind_raw), m, opt);
+    layers.push_back(std::move(l));
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  // Validate dimension chaining without aborting.
+  for (size_t k = 0; k + 1 < layers.size(); ++k) {
+    if (layers[k].out_dim != layers[k + 1].in_dim) {
+      return std::nullopt;
+    }
+  }
+  return NeuroCModel::FromLayers(std::move(layers));
+}
+
+std::vector<uint8_t> SerializeModel(const MlpModel& model) {
+  ByteWriter w;
+  w.U32(kMagicMlp);
+  w.U32(static_cast<uint32_t>(model.layers().size()));
+  for (const QuantDenseLayer& l : model.layers()) {
+    w.U32(l.in_dim);
+    w.U32(l.out_dim);
+    w.I32(l.weight_frac);
+    w.I32(l.in_frac);
+    w.I32(l.out_frac);
+    w.I32(l.requant_shift);
+    w.U8(l.relu ? 1 : 0);
+    w.Bytes(reinterpret_cast<const uint8_t*>(l.weights.data()), l.weights.size());
+    for (int32_t b : l.bias_q) {
+      w.I32(b);
+    }
+  }
+  return w.Take();
+}
+
+std::optional<MlpModel> DeserializeMlpModel(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.U32() != kMagicMlp) {
+    return std::nullopt;
+  }
+  const uint32_t n = r.U32();
+  if (!r.ok() || n == 0 || n > 64) {
+    return std::nullopt;
+  }
+  std::vector<QuantDenseLayer> layers;
+  for (uint32_t k = 0; k < n; ++k) {
+    QuantDenseLayer l;
+    l.in_dim = r.U32();
+    l.out_dim = r.U32();
+    l.weight_frac = r.I32();
+    l.in_frac = r.I32();
+    l.out_frac = r.I32();
+    l.requant_shift = r.I32();
+    l.relu = r.U8() != 0;
+    if (!r.ok() || l.in_dim == 0 || l.out_dim == 0 || l.in_dim > (1u << 20) ||
+        l.out_dim > (1u << 20) || l.requant_shift < 0 || l.requant_shift > 31) {
+      return std::nullopt;
+    }
+    l.weights.resize(static_cast<size_t>(l.in_dim) * l.out_dim);
+    if (!r.Bytes(reinterpret_cast<uint8_t*>(l.weights.data()), l.weights.size())) {
+      return std::nullopt;
+    }
+    l.bias_q.resize(l.out_dim);
+    for (uint32_t j = 0; j < l.out_dim; ++j) {
+      l.bias_q[j] = r.I32();
+    }
+    layers.push_back(std::move(l));
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  for (size_t k = 0; k + 1 < layers.size(); ++k) {
+    if (layers[k].out_dim != layers[k + 1].in_dim) {
+      return std::nullopt;
+    }
+  }
+  return MlpModel::FromLayers(std::move(layers));
+}
+
+bool SaveModel(const NeuroCModel& model, const std::string& path) {
+  return WriteFile(path, SerializeModel(model));
+}
+
+bool SaveModel(const MlpModel& model, const std::string& path) {
+  return WriteFile(path, SerializeModel(model));
+}
+
+std::optional<NeuroCModel> LoadNeuroCModel(const std::string& path) {
+  const auto bytes = ReadFile(path);
+  if (!bytes) {
+    return std::nullopt;
+  }
+  return DeserializeNeuroCModel(*bytes);
+}
+
+std::optional<MlpModel> LoadMlpModel(const std::string& path) {
+  const auto bytes = ReadFile(path);
+  if (!bytes) {
+    return std::nullopt;
+  }
+  return DeserializeMlpModel(*bytes);
+}
+
+}  // namespace neuroc

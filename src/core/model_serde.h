@@ -1,0 +1,33 @@
+// Binary (de)serialization of quantized models: the artifact format that decouples training
+// (expensive, host-side) from deployment/benchmarking runs. Little-endian, versioned, with
+// the ternary adjacency stored 2-bit-packed so files stay close to device size.
+
+#ifndef NEUROC_SRC_CORE_MODEL_SERDE_H_
+#define NEUROC_SRC_CORE_MODEL_SERDE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/mlp_model.h"
+#include "src/core/neuroc_model.h"
+
+namespace neuroc {
+
+// In-memory serialization.
+std::vector<uint8_t> SerializeModel(const NeuroCModel& model);
+std::vector<uint8_t> SerializeModel(const MlpModel& model);
+
+// Returns nullopt on malformed/truncated input (never aborts on bad bytes).
+std::optional<NeuroCModel> DeserializeNeuroCModel(std::span<const uint8_t> bytes);
+std::optional<MlpModel> DeserializeMlpModel(std::span<const uint8_t> bytes);
+
+// File convenience wrappers. Save returns false on I/O failure.
+bool SaveModel(const NeuroCModel& model, const std::string& path);
+bool SaveModel(const MlpModel& model, const std::string& path);
+std::optional<NeuroCModel> LoadNeuroCModel(const std::string& path);
+std::optional<MlpModel> LoadMlpModel(const std::string& path);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_CORE_MODEL_SERDE_H_

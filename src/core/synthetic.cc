@@ -1,0 +1,60 @@
+#include "src/core/synthetic.h"
+
+namespace neuroc {
+
+QuantNeuroCLayer MakeSyntheticNeuroCLayer(const SyntheticNeuroCLayerSpec& spec, Rng& rng) {
+  QuantNeuroCLayer layer;
+  layer.in_dim = static_cast<uint32_t>(spec.in_dim);
+  layer.out_dim = static_cast<uint32_t>(spec.out_dim);
+  const TernaryMatrix m =
+      TernaryMatrix::Random(spec.in_dim, spec.out_dim, spec.density, rng);
+  layer.encoding = BuildEncoding(spec.encoding, m, spec.encoding_options);
+  if (spec.has_scale) {
+    layer.scale_q.resize(spec.out_dim);
+    for (auto& s : layer.scale_q) {
+      // Nonzero scales so outputs carry signal.
+      s = static_cast<int8_t>(rng.NextInt(1, 127) * (rng.NextBool(0.5) ? 1 : -1));
+    }
+    layer.scale_frac = 7;
+  }
+  layer.bias_q.resize(spec.out_dim);
+  for (auto& b : layer.bias_q) {
+    b = static_cast<int32_t>(rng.NextInt(-2048, 2048));
+  }
+  layer.in_frac = spec.in_frac;
+  layer.requant_shift = spec.requant_shift;
+  layer.out_frac = spec.in_frac + layer.scale_frac - spec.requant_shift;
+  layer.relu = spec.relu;
+  return layer;
+}
+
+QuantDenseLayer MakeSyntheticDenseLayer(size_t in_dim, size_t out_dim, bool relu, int shift,
+                                        Rng& rng) {
+  QuantDenseLayer layer;
+  layer.in_dim = static_cast<uint32_t>(in_dim);
+  layer.out_dim = static_cast<uint32_t>(out_dim);
+  layer.weights.resize(in_dim * out_dim);
+  for (auto& w : layer.weights) {
+    w = static_cast<int8_t>(rng.NextInt(-128, 127));
+  }
+  layer.bias_q.resize(out_dim);
+  for (auto& b : layer.bias_q) {
+    b = static_cast<int32_t>(rng.NextInt(-4096, 4096));
+  }
+  layer.weight_frac = 7;
+  layer.in_frac = 7;
+  layer.requant_shift = shift;
+  layer.out_frac = layer.in_frac + layer.weight_frac - shift;
+  layer.relu = relu;
+  return layer;
+}
+
+std::vector<int8_t> MakeRandomInput(size_t dim, Rng& rng) {
+  std::vector<int8_t> input(dim);
+  for (auto& v : input) {
+    v = static_cast<int8_t>(rng.NextInt(-128, 127));
+  }
+  return input;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,38 @@
+// Synthetic quantized layers with controlled shape/sparsity, used by the encoding benches
+// (paper Figs. 2 and 5 use fixed-dimension synthetic layers, not trained models) and by the
+// simulator-equivalence property tests.
+
+#ifndef NEUROC_SRC_CORE_SYNTHETIC_H_
+#define NEUROC_SRC_CORE_SYNTHETIC_H_
+
+#include "src/common/rng.h"
+#include "src/core/mlp_model.h"
+#include "src/core/neuroc_model.h"
+
+namespace neuroc {
+
+struct SyntheticNeuroCLayerSpec {
+  size_t in_dim = 256;
+  size_t out_dim = 64;
+  double density = 0.15;  // nonzero fraction of the adjacency
+  EncodingKind encoding = EncodingKind::kBlock;
+  EncodingOptions encoding_options;
+  bool has_scale = true;
+  bool relu = true;
+  int in_frac = 7;
+  int requant_shift = 9;
+};
+
+// Random ternary adjacency at the given density, random q7 scales and biases.
+QuantNeuroCLayer MakeSyntheticNeuroCLayer(const SyntheticNeuroCLayerSpec& spec, Rng& rng);
+
+// Random dense q7 layer.
+QuantDenseLayer MakeSyntheticDenseLayer(size_t in_dim, size_t out_dim, bool relu, int shift,
+                                        Rng& rng);
+
+// Random q7 input vector.
+std::vector<int8_t> MakeRandomInput(size_t dim, Rng& rng);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_CORE_SYNTHETIC_H_

@@ -1,0 +1,89 @@
+#include "src/core/ternary_matrix.h"
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+TernaryMatrix::TernaryMatrix(size_t in_dim, size_t out_dim)
+    : in_dim_(in_dim), out_dim_(out_dim), values_(in_dim * out_dim, 0) {}
+
+TernaryMatrix TernaryMatrix::FromSignTensor(const Tensor& signs) {
+  NEUROC_CHECK(signs.rank() == 2);
+  TernaryMatrix m(signs.rows(), signs.cols());
+  for (size_t i = 0; i < signs.size(); ++i) {
+    const float v = signs[i];
+    NEUROC_CHECK_MSG(v == 0.0f || v == 1.0f || v == -1.0f, "tensor is not ternary");
+    m.values_[i] = static_cast<int8_t>(v);
+  }
+  return m;
+}
+
+TernaryMatrix TernaryMatrix::Random(size_t in_dim, size_t out_dim, double density, Rng& rng) {
+  TernaryMatrix m(in_dim, out_dim);
+  for (int8_t& v : m.values_) {
+    if (rng.NextBool(density)) {
+      v = rng.NextBool(0.5) ? int8_t{1} : int8_t{-1};
+    }
+  }
+  return m;
+}
+
+void TernaryMatrix::set(size_t in, size_t out, int8_t v) {
+  NEUROC_CHECK(in < in_dim_ && out < out_dim_);
+  NEUROC_CHECK(v == 0 || v == 1 || v == -1);
+  values_[in * out_dim_ + out] = v;
+}
+
+std::vector<uint32_t> TernaryMatrix::PositiveIndices(size_t out) const {
+  NEUROC_CHECK(out < out_dim_);
+  std::vector<uint32_t> idx;
+  for (size_t i = 0; i < in_dim_; ++i) {
+    if (values_[i * out_dim_ + out] > 0) {
+      idx.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return idx;
+}
+
+std::vector<uint32_t> TernaryMatrix::NegativeIndices(size_t out) const {
+  NEUROC_CHECK(out < out_dim_);
+  std::vector<uint32_t> idx;
+  for (size_t i = 0; i < in_dim_; ++i) {
+    if (values_[i * out_dim_ + out] < 0) {
+      idx.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return idx;
+}
+
+size_t TernaryMatrix::NonZeroCount() const {
+  size_t n = 0;
+  for (int8_t v : values_) {
+    if (v != 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double TernaryMatrix::Density() const {
+  return values_.empty()
+             ? 0.0
+             : static_cast<double>(NonZeroCount()) / static_cast<double>(values_.size());
+}
+
+size_t TernaryMatrix::MaxColumnFanIn() const {
+  size_t max_fan = 0;
+  for (size_t j = 0; j < out_dim_; ++j) {
+    size_t fan = 0;
+    for (size_t i = 0; i < in_dim_; ++i) {
+      if (values_[i * out_dim_ + j] != 0) {
+        ++fan;
+      }
+    }
+    max_fan = std::max(max_fan, fan);
+  }
+  return max_fan;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,52 @@
+// Dense ternary adjacency matrix: the deployment-side view of a trained Neuro-C layer's
+// connectivity. Entries are in {-1, 0, +1}; rows index input neurons, columns output neurons
+// (matching the training-side [in, out] weight layout).
+
+#ifndef NEUROC_SRC_CORE_TERNARY_MATRIX_H_
+#define NEUROC_SRC_CORE_TERNARY_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace neuroc {
+
+class TernaryMatrix {
+ public:
+  TernaryMatrix() = default;
+  TernaryMatrix(size_t in_dim, size_t out_dim);
+
+  // Builds from a float tensor whose entries are already in {-1, 0, +1} (e.g. the training
+  // layer's ternarized adjacency).
+  static TernaryMatrix FromSignTensor(const Tensor& signs);
+
+  // Random ternary matrix with the given nonzero density (for tests and benches).
+  static TernaryMatrix Random(size_t in_dim, size_t out_dim, double density, Rng& rng);
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+  int8_t at(size_t in, size_t out) const { return values_[in * out_dim_ + out]; }
+  void set(size_t in, size_t out, int8_t v);
+
+  // Ascending input indices of the +1 (-1) entries in column `out`.
+  std::vector<uint32_t> PositiveIndices(size_t out) const;
+  std::vector<uint32_t> NegativeIndices(size_t out) const;
+
+  size_t NonZeroCount() const;
+  double Density() const;
+  size_t MaxColumnFanIn() const;
+
+  bool operator==(const TernaryMatrix& other) const = default;
+
+ private:
+  size_t in_dim_ = 0;
+  size_t out_dim_ = 0;
+  std::vector<int8_t> values_;  // row-major [in, out]
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_CORE_TERNARY_MATRIX_H_

@@ -1,0 +1,73 @@
+#include "src/data/dataset.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/fixed_point.h"
+
+namespace neuroc {
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out;
+  out.name = name;
+  out.width = width;
+  out.height = height;
+  out.channels = channels;
+  out.num_classes = num_classes;
+  out.images = Tensor({indices.size(), input_dim()});
+  out.labels.reserve(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    NEUROC_CHECK(indices[i] < num_examples());
+    std::copy(images.row(indices[i]).begin(), images.row(indices[i]).end(),
+              out.images.row(i).begin());
+    out.labels.push_back(labels[indices[i]]);
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double test_fraction, Rng& rng) const {
+  NEUROC_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<size_t> perm = RandomPermutation(num_examples(), rng);
+  const size_t test_n = static_cast<size_t>(test_fraction * static_cast<double>(perm.size()));
+  std::vector<size_t> test_idx(perm.begin(), perm.begin() + test_n);
+  std::vector<size_t> train_idx(perm.begin() + test_n, perm.end());
+  return {Subset(train_idx), Subset(test_idx)};
+}
+
+Dataset Dataset::FilterClasses(int num_keep_classes) const {
+  NEUROC_CHECK(num_keep_classes > 0 && num_keep_classes <= num_classes);
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < num_examples(); ++i) {
+    if (labels[i] < num_keep_classes) {
+      keep.push_back(i);
+    }
+  }
+  Dataset out = Subset(keep);
+  out.num_classes = num_keep_classes;
+  return out;
+}
+
+void Dataset::Validate() const {
+  NEUROC_CHECK(images.rank() == 2);
+  NEUROC_CHECK(images.rows() == labels.size());
+  NEUROC_CHECK(images.cols() == input_dim());
+  NEUROC_CHECK(num_classes > 0);
+  for (int label : labels) {
+    NEUROC_CHECK(label >= 0 && label < num_classes);
+  }
+}
+
+QuantizedDataset QuantizeInputs(const Dataset& ds, int frac) {
+  QuantizedDataset out;
+  out.frac = frac;
+  out.input_dim = ds.input_dim();
+  out.labels = ds.labels;
+  out.images.resize(ds.num_examples() * ds.input_dim());
+  const float* src = ds.images.data();
+  for (size_t i = 0; i < out.images.size(); ++i) {
+    out.images[i] = QuantizeQ7(src[i], frac);
+  }
+  return out;
+}
+
+}  // namespace neuroc

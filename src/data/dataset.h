@@ -1,0 +1,65 @@
+// In-memory labeled image dataset used by training and evaluation.
+//
+// Images are stored as a rank-2 float tensor [num_examples, width*height*channels] with
+// values in [0, 1]. Generators in synth.h produce procedural datasets with the same shapes as
+// the paper's benchmarks; idx_loader.h reads the real MNIST/FashionMNIST IDX files when they
+// are available on disk.
+
+#ifndef NEUROC_SRC_DATA_DATASET_H_
+#define NEUROC_SRC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace neuroc {
+
+struct Dataset {
+  std::string name;
+  int width = 0;
+  int height = 0;
+  int channels = 1;
+  int num_classes = 0;
+  Tensor images;            // [n, width*height*channels], values in [0, 1]
+  std::vector<int> labels;  // [n], each in [0, num_classes)
+
+  size_t num_examples() const { return labels.size(); }
+  size_t input_dim() const {
+    return static_cast<size_t>(width) * static_cast<size_t>(height) *
+           static_cast<size_t>(channels);
+  }
+
+  // Returns the subset with the given example indices.
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  // Randomly splits into (train, test); test_fraction in (0, 1).
+  std::pair<Dataset, Dataset> Split(double test_fraction, Rng& rng) const;
+
+  // Keeps only examples whose label is < num_keep_classes (e.g. CIFAR10 -> CIFAR5).
+  Dataset FilterClasses(int num_keep_classes) const;
+
+  // Sanity check: shapes consistent, labels in range. Aborts on violation.
+  void Validate() const;
+};
+
+// Input images quantized to q7 fixed point for deployment. `frac` is the number of
+// fractional bits shared by every pixel (inputs are in [0,1], so frac=7 is the default).
+struct QuantizedDataset {
+  int frac = 7;
+  size_t input_dim = 0;
+  std::vector<int8_t> images;  // [n * input_dim]
+  std::vector<int> labels;
+
+  size_t num_examples() const { return labels.size(); }
+  const int8_t* example(size_t i) const { return images.data() + i * input_dim; }
+};
+
+// Quantizes dataset pixels to q7 with the given fractional bits.
+QuantizedDataset QuantizeInputs(const Dataset& ds, int frac = 7);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_DATA_DATASET_H_

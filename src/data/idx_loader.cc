@@ -1,0 +1,86 @@
+#include "src/data/idx_loader.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace neuroc {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool ReadBigEndianU32(std::FILE* f, uint32_t* out) {
+  unsigned char buf[4];
+  if (std::fread(buf, 1, 4, f) != 4) {
+    return false;
+  }
+  *out = (static_cast<uint32_t>(buf[0]) << 24) | (static_cast<uint32_t>(buf[1]) << 16) |
+         (static_cast<uint32_t>(buf[2]) << 8) | static_cast<uint32_t>(buf[3]);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Dataset> LoadIdxDataset(const std::string& images_path,
+                                      const std::string& labels_path, const std::string& name,
+                                      int num_classes) {
+  FilePtr img(std::fopen(images_path.c_str(), "rb"));
+  FilePtr lab(std::fopen(labels_path.c_str(), "rb"));
+  if (!img || !lab) {
+    NEUROC_LOG_DEBUG("IDX files not found: %s / %s", images_path.c_str(), labels_path.c_str());
+    return std::nullopt;
+  }
+  uint32_t img_magic = 0, lab_magic = 0, n_img = 0, n_lab = 0, rows = 0, cols = 0;
+  if (!ReadBigEndianU32(img.get(), &img_magic) || !ReadBigEndianU32(img.get(), &n_img) ||
+      !ReadBigEndianU32(img.get(), &rows) || !ReadBigEndianU32(img.get(), &cols) ||
+      !ReadBigEndianU32(lab.get(), &lab_magic) || !ReadBigEndianU32(lab.get(), &n_lab)) {
+    NEUROC_LOG_WARN("IDX header read failed for %s", images_path.c_str());
+    return std::nullopt;
+  }
+  if (img_magic != 0x00000803 || lab_magic != 0x00000801 || n_img != n_lab) {
+    NEUROC_LOG_WARN("IDX magic/count mismatch for %s (magic=%08x/%08x n=%u/%u)",
+                    images_path.c_str(), img_magic, lab_magic, n_img, n_lab);
+    return std::nullopt;
+  }
+  Dataset ds;
+  ds.name = name;
+  ds.width = static_cast<int>(cols);
+  ds.height = static_cast<int>(rows);
+  ds.channels = 1;
+  ds.num_classes = num_classes;
+  const size_t dim = static_cast<size_t>(rows) * cols;
+  ds.images = Tensor({n_img, dim});
+  ds.labels.resize(n_img);
+  std::vector<unsigned char> pix(dim);
+  for (uint32_t i = 0; i < n_img; ++i) {
+    if (std::fread(pix.data(), 1, dim, img.get()) != dim) {
+      NEUROC_LOG_WARN("IDX image payload truncated at example %u", i);
+      return std::nullopt;
+    }
+    auto row = ds.images.row(i);
+    for (size_t p = 0; p < dim; ++p) {
+      row[p] = static_cast<float>(pix[p]) / 255.0f;
+    }
+    int ch = std::fgetc(lab.get());
+    if (ch == EOF) {
+      NEUROC_LOG_WARN("IDX label payload truncated at example %u", i);
+      return std::nullopt;
+    }
+    ds.labels[i] = ch;
+  }
+  ds.Validate();
+  return ds;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,23 @@
+// Loader for the IDX file format used by MNIST/FashionMNIST distributions
+// (train-images-idx3-ubyte etc., uncompressed). When the real files are present on disk the
+// benches can run against them instead of the procedural stand-ins.
+
+#ifndef NEUROC_SRC_DATA_IDX_LOADER_H_
+#define NEUROC_SRC_DATA_IDX_LOADER_H_
+
+#include <optional>
+#include <string>
+
+#include "src/data/dataset.h"
+
+namespace neuroc {
+
+// Loads an images-idx3-ubyte + labels-idx1-ubyte pair into a Dataset with pixels scaled to
+// [0, 1]. Returns nullopt (with a logged warning) if either file is missing or malformed.
+std::optional<Dataset> LoadIdxDataset(const std::string& images_path,
+                                      const std::string& labels_path, const std::string& name,
+                                      int num_classes = 10);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_DATA_IDX_LOADER_H_

@@ -1,0 +1,177 @@
+#include "src/data/raster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+Affine Affine::Compose(float rotation_rad, float scale_x, float scale_y, float shear,
+                       Vec2 translate, Vec2 center) {
+  const float cs = std::cos(rotation_rad);
+  const float sn = std::sin(rotation_rad);
+  // M = R * Shear * S
+  Affine m;
+  m.a = cs * scale_x + (-sn) * 0.0f + cs * shear * 0.0f;  // start from rotation*shear*scale
+  // Compose explicitly: S = diag(sx, sy); H = [1 shear; 0 1]; R = [cs -sn; sn cs].
+  // M2x2 = R * H * S.
+  const float h00 = 1.0f, h01 = shear, h10 = 0.0f, h11 = 1.0f;
+  const float rh00 = cs * h00 - sn * h10;
+  const float rh01 = cs * h01 - sn * h11;
+  const float rh10 = sn * h00 + cs * h10;
+  const float rh11 = sn * h01 + cs * h11;
+  m.a = rh00 * scale_x;
+  m.b = rh01 * scale_y;
+  m.c = rh10 * scale_x;
+  m.d = rh11 * scale_y;
+  // Keep `center` fixed, then translate.
+  m.tx = center.x - (m.a * center.x + m.b * center.y) + translate.x;
+  m.ty = center.y - (m.c * center.x + m.d * center.y) + translate.y;
+  return m;
+}
+
+Raster::Raster(int width, int height) : width_(width), height_(height) {
+  NEUROC_CHECK(width > 0 && height > 0);
+  pixels_.assign(static_cast<size_t>(width) * height, 0.0f);
+}
+
+void Raster::Clear(float value) { std::fill(pixels_.begin(), pixels_.end(), value); }
+
+void Raster::SplatPoint(Vec2 p, float radius, float intensity) {
+  // Convert to pixel space; radius is relative to the canvas width.
+  const float cx = p.x * static_cast<float>(width_);
+  const float cy = p.y * static_cast<float>(height_);
+  const float r = std::max(radius * static_cast<float>(width_), 0.35f);
+  const int x0 = std::max(0, static_cast<int>(std::floor(cx - r - 1.0f)));
+  const int x1 = std::min(width_ - 1, static_cast<int>(std::ceil(cx + r + 1.0f)));
+  const int y0 = std::max(0, static_cast<int>(std::floor(cy - r - 1.0f)));
+  const int y1 = std::min(height_ - 1, static_cast<int>(std::ceil(cy + r + 1.0f)));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const float dx = (static_cast<float>(x) + 0.5f) - cx;
+      const float dy = (static_cast<float>(y) + 0.5f) - cy;
+      const float dist = std::sqrt(dx * dx + dy * dy);
+      // Soft edge: full intensity inside r-0.5, linear falloff over one pixel.
+      const float cov = std::clamp(r + 0.5f - dist, 0.0f, 1.0f);
+      if (cov > 0.0f) {
+        float& v = px(x, y);
+        v = std::max(v, intensity * cov);
+      }
+    }
+  }
+}
+
+void Raster::DrawPolyline(std::span<const Vec2> points, float thickness, float intensity,
+                          const Affine& xf) {
+  if (points.size() < 2) {
+    return;
+  }
+  const float r = thickness * 0.5f;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    const Vec2 a = xf.Apply(points[i]);
+    const Vec2 b = xf.Apply(points[i + 1]);
+    const float seg_len = std::hypot(b.x - a.x, b.y - a.y);
+    // Step at quarter-pixel granularity along the segment.
+    const float step_norm = 0.25f / static_cast<float>(std::max(width_, height_));
+    const int steps = std::max(1, static_cast<int>(seg_len / step_norm));
+    for (int s = 0; s <= steps; ++s) {
+      const float t = static_cast<float>(s) / static_cast<float>(steps);
+      SplatPoint({a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)}, r, intensity);
+    }
+  }
+}
+
+void Raster::DrawEllipse(Vec2 center, float rx, float ry, float thickness, float intensity,
+                         const Affine& xf) {
+  constexpr int kSamples = 48;
+  std::vector<Vec2> pts;
+  pts.reserve(kSamples + 1);
+  for (int i = 0; i <= kSamples; ++i) {
+    const float t = 2.0f * std::numbers::pi_v<float> * static_cast<float>(i) / kSamples;
+    pts.push_back({center.x + rx * std::cos(t), center.y + ry * std::sin(t)});
+  }
+  DrawPolyline(pts, thickness, intensity, xf);
+}
+
+void Raster::FillPolygon(std::span<const Vec2> vertices, float intensity, const Affine& xf) {
+  if (vertices.size() < 3) {
+    return;
+  }
+  std::vector<Vec2> v;
+  v.reserve(vertices.size());
+  for (const Vec2& p : vertices) {
+    const Vec2 q = xf.Apply(p);
+    v.push_back({q.x * static_cast<float>(width_), q.y * static_cast<float>(height_)});
+  }
+  // Even–odd scanline fill at pixel centers.
+  for (int y = 0; y < height_; ++y) {
+    const float py = static_cast<float>(y) + 0.5f;
+    std::vector<float> xs;
+    for (size_t i = 0; i < v.size(); ++i) {
+      const Vec2& p0 = v[i];
+      const Vec2& p1 = v[(i + 1) % v.size()];
+      if ((p0.y <= py && p1.y > py) || (p1.y <= py && p0.y > py)) {
+        const float t = (py - p0.y) / (p1.y - p0.y);
+        xs.push_back(p0.x + t * (p1.x - p0.x));
+      }
+    }
+    std::sort(xs.begin(), xs.end());
+    for (size_t i = 0; i + 1 < xs.size(); i += 2) {
+      const int x0 = std::max(0, static_cast<int>(std::ceil(xs[i] - 0.5f)));
+      const int x1 = std::min(width_ - 1, static_cast<int>(std::floor(xs[i + 1] - 0.5f)));
+      for (int x = x0; x <= x1; ++x) {
+        float& val = px(x, y);
+        val = std::max(val, intensity);
+      }
+    }
+  }
+}
+
+void Raster::FillRect(Vec2 top_left, Vec2 bottom_right, float intensity, const Affine& xf) {
+  const Vec2 quad[4] = {top_left,
+                        {bottom_right.x, top_left.y},
+                        bottom_right,
+                        {top_left.x, bottom_right.y}};
+  FillPolygon(quad, intensity, xf);
+}
+
+void Raster::FillEllipse(Vec2 center, float rx, float ry, float intensity, const Affine& xf) {
+  constexpr int kSamples = 40;
+  std::vector<Vec2> pts;
+  pts.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    const float t = 2.0f * std::numbers::pi_v<float> * static_cast<float>(i) / kSamples;
+    pts.push_back({center.x + rx * std::cos(t), center.y + ry * std::sin(t)});
+  }
+  FillPolygon(pts, intensity, xf);
+}
+
+void Raster::AddGaussianNoise(Rng& rng, float stddev) {
+  for (float& v : pixels_) {
+    v += rng.NextGaussian(0.0f, stddev);
+  }
+}
+
+void Raster::AddSaltPepper(Rng& rng, double prob) {
+  for (float& v : pixels_) {
+    if (rng.NextBool(prob)) {
+      v = rng.NextBool(0.5) ? 1.0f : 0.0f;
+    }
+  }
+}
+
+void Raster::MultiplyContrast(float gain, float offset) {
+  for (float& v : pixels_) {
+    v = v * gain + offset;
+  }
+}
+
+void Raster::Clamp01() {
+  for (float& v : pixels_) {
+    v = std::clamp(v, 0.0f, 1.0f);
+  }
+}
+
+}  // namespace neuroc

@@ -1,0 +1,85 @@
+// Tiny software rasterizer used by the procedural dataset generators.
+//
+// All drawing works in normalized coordinates ([0,1]² maps onto the full canvas) so the same
+// shape description renders at 8×8 or 32×32. An affine transform can be applied to every
+// primitive, which is how the generators produce intra-class variation (rotation, scale,
+// shear, translation).
+
+#ifndef NEUROC_SRC_DATA_RASTER_H_
+#define NEUROC_SRC_DATA_RASTER_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace neuroc {
+
+struct Vec2 {
+  float x = 0.0f;
+  float y = 0.0f;
+};
+
+// Row-major 2x3 affine transform: p' = [a b; c d] p + [tx ty].
+struct Affine {
+  float a = 1.0f, b = 0.0f, tx = 0.0f;
+  float c = 0.0f, d = 1.0f, ty = 0.0f;
+
+  Vec2 Apply(Vec2 p) const { return {a * p.x + b * p.y + tx, c * p.x + d * p.y + ty}; }
+
+  // Builds rotation+scale+shear about `center`, then translation.
+  static Affine Compose(float rotation_rad, float scale_x, float scale_y, float shear,
+                        Vec2 translate, Vec2 center = {0.5f, 0.5f});
+  static Affine Identity() { return Affine{}; }
+};
+
+class Raster {
+ public:
+  Raster(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  float& px(int x, int y) { return pixels_[static_cast<size_t>(y) * width_ + x]; }
+  float px(int x, int y) const { return pixels_[static_cast<size_t>(y) * width_ + x]; }
+  std::span<const float> pixels() const { return pixels_; }
+  std::span<float> pixels() { return pixels_; }
+
+  void Clear(float value = 0.0f);
+
+  // Adds a soft disc of the given radius (normalized units) centered at p (normalized).
+  void SplatPoint(Vec2 p, float radius, float intensity);
+
+  // Draws a polyline with round joints; thickness and coordinates in normalized units.
+  void DrawPolyline(std::span<const Vec2> points, float thickness, float intensity,
+                    const Affine& xf = Affine::Identity());
+
+  // Outline of an ellipse sampled as a polyline.
+  void DrawEllipse(Vec2 center, float rx, float ry, float thickness, float intensity,
+                   const Affine& xf = Affine::Identity());
+
+  // Filled convex or concave polygon via even–odd scanline fill (vertices normalized).
+  void FillPolygon(std::span<const Vec2> vertices, float intensity,
+                   const Affine& xf = Affine::Identity());
+
+  // Filled axis-aligned rectangle / ellipse (before the affine transform).
+  void FillRect(Vec2 top_left, Vec2 bottom_right, float intensity,
+                const Affine& xf = Affine::Identity());
+  void FillEllipse(Vec2 center, float rx, float ry, float intensity,
+                   const Affine& xf = Affine::Identity());
+
+  // Noise / post-processing.
+  void AddGaussianNoise(Rng& rng, float stddev);
+  void AddSaltPepper(Rng& rng, double prob);
+  void MultiplyContrast(float gain, float offset);
+  void Clamp01();
+
+ private:
+  int width_;
+  int height_;
+  std::vector<float> pixels_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_DATA_RASTER_H_

@@ -1,0 +1,92 @@
+#include "src/data/stroke_font.h"
+
+#include <array>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+namespace {
+
+std::array<Glyph, 10> BuildFont() {
+  std::array<Glyph, 10> font;
+
+  // 0: oval outline.
+  font[0].ellipses.push_back({{0.50f, 0.50f}, 0.26f, 0.40f});
+
+  // 1: flag, stem, base.
+  font[1].polylines.push_back({{0.34f, 0.26f}, {0.54f, 0.10f}, {0.54f, 0.90f}});
+  font[1].polylines.push_back({{0.36f, 0.90f}, {0.72f, 0.90f}});
+
+  // 2: top hook into a diagonal, then the base bar.
+  font[2].polylines.push_back({{0.26f, 0.28f},
+                               {0.32f, 0.14f},
+                               {0.50f, 0.08f},
+                               {0.68f, 0.15f},
+                               {0.73f, 0.30f},
+                               {0.66f, 0.48f},
+                               {0.28f, 0.90f}});
+  font[2].polylines.push_back({{0.28f, 0.90f}, {0.76f, 0.90f}});
+
+  // 3: two right-facing bumps.
+  font[3].polylines.push_back({{0.27f, 0.18f},
+                               {0.48f, 0.09f},
+                               {0.68f, 0.18f},
+                               {0.70f, 0.33f},
+                               {0.52f, 0.46f}});
+  font[3].polylines.push_back({{0.52f, 0.46f},
+                               {0.72f, 0.57f},
+                               {0.73f, 0.78f},
+                               {0.52f, 0.91f},
+                               {0.27f, 0.83f}});
+
+  // 4: diagonal, crossbar, stem.
+  font[4].polylines.push_back({{0.62f, 0.10f}, {0.24f, 0.62f}, {0.80f, 0.62f}});
+  font[4].polylines.push_back({{0.62f, 0.10f}, {0.62f, 0.92f}});
+
+  // 5: top bar, descender, belly.
+  font[5].polylines.push_back({{0.72f, 0.10f}, {0.30f, 0.10f}, {0.28f, 0.45f}});
+  font[5].polylines.push_back({{0.28f, 0.45f},
+                               {0.54f, 0.40f},
+                               {0.72f, 0.52f},
+                               {0.73f, 0.72f},
+                               {0.54f, 0.90f},
+                               {0.28f, 0.84f}});
+
+  // 6: sweeping descender plus lower loop.
+  font[6].polylines.push_back({{0.66f, 0.10f}, {0.42f, 0.26f}, {0.31f, 0.50f}, {0.30f, 0.68f}});
+  font[6].ellipses.push_back({{0.50f, 0.70f}, 0.20f, 0.20f});
+
+  // 7: top bar and diagonal.
+  font[7].polylines.push_back({{0.24f, 0.12f}, {0.76f, 0.12f}, {0.42f, 0.90f}});
+
+  // 8: stacked loops, lower slightly larger.
+  font[8].ellipses.push_back({{0.50f, 0.30f}, 0.18f, 0.20f});
+  font[8].ellipses.push_back({{0.50f, 0.71f}, 0.22f, 0.21f});
+
+  // 9: upper loop with a tail.
+  font[9].ellipses.push_back({{0.48f, 0.32f}, 0.20f, 0.22f});
+  font[9].polylines.push_back({{0.68f, 0.36f}, {0.64f, 0.90f}});
+
+  return font;
+}
+
+}  // namespace
+
+const Glyph& DigitGlyph(int d) {
+  static const std::array<Glyph, 10> kFont = BuildFont();
+  NEUROC_CHECK(d >= 0 && d <= 9);
+  return kFont[static_cast<size_t>(d)];
+}
+
+void RenderGlyph(const Glyph& glyph, Raster& canvas, const Affine& xf, float thickness,
+                 float intensity) {
+  for (const auto& line : glyph.polylines) {
+    canvas.DrawPolyline(line, thickness, intensity, xf);
+  }
+  for (const EllipseStroke& e : glyph.ellipses) {
+    canvas.DrawEllipse(e.center, e.rx, e.ry, thickness, intensity, xf);
+  }
+}
+
+}  // namespace neuroc

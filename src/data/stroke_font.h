@@ -1,0 +1,35 @@
+// Vector stroke font for the digits 0–9, in normalized [0,1]² glyph space.
+//
+// Each glyph is a set of polylines plus optional ellipse outlines; the generators render them
+// through random affine transforms to create handwriting-like variation.
+
+#ifndef NEUROC_SRC_DATA_STROKE_FONT_H_
+#define NEUROC_SRC_DATA_STROKE_FONT_H_
+
+#include <vector>
+
+#include "src/data/raster.h"
+
+namespace neuroc {
+
+struct EllipseStroke {
+  Vec2 center;
+  float rx = 0.0f;
+  float ry = 0.0f;
+};
+
+struct Glyph {
+  std::vector<std::vector<Vec2>> polylines;
+  std::vector<EllipseStroke> ellipses;
+};
+
+// Returns the glyph for digit d in [0, 9].
+const Glyph& DigitGlyph(int d);
+
+// Renders `glyph` onto `canvas` with the given transform, stroke thickness and intensity.
+void RenderGlyph(const Glyph& glyph, Raster& canvas, const Affine& xf, float thickness,
+                 float intensity);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_DATA_STROKE_FONT_H_

@@ -1,0 +1,452 @@
+#include "src/data/synth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/data/raster.h"
+#include "src/data/stroke_font.h"
+
+namespace neuroc {
+
+namespace {
+
+constexpr float kDegToRad = std::numbers::pi_v<float> / 180.0f;
+
+Affine RandomJitter(Rng& rng, const SynthConfig& cfg) {
+  const float rot = rng.NextUniform(-cfg.rotation_deg, cfg.rotation_deg) * kDegToRad;
+  const float sx = 1.0f + rng.NextUniform(-cfg.scale_jitter, cfg.scale_jitter);
+  const float sy = 1.0f + rng.NextUniform(-cfg.scale_jitter, cfg.scale_jitter);
+  const float sh = rng.NextUniform(-cfg.shear, cfg.shear);
+  const Vec2 tr = {rng.NextUniform(-cfg.translate, cfg.translate),
+                   rng.NextUniform(-cfg.translate, cfg.translate)};
+  return Affine::Compose(rot, sx, sy, sh, tr);
+}
+
+void FinishGrayscale(Raster& canvas, Rng& rng, const SynthConfig& cfg) {
+  canvas.AddGaussianNoise(rng, cfg.noise_stddev);
+  canvas.AddSaltPepper(rng, cfg.salt_pepper);
+  canvas.Clamp01();
+}
+
+Dataset MakeDigitDataset(size_t count, uint64_t seed, const SynthConfig& cfg, int side,
+                         const char* name, float base_thickness) {
+  Dataset ds;
+  ds.name = name;
+  ds.width = side;
+  ds.height = side;
+  ds.channels = 1;
+  ds.num_classes = 10;
+  ds.images = Tensor({count, static_cast<size_t>(side) * side});
+  ds.labels.resize(count);
+  Rng rng(seed);
+  Raster canvas(side, side);
+  for (size_t i = 0; i < count; ++i) {
+    const int digit = static_cast<int>(rng.NextBounded(10));
+    ds.labels[i] = digit;
+    canvas.Clear();
+    const Affine xf = RandomJitter(rng, cfg);
+    const float thickness =
+        base_thickness * (1.0f + rng.NextUniform(-cfg.thickness_jitter, cfg.thickness_jitter));
+    const float intensity = rng.NextUniform(0.75f, 1.0f);
+    RenderGlyph(DigitGlyph(digit), canvas, xf, thickness, intensity);
+    FinishGrayscale(canvas, rng, cfg);
+    std::copy(canvas.pixels().begin(), canvas.pixels().end(), ds.images.row(i).begin());
+  }
+  ds.Validate();
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// Fashion-like silhouettes.
+// ---------------------------------------------------------------------------
+
+// Draws one garment class (FashionMNIST ordering: 0 t-shirt, 1 trouser, 2 pullover, 3 dress,
+// 4 coat, 5 sandal, 6 shirt, 7 sneaker, 8 bag, 9 ankle boot).
+void DrawGarment(int cls, Raster& canvas, Rng& rng, const Affine& xf) {
+  auto u = [&rng](float lo, float hi) { return rng.NextUniform(lo, hi); };
+  const float ink = u(0.7f, 1.0f);
+  switch (cls) {
+    case 0: {  // t-shirt: torso + short sleeves
+      const float w = u(0.16f, 0.22f);
+      canvas.FillRect({0.5f - w, 0.25f}, {0.5f + w, 0.82f}, ink, xf);
+      const Vec2 ls[4] = {{0.5f - w, 0.25f}, {0.12f, 0.32f}, {0.16f, 0.48f}, {0.5f - w, 0.42f}};
+      const Vec2 rs[4] = {{0.5f + w, 0.25f}, {0.88f, 0.32f}, {0.84f, 0.48f}, {0.5f + w, 0.42f}};
+      canvas.FillPolygon(ls, ink, xf);
+      canvas.FillPolygon(rs, ink, xf);
+      break;
+    }
+    case 1: {  // trouser: waist + two legs
+      const float gap = u(0.03f, 0.08f);
+      canvas.FillRect({0.3f, 0.12f}, {0.7f, 0.3f}, ink, xf);
+      canvas.FillRect({0.3f, 0.3f}, {0.5f - gap, 0.92f}, ink, xf);
+      canvas.FillRect({0.5f + gap, 0.3f}, {0.7f, 0.92f}, ink, xf);
+      break;
+    }
+    case 2: {  // pullover: torso + long straight sleeves
+      const float w = u(0.17f, 0.23f);
+      canvas.FillRect({0.5f - w, 0.22f}, {0.5f + w, 0.85f}, ink, xf);
+      canvas.FillRect({0.06f, 0.26f}, {0.5f - w, 0.42f}, ink, xf);
+      canvas.FillRect({0.5f + w, 0.26f}, {0.94f, 0.42f}, ink, xf);
+      break;
+    }
+    case 3: {  // dress: flaring trapezoid with narrow waist
+      const float hem = u(0.26f, 0.36f);
+      const Vec2 body[6] = {{0.38f, 0.12f}, {0.62f, 0.12f}, {0.58f, 0.4f},
+                            {0.5f + hem, 0.92f}, {0.5f - hem, 0.92f}, {0.42f, 0.4f}};
+      canvas.FillPolygon(body, ink, xf);
+      break;
+    }
+    case 4: {  // coat: long torso, sleeves, open front seam
+      const float w = u(0.2f, 0.25f);
+      canvas.FillRect({0.5f - w, 0.16f}, {0.5f + w, 0.92f}, ink, xf);
+      canvas.FillRect({0.05f, 0.2f}, {0.5f - w, 0.4f}, ink, xf);
+      canvas.FillRect({0.5f + w, 0.2f}, {0.95f, 0.4f}, ink, xf);
+      canvas.DrawPolyline(std::vector<Vec2>{{0.5f, 0.16f}, {0.5f, 0.92f}}, 0.03f, 0.15f, xf);
+      break;
+    }
+    case 5: {  // sandal: sole + diagonal straps
+      canvas.FillRect({0.12f, 0.72f}, {0.88f, 0.84f}, ink, xf);
+      canvas.DrawPolyline(std::vector<Vec2>{{0.2f, 0.72f}, {0.45f, 0.45f}, {0.7f, 0.72f}},
+                          0.05f, ink, xf);
+      canvas.DrawPolyline(std::vector<Vec2>{{0.45f, 0.45f}, {0.8f, 0.5f}}, 0.045f, ink, xf);
+      break;
+    }
+    case 6: {  // shirt: narrow torso, sleeves, collar + button line
+      const float w = u(0.14f, 0.19f);
+      canvas.FillRect({0.5f - w, 0.22f}, {0.5f + w, 0.85f}, ink, xf);
+      canvas.FillRect({0.1f, 0.26f}, {0.5f - w, 0.5f}, ink, xf);
+      canvas.FillRect({0.5f + w, 0.26f}, {0.9f, 0.5f}, ink, xf);
+      canvas.DrawPolyline(std::vector<Vec2>{{0.5f, 0.22f}, {0.5f, 0.85f}}, 0.02f, 0.1f, xf);
+      canvas.DrawPolyline(std::vector<Vec2>{{0.42f, 0.22f}, {0.5f, 0.3f}, {0.58f, 0.22f}},
+                          0.03f, ink, xf);
+      break;
+    }
+    case 7: {  // sneaker: low profile body + thick sole
+      const Vec2 body[5] = {{0.1f, 0.72f}, {0.25f, 0.5f}, {0.6f, 0.45f}, {0.9f, 0.62f},
+                            {0.9f, 0.72f}};
+      canvas.FillPolygon(body, ink, xf);
+      canvas.FillRect({0.1f, 0.72f}, {0.9f, 0.82f}, ink * 0.8f, xf);
+      break;
+    }
+    case 8: {  // bag: box + handle arc
+      canvas.FillRect({0.2f, 0.42f}, {0.8f, 0.88f}, ink, xf);
+      canvas.DrawEllipse({0.5f, 0.42f}, u(0.14f, 0.2f), u(0.16f, 0.24f), 0.045f, ink, xf);
+      break;
+    }
+    case 9: {  // ankle boot: shaft + foot + sole
+      canvas.FillRect({0.3f, 0.25f}, {0.55f, 0.7f}, ink, xf);
+      const Vec2 foot[4] = {{0.3f, 0.55f}, {0.88f, 0.62f}, {0.88f, 0.78f}, {0.3f, 0.78f}};
+      canvas.FillPolygon(foot, ink, xf);
+      canvas.FillRect({0.28f, 0.78f}, {0.9f, 0.86f}, ink * 0.85f, xf);
+      break;
+    }
+    default:
+      NEUROC_CHECK(false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CIFAR5-like RGB scenes.
+// ---------------------------------------------------------------------------
+
+struct Rgb {
+  float r, g, b;
+};
+
+void VerticalGradient(Raster& r, float top, float bottom) {
+  for (int y = 0; y < r.height(); ++y) {
+    const float t = static_cast<float>(y) / static_cast<float>(r.height() - 1);
+    const float v = top + (bottom - top) * t;
+    for (int x = 0; x < r.width(); ++x) {
+      r.px(x, y) = v;
+    }
+  }
+}
+
+// Draws one CIFAR5 class scene into planar R/G/B rasters.
+// Classes: 0 airplane, 1 automobile, 2 bird, 3 cat, 4 deer.
+void DrawScene(int cls, Raster& r, Raster& g, Raster& b, Rng& rng) {
+  auto u = [&rng](float lo, float hi) { return rng.NextUniform(lo, hi); };
+  const Affine xf = Affine::Compose(u(-0.25f, 0.25f), u(0.85f, 1.15f), u(0.85f, 1.15f),
+                                    u(-0.1f, 0.1f), {u(-0.08f, 0.08f), u(-0.08f, 0.08f)});
+  auto fill_ellipse = [&](Vec2 c, float rx, float ry, Rgb col) {
+    r.FillEllipse(c, rx, ry, col.r, xf);
+    g.FillEllipse(c, rx, ry, col.g, xf);
+    b.FillEllipse(c, rx, ry, col.b, xf);
+  };
+  auto fill_poly = [&](std::span<const Vec2> v, Rgb col) {
+    r.FillPolygon(v, col.r, xf);
+    g.FillPolygon(v, col.g, xf);
+    b.FillPolygon(v, col.b, xf);
+  };
+  auto fill_rect = [&](Vec2 tl, Vec2 br, Rgb col) {
+    r.FillRect(tl, br, col.r, xf);
+    g.FillRect(tl, br, col.g, xf);
+    b.FillRect(tl, br, col.b, xf);
+  };
+  switch (cls) {
+    case 0: {  // airplane on sky
+      VerticalGradient(r, u(0.3f, 0.5f), u(0.5f, 0.7f));
+      VerticalGradient(g, u(0.5f, 0.7f), u(0.65f, 0.85f));
+      VerticalGradient(b, u(0.75f, 0.95f), u(0.85f, 1.0f));
+      const Rgb hull = {u(0.75f, 0.95f), u(0.75f, 0.95f), u(0.78f, 0.98f)};
+      fill_ellipse({0.5f, 0.5f}, 0.32f, 0.07f, hull);
+      const Vec2 wings[4] = {{0.45f, 0.48f}, {0.3f, 0.25f}, {0.38f, 0.25f}, {0.55f, 0.5f}};
+      fill_poly(wings, hull);
+      const Vec2 wings2[4] = {{0.45f, 0.52f}, {0.3f, 0.75f}, {0.38f, 0.75f}, {0.55f, 0.5f}};
+      fill_poly(wings2, hull);
+      const Vec2 tail[3] = {{0.76f, 0.48f}, {0.85f, 0.3f}, {0.82f, 0.52f}};
+      fill_poly(tail, hull);
+      break;
+    }
+    case 1: {  // automobile on road
+      VerticalGradient(r, u(0.5f, 0.7f), u(0.3f, 0.45f));
+      VerticalGradient(g, u(0.6f, 0.8f), u(0.3f, 0.45f));
+      VerticalGradient(b, u(0.7f, 0.95f), u(0.32f, 0.48f));
+      const Rgb body = {u(0.4f, 1.0f), u(0.1f, 0.7f), u(0.1f, 0.7f)};
+      fill_rect({0.15f, 0.48f}, {0.85f, 0.7f}, body);
+      const Vec2 cabin[4] = {{0.3f, 0.48f}, {0.38f, 0.32f}, {0.66f, 0.32f}, {0.74f, 0.48f}};
+      fill_poly(cabin, body);
+      const Rgb tire = {0.08f, 0.08f, 0.08f};
+      fill_ellipse({0.3f, 0.72f}, 0.08f, 0.08f, tire);
+      fill_ellipse({0.7f, 0.72f}, 0.08f, 0.08f, tire);
+      break;
+    }
+    case 2: {  // small bird on sky
+      VerticalGradient(r, u(0.45f, 0.65f), u(0.6f, 0.8f));
+      VerticalGradient(g, u(0.6f, 0.8f), u(0.7f, 0.9f));
+      VerticalGradient(b, u(0.8f, 1.0f), u(0.85f, 1.0f));
+      const Rgb body = {u(0.25f, 0.65f), u(0.2f, 0.5f), u(0.15f, 0.4f)};
+      fill_ellipse({0.5f, 0.55f}, 0.14f, 0.09f, body);
+      fill_ellipse({0.63f, 0.47f}, 0.06f, 0.05f, body);  // head
+      const Vec2 wing[3] = {{0.45f, 0.52f}, {0.3f, 0.3f}, {0.55f, 0.5f}};
+      fill_poly(wing, body);
+      const Vec2 beak[3] = {{0.68f, 0.46f}, {0.76f, 0.47f}, {0.68f, 0.5f}};
+      fill_poly(beak, {0.9f, 0.7f, 0.2f});
+      break;
+    }
+    case 3: {  // cat face close-up on indoor background
+      const float bg = u(0.25f, 0.65f);
+      VerticalGradient(r, bg, bg * 0.8f);
+      VerticalGradient(g, bg * u(0.7f, 1.0f), bg * 0.7f);
+      VerticalGradient(b, bg * u(0.6f, 0.95f), bg * 0.65f);
+      const Rgb fur = {u(0.45f, 0.8f), u(0.35f, 0.65f), u(0.25f, 0.5f)};
+      fill_ellipse({0.5f, 0.58f}, 0.27f, 0.25f, fur);
+      const Vec2 ear_l[3] = {{0.3f, 0.42f}, {0.26f, 0.16f}, {0.46f, 0.34f}};
+      const Vec2 ear_r[3] = {{0.7f, 0.42f}, {0.74f, 0.16f}, {0.54f, 0.34f}};
+      fill_poly(ear_l, fur);
+      fill_poly(ear_r, fur);
+      const Rgb eye = {u(0.5f, 0.9f), u(0.6f, 0.95f), u(0.1f, 0.35f)};
+      fill_ellipse({0.42f, 0.55f}, 0.035f, 0.045f, eye);
+      fill_ellipse({0.58f, 0.55f}, 0.035f, 0.045f, eye);
+      break;
+    }
+    case 4: {  // deer in grass
+      VerticalGradient(r, u(0.4f, 0.6f), u(0.15f, 0.35f));
+      VerticalGradient(g, u(0.55f, 0.8f), u(0.35f, 0.6f));
+      VerticalGradient(b, u(0.5f, 0.8f), u(0.1f, 0.3f));
+      const Rgb hide = {u(0.5f, 0.75f), u(0.3f, 0.5f), u(0.12f, 0.3f)};
+      fill_ellipse({0.5f, 0.55f}, 0.2f, 0.12f, hide);
+      fill_rect({0.36f, 0.62f}, {0.41f, 0.88f}, hide);  // legs
+      fill_rect({0.6f, 0.62f}, {0.65f, 0.88f}, hide);
+      fill_ellipse({0.69f, 0.38f}, 0.07f, 0.06f, hide);  // head
+      r.DrawPolyline(std::vector<Vec2>{{0.7f, 0.33f}, {0.66f, 0.18f}}, 0.02f, hide.r, xf);
+      g.DrawPolyline(std::vector<Vec2>{{0.7f, 0.33f}, {0.66f, 0.18f}}, 0.02f, hide.g, xf);
+      b.DrawPolyline(std::vector<Vec2>{{0.7f, 0.33f}, {0.66f, 0.18f}}, 0.02f, hide.b, xf);
+      r.DrawPolyline(std::vector<Vec2>{{0.72f, 0.33f}, {0.78f, 0.18f}}, 0.02f, hide.r, xf);
+      g.DrawPolyline(std::vector<Vec2>{{0.72f, 0.33f}, {0.78f, 0.18f}}, 0.02f, hide.g, xf);
+      b.DrawPolyline(std::vector<Vec2>{{0.72f, 0.33f}, {0.78f, 0.18f}}, 0.02f, hide.b, xf);
+      break;
+    }
+    default:
+      NEUROC_CHECK(false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event-detection signal synthesis.
+// ---------------------------------------------------------------------------
+
+// Goertzel single-bin energy of `signal` at normalized frequency bin k (of window n).
+float GoertzelEnergy(std::span<const float> signal, int k) {
+  const int n = static_cast<int>(signal.size());
+  const float w = 2.0f * std::numbers::pi_v<float> * static_cast<float>(k) /
+                  static_cast<float>(n);
+  const float coeff = 2.0f * std::cos(w);
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f;
+  for (float x : signal) {
+    s0 = x + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  return s1 * s1 + s2 * s2 - coeff * s1 * s2;
+}
+
+}  // namespace
+
+Dataset MakeDigits8x8(size_t count, uint64_t seed, const SynthConfig& cfg) {
+  return MakeDigitDataset(count, seed, cfg, 8, "digits8x8", 0.1f);
+}
+
+Dataset MakeMnistLike(size_t count, uint64_t seed, const SynthConfig& cfg) {
+  return MakeDigitDataset(count, seed, cfg, 28, "mnist-like", 0.075f);
+}
+
+Dataset MakeFashionLike(size_t count, uint64_t seed, const SynthConfig& cfg) {
+  Dataset ds;
+  ds.name = "fashion-like";
+  ds.width = 28;
+  ds.height = 28;
+  ds.channels = 1;
+  ds.num_classes = 10;
+  ds.images = Tensor({count, size_t{28 * 28}});
+  ds.labels.resize(count);
+  Rng rng(seed);
+  Raster canvas(28, 28);
+  for (size_t i = 0; i < count; ++i) {
+    const int cls = static_cast<int>(rng.NextBounded(10));
+    ds.labels[i] = cls;
+    canvas.Clear();
+    DrawGarment(cls, canvas, rng, RandomJitter(rng, cfg));
+    FinishGrayscale(canvas, rng, cfg);
+    std::copy(canvas.pixels().begin(), canvas.pixels().end(), ds.images.row(i).begin());
+  }
+  ds.Validate();
+  return ds;
+}
+
+Dataset MakeCifar5Like(size_t count, uint64_t seed, const SynthConfig& cfg) {
+  Dataset ds;
+  ds.name = "cifar5-like";
+  ds.width = 32;
+  ds.height = 32;
+  ds.channels = 3;
+  ds.num_classes = 5;
+  ds.images = Tensor({count, size_t{3 * 32 * 32}});
+  ds.labels.resize(count);
+  Rng rng(seed);
+  Raster r(32, 32), g(32, 32), b(32, 32);
+  const size_t plane = 32 * 32;
+  for (size_t i = 0; i < count; ++i) {
+    const int cls = static_cast<int>(rng.NextBounded(5));
+    ds.labels[i] = cls;
+    r.Clear();
+    g.Clear();
+    b.Clear();
+    DrawScene(cls, r, g, b, rng);
+    // CIFAR is a noisy, textured dataset; add channel-correlated plus independent noise.
+    const float common = cfg.noise_stddev * 0.8f;
+    for (Raster* ch : {&r, &g, &b}) {
+      ch->AddGaussianNoise(rng, common);
+      ch->AddSaltPepper(rng, cfg.salt_pepper);
+      ch->Clamp01();
+    }
+    auto row = ds.images.row(i);
+    std::copy(r.pixels().begin(), r.pixels().end(), row.begin());
+    std::copy(g.pixels().begin(), g.pixels().end(), row.begin() + plane);
+    std::copy(b.pixels().begin(), b.pixels().end(), row.begin() + 2 * plane);
+  }
+  ds.Validate();
+  return ds;
+}
+
+Dataset MakeEventDetection(size_t count, uint64_t seed) {
+  constexpr int kWindow = 128;
+  constexpr int kAxes = 3;
+  // Per-axis features: mean, stddev, energy, zero crossings, peak, plus 6 Goertzel bins.
+  constexpr int kPerAxis = 11;
+  constexpr int kFeatures = kAxes * kPerAxis;
+  Dataset ds;
+  ds.name = "event-detect";
+  ds.width = kFeatures;
+  ds.height = 1;
+  ds.channels = 1;
+  ds.num_classes = 5;
+  ds.images = Tensor({count, size_t{kFeatures}});
+  ds.labels.resize(count);
+  Rng rng(seed);
+  std::vector<float> axis(kWindow);
+  for (size_t i = 0; i < count; ++i) {
+    const int cls = static_cast<int>(rng.NextBounded(5));
+    ds.labels[i] = cls;
+    auto row = ds.images.row(i);
+    for (int a = 0; a < kAxes; ++a) {
+      // Synthesize the axis signal for this event class.
+      const float gravity = (a == 2) ? 1.0f : 0.0f;
+      for (int t = 0; t < kWindow; ++t) {
+        float v = gravity + rng.NextGaussian(0.0f, 0.02f);
+        const float ph = static_cast<float>(t) / kWindow;
+        switch (cls) {
+          case 0:  // idle: just sensor noise
+            break;
+          case 1:  // walking: ~2 Hz-equivalent periodic swing
+            v += 0.3f * std::sin(2.0f * std::numbers::pi_v<float> * 4.0f * ph +
+                                 static_cast<float>(a));
+            v += rng.NextGaussian(0.0f, 0.05f);
+            break;
+          case 2:  // running: stronger, faster
+            v += 0.8f * std::sin(2.0f * std::numbers::pi_v<float> * 9.0f * ph +
+                                 static_cast<float>(a));
+            v += rng.NextGaussian(0.0f, 0.12f);
+            break;
+          case 3: {  // fall: quiet, a sharp spike, then free-fall-ish low gravity
+            if (t > 40 && t < 48) {
+              v += rng.NextUniform(1.5f, 3.0f);
+            }
+            if (t >= 48) {
+              v -= gravity * 0.8f;
+            }
+            break;
+          }
+          case 4:  // machine vibration: high-frequency low-amplitude buzz
+            v += 0.15f * std::sin(2.0f * std::numbers::pi_v<float> * 28.0f * ph);
+            v += rng.NextGaussian(0.0f, 0.04f);
+            break;
+          default:
+            NEUROC_CHECK(false);
+        }
+        axis[static_cast<size_t>(t)] = v;
+      }
+      // Feature extraction.
+      float mean = 0.0f;
+      for (float v : axis) {
+        mean += v;
+      }
+      mean /= kWindow;
+      float var = 0.0f, energy = 0.0f, peak = 0.0f;
+      int zero_crossings = 0;
+      for (int t = 0; t < kWindow; ++t) {
+        const float d = axis[static_cast<size_t>(t)] - mean;
+        var += d * d;
+        energy += axis[static_cast<size_t>(t)] * axis[static_cast<size_t>(t)];
+        peak = std::max(peak, std::fabs(d));
+        if (t > 0) {
+          const float p = axis[static_cast<size_t>(t - 1)] - mean;
+          if ((p < 0.0f) != (d < 0.0f)) {
+            ++zero_crossings;
+          }
+        }
+      }
+      const float stddev = std::sqrt(var / kWindow);
+      float* f = row.data() + a * kPerAxis;
+      // Squash each feature into [0, 1] with fixed soft ranges so quantization is stable.
+      auto squash = [](float v, float scale) { return v / (std::fabs(v) + scale); };
+      f[0] = 0.5f + 0.5f * squash(mean, 1.0f);
+      f[1] = squash(stddev, 0.3f);
+      f[2] = squash(energy / kWindow, 1.0f);
+      f[3] = static_cast<float>(zero_crossings) / kWindow;
+      f[4] = squash(peak, 1.0f);
+      const int bins[6] = {2, 4, 8, 14, 22, 30};
+      for (int k = 0; k < 6; ++k) {
+        f[5 + k] = squash(GoertzelEnergy(axis, bins[k]) / (kWindow * kWindow), 0.02f);
+      }
+    }
+  }
+  ds.Validate();
+  return ds;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,51 @@
+// Procedural dataset generators.
+//
+// These stand in for the paper's benchmark datasets (MNIST, FashionMNIST, CIFAR5 and the
+// sklearn `digits` set), which are not available in this offline environment. Each generator
+// produces images of the same shape and class count as its counterpart, with controlled
+// intra-class variation (affine jitter, stroke/shape randomness, pixel noise) so that model
+// capacity trades off against accuracy the same way it does in the paper's evaluation.
+// All generators are deterministic given (count, seed).
+
+#ifndef NEUROC_SRC_DATA_SYNTH_H_
+#define NEUROC_SRC_DATA_SYNTH_H_
+
+#include <cstdint>
+
+#include "src/data/dataset.h"
+
+namespace neuroc {
+
+// Difficulty knobs shared by the image generators. Defaults approximate the benchmark feel:
+// clean enough that large models approach their ceiling, noisy enough that small models lag.
+struct SynthConfig {
+  float rotation_deg = 18.0f;     // max |rotation|
+  float scale_jitter = 0.16f;     // scale in [1-j, 1+j]
+  float shear = 0.18f;            // max |shear|
+  float translate = 0.07f;        // max |shift| in normalized units
+  float noise_stddev = 0.10f;     // Gaussian pixel noise
+  double salt_pepper = 0.004;     // probability per pixel
+  float thickness_jitter = 0.35f; // stroke thickness multiplier in [1-j, 1+j]
+};
+
+// 8×8 grayscale digit dataset (stands in for sklearn `digits`, used by paper Fig. 1).
+Dataset MakeDigits8x8(size_t count, uint64_t seed, const SynthConfig& cfg = {});
+
+// 28×28 grayscale handwritten-digit-like dataset (stands in for MNIST, Figs. 6–8).
+Dataset MakeMnistLike(size_t count, uint64_t seed, const SynthConfig& cfg = {});
+
+// 28×28 grayscale garment-silhouette dataset, 10 classes (stands in for FashionMNIST).
+Dataset MakeFashionLike(size_t count, uint64_t seed, const SynthConfig& cfg = {});
+
+// 32×32 RGB (planar CHW) dataset with 5 classes (stands in for CIFAR5: the first five
+// CIFAR-10 classes — airplane, automobile, bird, cat, deer).
+Dataset MakeCifar5Like(size_t count, uint64_t seed, const SynthConfig& cfg = {});
+
+// Accelerometer-window event-detection dataset used by the embedded-sensing example:
+// 5 classes (idle, walking, running, fall, machine vibration), 33 features extracted from a
+// synthetic 3-axis signal (time-domain statistics + Goertzel band energies).
+Dataset MakeEventDetection(size_t count, uint64_t seed);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_DATA_SYNTH_H_

@@ -1,0 +1,38 @@
+// Two-pass text assembler for the ARMv6-M subset.
+//
+// Supported syntax (GNU-as flavored):
+//   labels:            `name:` at line start (may share the line with an instruction)
+//   comments:          `@ ...`, `// ...`, `; ...`
+//   directives:        `.word v[, v...]`, `.half ...`, `.byte ...`, `.align n` (2^n bytes),
+//                      `.pool` (flush pending `ldr rX, =imm` literals)
+//   literal loads:     `ldr rX, =imm-or-label` (pooled, PC-relative)
+//   everything in src/isa/isa.h: movs/adds/subs/cmp/muls/ldr/str/push/pop/b<cond>/bl/...
+//
+// Errors abort with file/line diagnostics via NEUROC_CHECK (the assembler is an internal
+// code-generation tool; malformed input is a programming error).
+
+#ifndef NEUROC_SRC_ISA_ASSEMBLER_H_
+#define NEUROC_SRC_ISA_ASSEMBLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace neuroc {
+
+struct AssembledProgram {
+  uint32_t base_addr = 0;
+  std::vector<uint8_t> bytes;
+  std::map<std::string, uint32_t> symbols;  // label -> absolute address
+
+  uint32_t SymbolAddr(const std::string& name) const;
+  size_t size() const { return bytes.size(); }
+};
+
+// Assembles `source` for load address `base_addr` (must be 4-aligned).
+AssembledProgram Assemble(const std::string& source, uint32_t base_addr);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_ISA_ASSEMBLER_H_

@@ -1,0 +1,266 @@
+#include "src/isa/decoder.h"
+
+namespace neuroc {
+
+namespace {
+
+int32_t SignExtend(uint32_t value, int bits) {
+  const uint32_t mask = 1u << (bits - 1);
+  return static_cast<int32_t>((value ^ mask) - mask);
+}
+
+}  // namespace
+
+Instr DecodeInstr(uint16_t hw, uint16_t hw2) {
+  Instr in;
+  in.length = 1;
+  const uint16_t top5 = hw >> 11;
+
+  // Shift immediate / add-sub (000x xxxx).
+  if ((hw & 0xE000) == 0x0000) {
+    if ((hw & 0x1800) != 0x1800) {
+      in.rd = hw & 7;
+      in.rm = (hw >> 3) & 7;
+      in.imm = (hw >> 6) & 31;
+      switch ((hw >> 11) & 3) {
+        case 0: in.op = Op::kLslImm; break;
+        case 1: in.op = Op::kLsrImm; break;
+        case 2: in.op = Op::kAsrImm; break;
+      }
+      return in;
+    }
+    in.rd = hw & 7;
+    in.rn = (hw >> 3) & 7;
+    const uint16_t f = (hw >> 9) & 3;
+    if (f == 0) {
+      in.op = Op::kAddReg;
+      in.rm = (hw >> 6) & 7;
+    } else if (f == 1) {
+      in.op = Op::kSubReg;
+      in.rm = (hw >> 6) & 7;
+    } else if (f == 2) {
+      in.op = Op::kAddImm3;
+      in.imm = (hw >> 6) & 7;
+    } else {
+      in.op = Op::kSubImm3;
+      in.imm = (hw >> 6) & 7;
+    }
+    return in;
+  }
+
+  // Move/compare/add/sub immediate (001x xxxx).
+  if ((hw & 0xE000) == 0x2000) {
+    const uint16_t r = (hw >> 8) & 7;
+    in.imm = hw & 0xFF;
+    switch ((hw >> 11) & 3) {
+      case 0: in.op = Op::kMovImm; in.rd = static_cast<uint8_t>(r); break;
+      case 1: in.op = Op::kCmpImm; in.rn = static_cast<uint8_t>(r); break;
+      case 2: in.op = Op::kAddImm8; in.rd = static_cast<uint8_t>(r); break;
+      case 3: in.op = Op::kSubImm8; in.rd = static_cast<uint8_t>(r); break;
+    }
+    return in;
+  }
+
+  // Data processing register (0100 00xx).
+  if ((hw & 0xFC00) == 0x4000) {
+    static constexpr Op kDp[16] = {Op::kAnd, Op::kEor, Op::kLslReg, Op::kLsrReg,
+                                   Op::kAsrReg, Op::kAdc, Op::kSbc, Op::kRor,
+                                   Op::kTst, Op::kNeg, Op::kCmpReg, Op::kCmn,
+                                   Op::kOrr, Op::kMul, Op::kBic, Op::kMvn};
+    in.op = kDp[(hw >> 6) & 15];
+    in.rd = hw & 7;
+    in.rn = in.rd;
+    in.rm = (hw >> 3) & 7;
+    return in;
+  }
+
+  // High-register ops / BX / BLX (0100 01xx).
+  if ((hw & 0xFC00) == 0x4400) {
+    const uint16_t op2 = (hw >> 8) & 3;
+    const uint8_t rm = (hw >> 3) & 15;
+    const uint8_t rdn = static_cast<uint8_t>((hw & 7) | ((hw >> 4) & 8));
+    if (op2 == 0) {
+      in.op = Op::kAddHi;
+      in.rd = rdn;
+      in.rm = rm;
+    } else if (op2 == 1) {
+      in.op = Op::kCmpHi;
+      in.rn = rdn;
+      in.rm = rm;
+    } else if (op2 == 2) {
+      in.op = Op::kMovHi;
+      in.rd = rdn;
+      in.rm = rm;
+    } else {
+      in.op = (hw & 0x80) ? Op::kBlx : Op::kBx;
+      in.rm = rm;
+    }
+    return in;
+  }
+
+  // LDR literal (0100 1xxx).
+  if ((hw & 0xF800) == 0x4800) {
+    in.op = Op::kLdrLit;
+    in.rd = (hw >> 8) & 7;
+    in.imm = (hw & 0xFF) * 4;
+    return in;
+  }
+
+  // Load/store register offset (0101 xxxx).
+  if ((hw & 0xF000) == 0x5000) {
+    static constexpr Op kOps[8] = {Op::kStrReg, Op::kStrhReg, Op::kStrbReg, Op::kLdrsbReg,
+                                   Op::kLdrReg, Op::kLdrhReg, Op::kLdrbReg, Op::kLdrshReg};
+    in.op = kOps[(hw >> 9) & 7];
+    in.rd = hw & 7;
+    in.rn = (hw >> 3) & 7;
+    in.rm = (hw >> 6) & 7;
+    return in;
+  }
+
+  // Load/store word/byte immediate (011x xxxx).
+  if ((hw & 0xE000) == 0x6000) {
+    in.rd = hw & 7;
+    in.rn = (hw >> 3) & 7;
+    const uint16_t imm5 = (hw >> 6) & 31;
+    switch ((hw >> 11) & 3) {
+      case 0: in.op = Op::kStrImm; in.imm = imm5 * 4; break;
+      case 1: in.op = Op::kLdrImm; in.imm = imm5 * 4; break;
+      case 2: in.op = Op::kStrbImm; in.imm = imm5; break;
+      case 3: in.op = Op::kLdrbImm; in.imm = imm5; break;
+    }
+    return in;
+  }
+
+  // Load/store halfword immediate (1000 xxxx).
+  if ((hw & 0xF000) == 0x8000) {
+    in.rd = hw & 7;
+    in.rn = (hw >> 3) & 7;
+    in.imm = ((hw >> 6) & 31) * 2;
+    in.op = (hw & 0x0800) ? Op::kLdrhImm : Op::kStrhImm;
+    return in;
+  }
+
+  // SP-relative load/store (1001 xxxx).
+  if ((hw & 0xF000) == 0x9000) {
+    in.rd = (hw >> 8) & 7;
+    in.imm = (hw & 0xFF) * 4;
+    in.op = (hw & 0x0800) ? Op::kLdrSp : Op::kStrSp;
+    return in;
+  }
+
+  // ADR / ADD rd, sp (1010 xxxx).
+  if ((hw & 0xF000) == 0xA000) {
+    in.rd = (hw >> 8) & 7;
+    in.imm = (hw & 0xFF) * 4;
+    in.op = (hw & 0x0800) ? Op::kAddSpImm : Op::kAdr;
+    return in;
+  }
+
+  // Miscellaneous (1011 xxxx).
+  if ((hw & 0xF000) == 0xB000) {
+    if ((hw & 0xFF80) == 0xB000) {
+      in.op = Op::kAddSp7;
+      in.imm = (hw & 0x7F) * 4;
+      return in;
+    }
+    if ((hw & 0xFF80) == 0xB080) {
+      in.op = Op::kSubSp7;
+      in.imm = (hw & 0x7F) * 4;
+      return in;
+    }
+    if ((hw & 0xFF00) == 0xB200) {
+      static constexpr Op kExt[4] = {Op::kSxth, Op::kSxtb, Op::kUxth, Op::kUxtb};
+      in.op = kExt[(hw >> 6) & 3];
+      in.rd = hw & 7;
+      in.rm = (hw >> 3) & 7;
+      return in;
+    }
+    if ((hw & 0xFE00) == 0xB400) {
+      in.op = Op::kPush;
+      in.reglist = hw & 0x1FF;
+      return in;
+    }
+    if ((hw & 0xFE00) == 0xBC00) {
+      in.op = Op::kPop;
+      in.reglist = hw & 0x1FF;
+      return in;
+    }
+    if ((hw & 0xFF00) == 0xBA00) {
+      const uint16_t op2 = (hw >> 6) & 3;
+      in.rd = hw & 7;
+      in.rm = (hw >> 3) & 7;
+      if (op2 == 0) {
+        in.op = Op::kRev;
+      } else if (op2 == 1) {
+        in.op = Op::kRev16;
+      } else if (op2 == 3) {
+        in.op = Op::kRevsh;
+      } else {
+        in.op = Op::kInvalid;
+      }
+      return in;
+    }
+    if (hw == 0xBF00) {
+      in.op = Op::kNop;
+      return in;
+    }
+    in.op = Op::kInvalid;
+    return in;
+  }
+
+  // Load/store multiple (1100 xxxx).
+  if ((hw & 0xF000) == 0xC000) {
+    in.op = (hw & 0x0800) ? Op::kLdm : Op::kStm;
+    in.rn = (hw >> 8) & 7;
+    in.reglist = hw & 0xFF;
+    return in;
+  }
+
+  // Conditional branch / UDF / SVC (1101 xxxx).
+  if ((hw & 0xF000) == 0xD000) {
+    const uint16_t cond = (hw >> 8) & 15;
+    if (cond == 14) {
+      in.op = Op::kUdf;
+      in.imm = hw & 0xFF;
+      return in;
+    }
+    if (cond == 15) {
+      in.op = Op::kInvalid;  // SVC unsupported
+      return in;
+    }
+    in.op = Op::kBcond;
+    in.cond = static_cast<Cond>(cond);
+    in.imm = SignExtend(hw & 0xFF, 8) * 2;
+    return in;
+  }
+
+  // Unconditional branch (1110 0xxx).
+  if ((hw & 0xF800) == 0xE000) {
+    in.op = Op::kB;
+    in.imm = SignExtend(hw & 0x7FF, 11) * 2;
+    return in;
+  }
+
+  // BL (1111 0xxx : 11x1 xxxx).
+  if ((hw & 0xF800) == 0xF000 && (hw2 & 0xD000) == 0xD000) {
+    const uint32_t s = (hw >> 10) & 1;
+    const uint32_t imm10 = hw & 0x3FF;
+    const uint32_t j1 = (hw2 >> 13) & 1;
+    const uint32_t j2 = (hw2 >> 11) & 1;
+    const uint32_t imm11 = hw2 & 0x7FF;
+    const uint32_t i1 = (~(j1 ^ s)) & 1;
+    const uint32_t i2 = (~(j2 ^ s)) & 1;
+    const uint32_t raw =
+        (s << 24) | (i1 << 23) | (i2 << 22) | (imm10 << 12) | (imm11 << 1);
+    in.op = Op::kBl;
+    in.imm = SignExtend(raw, 25);
+    in.length = 2;
+    return in;
+  }
+
+  (void)top5;
+  in.op = Op::kInvalid;
+  return in;
+}
+
+}  // namespace neuroc

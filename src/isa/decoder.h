@@ -1,0 +1,19 @@
+// Decodes ARMv6-M halfwords into the Instr form executed by the simulator.
+
+#ifndef NEUROC_SRC_ISA_DECODER_H_
+#define NEUROC_SRC_ISA_DECODER_H_
+
+#include <cstdint>
+
+#include "src/isa/isa.h"
+
+namespace neuroc {
+
+// Decodes the instruction starting at hw1 (hw2 is the following halfword, used only for
+// 32-bit BL; pass 0 when unavailable). Returns Instr with op == kInvalid for encodings
+// outside the supported subset.
+Instr DecodeInstr(uint16_t hw1, uint16_t hw2);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_ISA_DECODER_H_

@@ -1,0 +1,18 @@
+// Textual form of decoded instructions, for tests, traces and debugging.
+
+#ifndef NEUROC_SRC_ISA_DISASSEMBLER_H_
+#define NEUROC_SRC_ISA_DISASSEMBLER_H_
+
+#include <string>
+
+#include "src/isa/isa.h"
+
+namespace neuroc {
+
+// Renders `in` as assembly text. `addr` is the instruction address, used to print absolute
+// branch targets.
+std::string Disassemble(const Instr& in, uint32_t addr = 0);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_ISA_DISASSEMBLER_H_

@@ -1,0 +1,291 @@
+#include "src/isa/encoder.h"
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+namespace {
+
+uint16_t Lo3(uint8_t r) {
+  NEUROC_CHECK(r < 8);
+  return r;
+}
+
+uint16_t Imm5(int32_t v) {
+  NEUROC_CHECK(v >= 0 && v < 32);
+  return static_cast<uint16_t>(v);
+}
+
+uint16_t Imm8(int32_t v) {
+  NEUROC_CHECK(v >= 0 && v < 256);
+  return static_cast<uint16_t>(v);
+}
+
+// Data-processing (register) opcode field.
+uint16_t DpOpcode(Op op) {
+  switch (op) {
+    case Op::kAnd: return 0;
+    case Op::kEor: return 1;
+    case Op::kLslReg: return 2;
+    case Op::kLsrReg: return 3;
+    case Op::kAsrReg: return 4;
+    case Op::kAdc: return 5;
+    case Op::kSbc: return 6;
+    case Op::kRor: return 7;
+    case Op::kTst: return 8;
+    case Op::kNeg: return 9;
+    case Op::kCmpReg: return 10;
+    case Op::kCmn: return 11;
+    case Op::kOrr: return 12;
+    case Op::kMul: return 13;
+    case Op::kBic: return 14;
+    case Op::kMvn: return 15;
+    default:
+      NEUROC_CHECK(false);
+      return 0;
+  }
+}
+
+uint16_t LoadStoreRegOpB(Op op) {
+  switch (op) {
+    case Op::kStrReg: return 0;
+    case Op::kStrhReg: return 1;
+    case Op::kStrbReg: return 2;
+    case Op::kLdrsbReg: return 3;
+    case Op::kLdrReg: return 4;
+    case Op::kLdrhReg: return 5;
+    case Op::kLdrbReg: return 6;
+    case Op::kLdrshReg: return 7;
+    default:
+      NEUROC_CHECK(false);
+      return 0;
+  }
+}
+
+}  // namespace
+
+int EncodeInstr(const Instr& in, uint16_t hw[2]) {
+  switch (in.op) {
+    case Op::kLslImm:
+      hw[0] = 0x0000 | (Imm5(in.imm) << 6) | (Lo3(in.rm) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kLsrImm:
+      hw[0] = 0x0800 | (Imm5(in.imm) << 6) | (Lo3(in.rm) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kAsrImm:
+      hw[0] = 0x1000 | (Imm5(in.imm) << 6) | (Lo3(in.rm) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kAddReg:
+      hw[0] = 0x1800 | (Lo3(in.rm) << 6) | (Lo3(in.rn) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kSubReg:
+      hw[0] = 0x1A00 | (Lo3(in.rm) << 6) | (Lo3(in.rn) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kAddImm3:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 8);
+      hw[0] = 0x1C00 | (static_cast<uint16_t>(in.imm) << 6) | (Lo3(in.rn) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kSubImm3:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 8);
+      hw[0] = 0x1E00 | (static_cast<uint16_t>(in.imm) << 6) | (Lo3(in.rn) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kMovImm:
+      hw[0] = 0x2000 | (Lo3(in.rd) << 8) | Imm8(in.imm);
+      return 1;
+    case Op::kCmpImm:
+      hw[0] = 0x2800 | (Lo3(in.rn) << 8) | Imm8(in.imm);
+      return 1;
+    case Op::kAddImm8:
+      hw[0] = 0x3000 | (Lo3(in.rd) << 8) | Imm8(in.imm);
+      return 1;
+    case Op::kSubImm8:
+      hw[0] = 0x3800 | (Lo3(in.rd) << 8) | Imm8(in.imm);
+      return 1;
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kLslReg:
+    case Op::kLsrReg:
+    case Op::kAsrReg:
+    case Op::kAdc:
+    case Op::kSbc:
+    case Op::kRor:
+    case Op::kTst:
+    case Op::kNeg:
+    case Op::kCmpReg:
+    case Op::kCmn:
+    case Op::kOrr:
+    case Op::kMul:
+    case Op::kBic:
+    case Op::kMvn:
+      hw[0] = 0x4000 | (DpOpcode(in.op) << 6) | (Lo3(in.rm) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kAddHi: {
+      NEUROC_CHECK(in.rd < 16 && in.rm < 16);
+      const uint16_t dn = (in.rd >> 3) & 1;
+      hw[0] = 0x4400 | (dn << 7) | (static_cast<uint16_t>(in.rm) << 3) | (in.rd & 7);
+      return 1;
+    }
+    case Op::kCmpHi: {
+      NEUROC_CHECK(in.rn < 16 && in.rm < 16);
+      const uint16_t dn = (in.rn >> 3) & 1;
+      hw[0] = 0x4500 | (dn << 7) | (static_cast<uint16_t>(in.rm) << 3) | (in.rn & 7);
+      return 1;
+    }
+    case Op::kMovHi: {
+      NEUROC_CHECK(in.rd < 16 && in.rm < 16);
+      const uint16_t dn = (in.rd >> 3) & 1;
+      hw[0] = 0x4600 | (dn << 7) | (static_cast<uint16_t>(in.rm) << 3) | (in.rd & 7);
+      return 1;
+    }
+    case Op::kBx:
+      NEUROC_CHECK(in.rm < 16);
+      hw[0] = 0x4700 | (static_cast<uint16_t>(in.rm) << 3);
+      return 1;
+    case Op::kBlx:
+      NEUROC_CHECK(in.rm < 16);
+      hw[0] = 0x4780 | (static_cast<uint16_t>(in.rm) << 3);
+      return 1;
+    case Op::kLdrLit:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 1024 && in.imm % 4 == 0);
+      hw[0] = 0x4800 | (Lo3(in.rd) << 8) | static_cast<uint16_t>(in.imm / 4);
+      return 1;
+    case Op::kStrReg:
+    case Op::kStrhReg:
+    case Op::kStrbReg:
+    case Op::kLdrsbReg:
+    case Op::kLdrReg:
+    case Op::kLdrhReg:
+    case Op::kLdrbReg:
+    case Op::kLdrshReg:
+      hw[0] = 0x5000 | (LoadStoreRegOpB(in.op) << 9) | (Lo3(in.rm) << 6) | (Lo3(in.rn) << 3) |
+              Lo3(in.rd);
+      return 1;
+    case Op::kStrImm:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 128 && in.imm % 4 == 0);
+      hw[0] = 0x6000 | (static_cast<uint16_t>(in.imm / 4) << 6) | (Lo3(in.rn) << 3) |
+              Lo3(in.rd);
+      return 1;
+    case Op::kLdrImm:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 128 && in.imm % 4 == 0);
+      hw[0] = 0x6800 | (static_cast<uint16_t>(in.imm / 4) << 6) | (Lo3(in.rn) << 3) |
+              Lo3(in.rd);
+      return 1;
+    case Op::kStrbImm:
+      hw[0] = 0x7000 | (Imm5(in.imm) << 6) | (Lo3(in.rn) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kLdrbImm:
+      hw[0] = 0x7800 | (Imm5(in.imm) << 6) | (Lo3(in.rn) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kStrhImm:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 64 && in.imm % 2 == 0);
+      hw[0] = 0x8000 | (static_cast<uint16_t>(in.imm / 2) << 6) | (Lo3(in.rn) << 3) |
+              Lo3(in.rd);
+      return 1;
+    case Op::kLdrhImm:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 64 && in.imm % 2 == 0);
+      hw[0] = 0x8800 | (static_cast<uint16_t>(in.imm / 2) << 6) | (Lo3(in.rn) << 3) |
+              Lo3(in.rd);
+      return 1;
+    case Op::kStrSp:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 1024 && in.imm % 4 == 0);
+      hw[0] = 0x9000 | (Lo3(in.rd) << 8) | static_cast<uint16_t>(in.imm / 4);
+      return 1;
+    case Op::kLdrSp:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 1024 && in.imm % 4 == 0);
+      hw[0] = 0x9800 | (Lo3(in.rd) << 8) | static_cast<uint16_t>(in.imm / 4);
+      return 1;
+    case Op::kAdr:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 1024 && in.imm % 4 == 0);
+      hw[0] = 0xA000 | (Lo3(in.rd) << 8) | static_cast<uint16_t>(in.imm / 4);
+      return 1;
+    case Op::kAddSpImm:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 1024 && in.imm % 4 == 0);
+      hw[0] = 0xA800 | (Lo3(in.rd) << 8) | static_cast<uint16_t>(in.imm / 4);
+      return 1;
+    case Op::kAddSp7:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 512 && in.imm % 4 == 0);
+      hw[0] = 0xB000 | static_cast<uint16_t>(in.imm / 4);
+      return 1;
+    case Op::kSubSp7:
+      NEUROC_CHECK(in.imm >= 0 && in.imm < 512 && in.imm % 4 == 0);
+      hw[0] = 0xB080 | static_cast<uint16_t>(in.imm / 4);
+      return 1;
+    case Op::kSxth:
+      hw[0] = 0xB200 | (Lo3(in.rm) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kSxtb:
+      hw[0] = 0xB240 | (Lo3(in.rm) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kUxth:
+      hw[0] = 0xB280 | (Lo3(in.rm) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kUxtb:
+      hw[0] = 0xB2C0 | (Lo3(in.rm) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kRev:
+      hw[0] = 0xBA00 | (Lo3(in.rm) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kRev16:
+      hw[0] = 0xBA40 | (Lo3(in.rm) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kRevsh:
+      hw[0] = 0xBAC0 | (Lo3(in.rm) << 3) | Lo3(in.rd);
+      return 1;
+    case Op::kPush:
+      NEUROC_CHECK((in.reglist & ~0x1FFu) == 0 && in.reglist != 0);
+      hw[0] = 0xB400 | in.reglist;
+      return 1;
+    case Op::kPop:
+      NEUROC_CHECK((in.reglist & ~0x1FFu) == 0 && in.reglist != 0);
+      hw[0] = 0xBC00 | in.reglist;
+      return 1;
+    case Op::kNop:
+      hw[0] = 0xBF00;
+      return 1;
+    case Op::kStm:
+      NEUROC_CHECK((in.reglist & ~0xFFu) == 0 && in.reglist != 0);
+      hw[0] = 0xC000 | (Lo3(in.rn) << 8) | in.reglist;
+      return 1;
+    case Op::kLdm:
+      NEUROC_CHECK((in.reglist & ~0xFFu) == 0 && in.reglist != 0);
+      hw[0] = 0xC800 | (Lo3(in.rn) << 8) | in.reglist;
+      return 1;
+    case Op::kBcond: {
+      NEUROC_CHECK(in.cond != Cond::kAl);
+      NEUROC_CHECK(in.imm >= -256 && in.imm <= 254 && in.imm % 2 == 0);
+      hw[0] = 0xD000 | (static_cast<uint16_t>(in.cond) << 8) |
+              static_cast<uint16_t>((in.imm >> 1) & 0xFF);
+      return 1;
+    }
+    case Op::kB:
+      NEUROC_CHECK(in.imm >= -2048 && in.imm <= 2046 && in.imm % 2 == 0);
+      hw[0] = 0xE000 | static_cast<uint16_t>((in.imm >> 1) & 0x7FF);
+      return 1;
+    case Op::kBl: {
+      NEUROC_CHECK(in.imm % 2 == 0);
+      const int32_t offset = in.imm;
+      NEUROC_CHECK(offset >= -(1 << 24) && offset < (1 << 24));
+      const uint32_t s = (offset >> 24) & 1;
+      const uint32_t i1 = (offset >> 23) & 1;
+      const uint32_t i2 = (offset >> 22) & 1;
+      const uint32_t imm10 = (offset >> 12) & 0x3FF;
+      const uint32_t imm11 = (offset >> 1) & 0x7FF;
+      // From the ARM ARM: I1 = NOT(J1 EOR S) => J1 = NOT(I1) EOR S (and likewise for J2).
+      const uint32_t j1 = ((~i1) & 1) ^ s;
+      const uint32_t j2 = ((~i2) & 1) ^ s;
+      hw[0] = 0xF000 | static_cast<uint16_t>(s << 10) | static_cast<uint16_t>(imm10);
+      hw[1] = 0xD000 | static_cast<uint16_t>(j1 << 13) | static_cast<uint16_t>(j2 << 11) |
+              static_cast<uint16_t>(imm11);
+      return 2;
+    }
+    case Op::kUdf:
+      hw[0] = 0xDE00 | Imm8(in.imm);
+      return 1;
+    case Op::kInvalid:
+      break;
+  }
+  NEUROC_CHECK(false);
+  return 0;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,19 @@
+// Encodes decoded instructions into ARMv6-M halfwords (little-endian program order).
+
+#ifndef NEUROC_SRC_ISA_ENCODER_H_
+#define NEUROC_SRC_ISA_ENCODER_H_
+
+#include <cstdint>
+
+#include "src/isa/isa.h"
+
+namespace neuroc {
+
+// Encodes `instr` into `hw[0..1]`. Returns the number of halfwords written (1 or 2).
+// Aborts (NEUROC_CHECK) on operands that do not fit the encoding — the assembler validates
+// ranges before calling.
+int EncodeInstr(const Instr& instr, uint16_t hw[2]);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_ISA_ENCODER_H_

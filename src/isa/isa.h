@@ -1,0 +1,84 @@
+// ARMv6-M (Thumb-1 subset) instruction model.
+//
+// The simulated target mirrors the paper's deployment platform: an STM32F072 Cortex-M0.
+// This module defines the decoded instruction form shared by the assembler, decoder,
+// disassembler and CPU executor. Encodings follow the ARMv6-M Architecture Reference Manual;
+// the subset covers everything the inference kernels and their tests need (all Thumb-1
+// data-processing, load/store, stack, extend/reverse, branch and BL instructions; no system
+// instructions).
+
+#ifndef NEUROC_SRC_ISA_ISA_H_
+#define NEUROC_SRC_ISA_ISA_H_
+
+#include <cstdint>
+#include <string>
+
+namespace neuroc {
+
+// Register numbers: r0..r12, sp=13, lr=14, pc=15.
+inline constexpr uint8_t kRegSp = 13;
+inline constexpr uint8_t kRegLr = 14;
+inline constexpr uint8_t kRegPc = 15;
+
+enum class Op : uint8_t {
+  kInvalid = 0,
+  // Shift (immediate).
+  kLslImm, kLsrImm, kAsrImm,
+  // Add/subtract register and 3-bit immediate.
+  kAddReg, kSubReg, kAddImm3, kSubImm3,
+  // Move/compare/add/subtract 8-bit immediate.
+  kMovImm, kCmpImm, kAddImm8, kSubImm8,
+  // Data processing (register).
+  kAnd, kEor, kLslReg, kLsrReg, kAsrReg, kAdc, kSbc, kRor, kTst, kNeg, kCmpReg, kCmn,
+  kOrr, kMul, kBic, kMvn,
+  // High-register operations and branch-exchange.
+  kAddHi, kCmpHi, kMovHi, kBx, kBlx,
+  // PC-relative literal load.
+  kLdrLit,
+  // Load/store with register offset.
+  kStrReg, kStrhReg, kStrbReg, kLdrsbReg, kLdrReg, kLdrhReg, kLdrbReg, kLdrshReg,
+  // Load/store with immediate offset.
+  kStrImm, kLdrImm, kStrbImm, kLdrbImm, kStrhImm, kLdrhImm,
+  // SP-relative load/store and address generation.
+  kStrSp, kLdrSp, kAdr, kAddSpImm,
+  // SP adjustment.
+  kAddSp7, kSubSp7,
+  // Extend and byte-reverse.
+  kSxth, kSxtb, kUxth, kUxtb, kRev, kRev16, kRevsh,
+  // Stack multiple.
+  kPush, kPop,
+  // Load/store multiple, increment-after with writeback (LDMIA/STMIA).
+  kLdm, kStm,
+  // Hints and control flow.
+  kNop, kBcond, kB, kBl, kUdf,
+};
+
+enum class Cond : uint8_t {
+  kEq = 0, kNe = 1, kCs = 2, kCc = 3, kMi = 4, kPl = 5, kVs = 6, kVc = 7,
+  kHi = 8, kLs = 9, kGe = 10, kLt = 11, kGt = 12, kLe = 13, kAl = 14,
+};
+
+// One decoded instruction. Field meaning depends on `op`:
+//   rd/rn/rm — destination / first / second register operands
+//   imm      — immediate (shift amount, offset in bytes, or signed branch offset in bytes)
+//   reglist  — PUSH/POP register bitmask (bit 8 = LR for PUSH, PC for POP)
+//   cond     — kBcond condition
+struct Instr {
+  Op op = Op::kInvalid;
+  uint8_t rd = 0;
+  uint8_t rn = 0;
+  uint8_t rm = 0;
+  int32_t imm = 0;
+  uint16_t reglist = 0;
+  Cond cond = Cond::kAl;
+  // Size in halfwords (1, or 2 for BL).
+  uint8_t length = 1;
+};
+
+const char* OpName(Op op);
+const char* CondName(Cond cond);
+const char* RegName(uint8_t reg);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_ISA_ISA_H_

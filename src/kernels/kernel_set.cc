@@ -1,0 +1,39 @@
+#include "src/kernels/kernel_set.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/kernels/kernel_sources.h"
+
+namespace neuroc {
+
+KernelSet KernelSet::Build(std::span<const KernelVariant> variants, uint32_t base_addr,
+                           bool include_conv) {
+  KernelSet set;
+  for (const KernelVariant& v : variants) {
+    if (std::find(set.variants_.begin(), set.variants_.end(), v) == set.variants_.end()) {
+      set.variants_.push_back(v);
+    }
+  }
+  std::string source;
+  for (const KernelVariant& v : set.variants_) {
+    source += GenerateKernelSource(v);
+    source += "\n";
+  }
+  if (include_conv) {
+    source += GenerateConvKernelSource();
+  }
+  if (source.empty()) {
+    source = "nop\n";  // empty set still assembles
+  }
+  set.program_ = Assemble(source, base_addr);
+  return set;
+}
+
+uint32_t KernelSet::EntryFor(const KernelVariant& variant) const {
+  return program_.SymbolAddr(KernelFunctionName(variant));
+}
+
+uint32_t KernelSet::ConvEntry() const { return program_.SymbolAddr(kConvKernelName); }
+
+}  // namespace neuroc

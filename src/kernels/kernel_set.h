@@ -1,0 +1,37 @@
+// Assembles the set of kernel routines a model needs into one contiguous code section and
+// resolves per-variant entry points. The resulting byte count is the "inference code" part
+// of the paper's program-memory metric.
+
+#ifndef NEUROC_SRC_KERNELS_KERNEL_SET_H_
+#define NEUROC_SRC_KERNELS_KERNEL_SET_H_
+
+#include <span>
+#include <vector>
+
+#include "src/core/model_image.h"
+#include "src/isa/assembler.h"
+
+namespace neuroc {
+
+class KernelSet {
+ public:
+  // Deduplicates `variants`, generates and assembles their kernels at `base_addr`.
+  // `include_conv` additionally links the Fig. 2 convolution kernel.
+  static KernelSet Build(std::span<const KernelVariant> variants, uint32_t base_addr,
+                         bool include_conv = false);
+
+  const AssembledProgram& program() const { return program_; }
+  size_t code_bytes() const { return program_.bytes.size(); }
+
+  // Entry address (Thumb, even) of the kernel for `variant`.
+  uint32_t EntryFor(const KernelVariant& variant) const;
+  uint32_t ConvEntry() const;
+
+ private:
+  AssembledProgram program_;
+  std::vector<KernelVariant> variants_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_KERNELS_KERNEL_SET_H_

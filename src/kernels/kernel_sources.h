@@ -1,0 +1,44 @@
+// Thumb assembly generators for the inference kernels executed on the simulated Cortex-M0.
+//
+// Every kernel is a function taking r0 = address of an 80-byte layer descriptor (layout in
+// src/core/model_image.h) and computing one layer in place (input/output/scratch SRAM
+// addresses come from the descriptor). Kernels are specialized per KernelVariant — encoding
+// kind, metadata/index element widths and presence of the per-neuron scale — because on a
+// core with no branch predictor, folding these choices into the instruction stream is
+// exactly the "static control flow" discipline the paper argues for.
+//
+// Arithmetic matches the host reference bit-for-bit (property-tested in kernels_test):
+//   acc = Σ(+x) − Σ(−x); acc = acc * scale_j (if scaled); acc += bias_j;
+//   out = sat8((acc + rnd) >> shift), then ReLU if the descriptor flags request it.
+
+#ifndef NEUROC_SRC_KERNELS_KERNEL_SOURCES_H_
+#define NEUROC_SRC_KERNELS_KERNEL_SOURCES_H_
+
+#include <string>
+
+#include "src/core/model_image.h"
+
+namespace neuroc {
+
+// Stable symbol name for a kernel variant, e.g. "nc_delta_m1_i1_s1" or "dense_q7".
+std::string KernelFunctionName(const KernelVariant& variant);
+
+// Generates the assembly source for one kernel variant. All labels are prefixed with the
+// function name so multiple kernels can be assembled into one program.
+std::string GenerateKernelSource(const KernelVariant& variant);
+
+// Convolution kernel for the paper's Fig. 2 FC-vs-CNN comparison: direct convolution driven
+// by a precomputed receptive-field offset table (the static equivalent of im2col on a
+// platform without the RAM for materialized column matrices). Descriptor layout in
+// src/kernels/conv_desc.h.
+std::string GenerateConvKernelSource();
+inline constexpr char kConvKernelName[] = "conv_q7";
+
+// Number of flash bytes charged for fixed runtime overhead when reporting program memory
+// (vector table, reset/startup code and the layer-sequencing main loop of a bare-metal
+// build). Matches the overhead of a minimal arm-none-eabi-gcc -Os binary.
+inline constexpr size_t kRuntimeOverheadBytes = 768;
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_KERNELS_KERNEL_SOURCES_H_

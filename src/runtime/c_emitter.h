@@ -1,0 +1,26 @@
+// Generates freestanding C deployment sources for a quantized Neuro-C model: the constant
+// arrays (encodings, scales, biases) and a plain-C inference routine, the artifact a user
+// would compile with arm-none-eabi-gcc for a real board. This is the export path equivalent
+// of the vendor toolchains discussed in the paper's Sec. 2.
+
+#ifndef NEUROC_SRC_RUNTIME_C_EMITTER_H_
+#define NEUROC_SRC_RUNTIME_C_EMITTER_H_
+
+#include <string>
+
+#include "src/core/neuroc_model.h"
+
+namespace neuroc {
+
+struct CSources {
+  std::string header;  // <prefix>.h — API: int <prefix>_predict(const int8_t* input)
+  std::string source;  // <prefix>.c — weights + inference code
+};
+
+// Emits C sources for `model`. `prefix` names the generated functions/arrays (must be a
+// valid C identifier).
+CSources EmitCSources(const NeuroCModel& model, const std::string& prefix);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_RUNTIME_C_EMITTER_H_

@@ -1,0 +1,111 @@
+#include "src/runtime/deployed_model.h"
+
+#include "src/common/check.h"
+#include "src/kernels/kernel_sources.h"
+
+namespace neuroc {
+
+namespace {
+
+constexpr uint32_t kScratchFlashBase = 0x08000000;
+
+uint32_t AlignUp4(uint32_t v) { return (v + 3u) & ~3u; }
+
+size_t EstimateFromParts(size_t code_bytes, size_t image_bytes) {
+  return code_bytes + image_bytes + kRuntimeOverheadBytes;
+}
+
+}  // namespace
+
+size_t DeployedModel::EstimateProgramBytes(const NeuroCModel& model) {
+  DeviceModelImage image = PackNeuroCModel(model, kScratchFlashBase, 0x20000000);
+  KernelSet kernels = KernelSet::Build(image.variants, kScratchFlashBase);
+  return EstimateFromParts(kernels.code_bytes(), image.flash.size());
+}
+
+size_t DeployedModel::EstimateProgramBytes(const MlpModel& model) {
+  DeviceModelImage image = PackMlpModel(model, kScratchFlashBase, 0x20000000);
+  KernelSet kernels = KernelSet::Build(image.variants, kScratchFlashBase);
+  return EstimateFromParts(kernels.code_bytes(), image.flash.size());
+}
+
+DeployedModel DeployedModel::DeployImage(DeviceModelImage image, KernelSet kernels,
+                                         const MachineConfig& config, uint32_t image_base) {
+  DeployedModel dm;
+  dm.machine_ = std::make_unique<Machine>(config);
+  dm.report_.code_bytes = kernels.code_bytes();
+  dm.report_.image_bytes = image.flash.size();
+  dm.report_.program_bytes = EstimateFromParts(kernels.code_bytes(), image.flash.size());
+  dm.report_.ram_bytes = image.ram_bytes_used;
+  NEUROC_CHECK_MSG(
+      dm.report_.program_bytes <= config.flash_size,
+      "model does not fit program memory; check EstimateProgramBytes before deploying");
+  NEUROC_CHECK_MSG(image.ram_bytes_used <= config.ram_size - 512,
+                   "activation plan leaves no room for the stack");
+  dm.machine_->LoadBytes(kernels.program().base_addr, kernels.program().bytes);
+  dm.machine_->LoadBytes(image_base, image.flash);
+  for (size_t k = 0; k < image.num_layers(); ++k) {
+    dm.layer_entries_.push_back(kernels.EntryFor(image.variants[k]));
+  }
+  dm.image_ = std::move(image);
+  dm.kernels_ = std::move(kernels);
+  return dm;
+}
+
+DeployedModel DeployedModel::Deploy(const NeuroCModel& model, const MachineConfig& config) {
+  // Kernels first (at the reset address, like a real linker script), image after.
+  KernelSet probe = KernelSet::Build(
+      PackNeuroCModel(model, kScratchFlashBase, config.ram_base).variants, config.flash_base);
+  const uint32_t image_base = AlignUp4(config.flash_base +
+                                       static_cast<uint32_t>(probe.code_bytes()) +
+                                       static_cast<uint32_t>(kRuntimeOverheadBytes));
+  DeviceModelImage image = PackNeuroCModel(model, image_base, config.ram_base);
+  return DeployImage(std::move(image), std::move(probe), config, image_base);
+}
+
+DeployedModel DeployedModel::Deploy(const MlpModel& model, const MachineConfig& config) {
+  KernelSet probe = KernelSet::Build(
+      PackMlpModel(model, kScratchFlashBase, config.ram_base).variants, config.flash_base);
+  const uint32_t image_base = AlignUp4(config.flash_base +
+                                       static_cast<uint32_t>(probe.code_bytes()) +
+                                       static_cast<uint32_t>(kRuntimeOverheadBytes));
+  DeviceModelImage image = PackMlpModel(model, image_base, config.ram_base);
+  return DeployImage(std::move(image), std::move(probe), config, image_base);
+}
+
+int DeployedModel::Predict(std::span<const int8_t> input) {
+  NEUROC_CHECK(input.size() == image_.input_dim);
+  machine_->LoadBytes(image_.input_addr,
+                      std::span<const uint8_t>(
+                          reinterpret_cast<const uint8_t*>(input.data()), input.size()));
+  uint64_t cycles = 0;
+  for (size_t k = 0; k < image_.num_layers(); ++k) {
+    cycles += machine_->CallFunction(layer_entries_[k], {image_.descriptor_addrs[k]});
+  }
+  report_.cycles_per_inference = cycles;
+  report_.latency_ms = machine_->CyclesToMs(cycles);
+  const std::vector<int8_t> out = LastOutput();
+  int best = 0;
+  for (size_t i = 1; i < out.size(); ++i) {
+    if (out[i] > out[best]) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<int8_t> DeployedModel::LastOutput() {
+  std::vector<int8_t> out(image_.output_dim);
+  machine_->memory().HostRead(
+      image_.output_addr,
+      std::span<uint8_t>(reinterpret_cast<uint8_t*>(out.data()), out.size()));
+  return out;
+}
+
+double DeployedModel::MeasureLatencyMs() {
+  std::vector<int8_t> zeros(image_.input_dim, 0);
+  Predict(zeros);
+  return report_.latency_ms;
+}
+
+}  // namespace neuroc

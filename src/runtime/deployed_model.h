@@ -1,0 +1,74 @@
+// Deployment of a quantized model onto the simulated MCU: code + constant data placement in
+// flash, activation buffers in SRAM, and per-inference execution with cycle accounting.
+//
+// The reported program-memory figure mirrors the paper's metric (size of the statically
+// linked sections holding weights and inference code): assembled kernel bytes + packed model
+// image bytes + a fixed bare-metal runtime overhead.
+
+#ifndef NEUROC_SRC_RUNTIME_DEPLOYED_MODEL_H_
+#define NEUROC_SRC_RUNTIME_DEPLOYED_MODEL_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/mlp_model.h"
+#include "src/core/model_image.h"
+#include "src/core/neuroc_model.h"
+#include "src/kernels/kernel_set.h"
+#include "src/sim/machine.h"
+
+namespace neuroc {
+
+struct DeploymentReport {
+  size_t code_bytes = 0;       // assembled kernels
+  size_t image_bytes = 0;      // descriptors + weights/encodings
+  size_t program_bytes = 0;    // code + image + kRuntimeOverheadBytes
+  size_t ram_bytes = 0;        // activation buffers + scratch
+  uint64_t cycles_per_inference = 0;  // from the most recent Predict/MeasureLatency
+  double latency_ms = 0.0;
+};
+
+class DeployedModel {
+ public:
+  // Computes the program-memory footprint without requiring the model to fit the device
+  // (used to classify the paper's "non-deployable" configurations).
+  static size_t EstimateProgramBytes(const NeuroCModel& model);
+  static size_t EstimateProgramBytes(const MlpModel& model);
+
+  // Places the model on a simulated machine. Aborts if it does not fit flash/RAM; check
+  // EstimateProgramBytes against the platform budget first.
+  static DeployedModel Deploy(const NeuroCModel& model, const MachineConfig& config = {});
+  static DeployedModel Deploy(const MlpModel& model, const MachineConfig& config = {});
+
+  // Runs one inference on the simulator and returns the arg-max class. Updates the report's
+  // cycle/latency fields.
+  int Predict(std::span<const int8_t> input);
+
+  // Final-layer activations after the last Predict.
+  std::vector<int8_t> LastOutput();
+
+  // Runs one inference on a zero input just to measure latency (execution time is
+  // input-independent by construction — validated in tests).
+  double MeasureLatencyMs();
+
+  const DeploymentReport& report() const { return report_; }
+  Machine& machine() { return *machine_; }
+  size_t input_dim() const { return image_.input_dim; }
+  size_t output_dim() const { return image_.output_dim; }
+
+ private:
+  DeployedModel() = default;
+  static DeployedModel DeployImage(DeviceModelImage image, KernelSet kernels,
+                                   const MachineConfig& config, uint32_t image_base);
+
+  std::unique_ptr<Machine> machine_;  // stable address; KernelSet/image refer to it
+  DeviceModelImage image_;
+  KernelSet kernels_;
+  std::vector<uint32_t> layer_entries_;
+  DeploymentReport report_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_RUNTIME_DEPLOYED_MODEL_H_

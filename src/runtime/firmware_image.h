@@ -1,0 +1,38 @@
+// Intel HEX firmware emission: packages the assembled kernels plus the model image into the
+// .hex file format accepted by MCU flashing tools (ST-Link, OpenOCD, vendor bootloaders).
+// A parser is provided for round-trip verification.
+
+#ifndef NEUROC_SRC_RUNTIME_FIRMWARE_IMAGE_H_
+#define NEUROC_SRC_RUNTIME_FIRMWARE_IMAGE_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/mlp_model.h"
+#include "src/core/neuroc_model.h"
+#include "src/sim/machine.h"
+
+namespace neuroc {
+
+struct FirmwareChunk {
+  uint32_t addr = 0;
+  std::vector<uint8_t> bytes;
+};
+
+// Emits Intel HEX (16-byte data records, type-04 extended linear addresses, type-01 EOF).
+std::string EmitIntelHex(std::span<const FirmwareChunk> chunks);
+
+// Parses Intel HEX; returns nullopt on malformed records or checksum mismatch. Contiguous
+// data is merged into maximal chunks sorted by address.
+std::optional<std::vector<FirmwareChunk>> ParseIntelHex(const std::string& text);
+
+// Convenience: the complete flash content (kernel code at the flash base, model image after
+// the runtime-overhead gap) for a deployable model, ready to flash.
+std::string FirmwareHexForModel(const NeuroCModel& model, const MachineConfig& config = {});
+std::string FirmwareHexForModel(const MlpModel& model, const MachineConfig& config = {});
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_RUNTIME_FIRMWARE_IMAGE_H_

@@ -1,0 +1,72 @@
+#include "src/runtime/platform.h"
+
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+MachineConfig PlatformSpec::ToMachineConfig() const {
+  MachineConfig cfg;
+  cfg.flash_size = flash_bytes;
+  cfg.ram_size = ram_bytes;
+  cfg.clock_hz = clock_hz;
+  cfg.cycle_model.flash_wait_states = flash_wait_states;
+  cfg.cycle_model.mul = mul_cycles;
+  return cfg;
+}
+
+const char* McuClassName(McuClass c) {
+  switch (c) {
+    case McuClass::kLow:
+      return "Low";
+    case McuClass::kMedium:
+      return "Medium";
+    case McuClass::kAdvanced:
+      return "Advanced";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<PlatformSpec> BuildRegistry() {
+  std::vector<PlatformSpec> all;
+  // Low class: 8/16/32-bit core, no FPU, no DSP/SIMD, <128 KB RAM, <512 KB flash.
+  all.push_back({"STM32F072RB", "Cortex-M0", McuClass::kLow, 16 * 1024, 128 * 1024, 8e6,
+                 false, false, false, 0, 1});
+  all.push_back({"STM32C011", "Cortex-M0+", McuClass::kLow, 6 * 1024, 32 * 1024, 48e6,
+                 false, false, false, 1, 1});
+  all.push_back({"STM32L053", "Cortex-M0+", McuClass::kLow, 8 * 1024, 64 * 1024, 32e6,
+                 false, false, false, 1, 1});
+  // Medium class: 32-bit core, single-precision FPU, basic SIMD, 128–512 KB RAM.
+  all.push_back({"NXP-K64F", "Cortex-M4", McuClass::kMedium, 256 * 1024, 1024 * 1024, 120e6,
+                 true, true, true, 4, 1});
+  // Advanced class: double-precision FPU, vector SIMD, optional cache.
+  all.push_back({"Renesas-RA8D1", "Cortex-M85", McuClass::kAdvanced, 1024 * 1024,
+                 2 * 1024 * 1024, 480e6, true, true, true, 0, 1});
+  return all;
+}
+
+const std::vector<PlatformSpec>& Registry() {
+  static const std::vector<PlatformSpec> kRegistry = BuildRegistry();
+  return kRegistry;
+}
+
+}  // namespace
+
+std::span<const PlatformSpec> AllPlatforms() { return Registry(); }
+
+const PlatformSpec& Stm32f072rb() { return Registry()[0]; }
+
+const PlatformSpec& PlatformByName(const std::string& name) {
+  for (const PlatformSpec& p : Registry()) {
+    if (p.name == name) {
+      return p;
+    }
+  }
+  NEUROC_CHECK_MSG(false, name.c_str());
+  return Registry()[0];
+}
+
+}  // namespace neuroc

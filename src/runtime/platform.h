@@ -1,0 +1,48 @@
+// Device registry backing the paper's Table 1 (qualitative MCU classes) and the simulator
+// configurations derived from them.
+
+#ifndef NEUROC_SRC_RUNTIME_PLATFORM_H_
+#define NEUROC_SRC_RUNTIME_PLATFORM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/sim/machine.h"
+
+namespace neuroc {
+
+enum class McuClass { kLow, kMedium, kAdvanced };
+
+struct PlatformSpec {
+  std::string name;        // e.g. "STM32F072RB"
+  std::string core;        // e.g. "Cortex-M0"
+  McuClass mcu_class = McuClass::kLow;
+  uint32_t ram_bytes = 0;
+  uint32_t flash_bytes = 0;
+  double clock_hz = 8e6;
+  bool has_fpu = false;
+  bool has_dsp_mac = false;   // hardware MACC / DSP extensions
+  bool has_simd = false;
+  int flash_wait_states = 0;  // at the listed clock
+  int mul_cycles = 1;
+
+  // Simulator configuration for this device (the simulator models in-order Cortex-M-like
+  // cores; FPU/DSP/SIMD flags are advisory metadata for Table 1).
+  MachineConfig ToMachineConfig() const;
+};
+
+const char* McuClassName(McuClass c);
+
+// All registered devices (the paper's exemplars per class plus the evaluation board).
+std::span<const PlatformSpec> AllPlatforms();
+
+// The paper's evaluation platform: STM32F072RB, Cortex-M0 @ 8 MHz, 16 KB RAM, 128 KB flash.
+const PlatformSpec& Stm32f072rb();
+
+// Lookup by name; aborts if unknown.
+const PlatformSpec& PlatformByName(const std::string& name);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_RUNTIME_PLATFORM_H_

@@ -1,0 +1,119 @@
+#include "src/runtime/profile.h"
+
+#include <cstdio>
+
+namespace neuroc {
+
+namespace {
+
+enum class OpCategory { kLoad, kStore, kAlu, kMul, kBranch, kStack };
+
+OpCategory Categorize(Op op) {
+  switch (op) {
+    case Op::kLdrLit:
+    case Op::kLdrReg:
+    case Op::kLdrhReg:
+    case Op::kLdrbReg:
+    case Op::kLdrsbReg:
+    case Op::kLdrshReg:
+    case Op::kLdrImm:
+    case Op::kLdrbImm:
+    case Op::kLdrhImm:
+    case Op::kLdrSp:
+      return OpCategory::kLoad;
+    case Op::kStrReg:
+    case Op::kStrhReg:
+    case Op::kStrbReg:
+    case Op::kStrImm:
+    case Op::kStrbImm:
+    case Op::kStrhImm:
+    case Op::kStrSp:
+      return OpCategory::kStore;
+    case Op::kMul:
+      return OpCategory::kMul;
+    case Op::kB:
+    case Op::kBcond:
+    case Op::kBl:
+    case Op::kBx:
+    case Op::kBlx:
+      return OpCategory::kBranch;
+    case Op::kPush:
+    case Op::kPop:
+      return OpCategory::kStack;
+    default:
+      return OpCategory::kAlu;
+  }
+}
+
+}  // namespace
+
+ExecutionProfile ProfileInference(DeployedModel& model) {
+  Machine& machine = model.machine();
+  machine.cpu().ResetCounters();
+  std::vector<int8_t> zeros(model.input_dim(), 0);
+  model.Predict(zeros);
+  ExecutionProfile p;
+  p.instructions = machine.cpu().instructions();
+  p.cycles = machine.cpu().cycles();
+  const auto& hist = machine.cpu().op_histogram();
+  for (size_t i = 0; i < hist.size(); ++i) {
+    if (hist[i] == 0) {
+      continue;
+    }
+    switch (Categorize(static_cast<Op>(i))) {
+      case OpCategory::kLoad:
+        p.loads += hist[i];
+        break;
+      case OpCategory::kStore:
+        p.stores += hist[i];
+        break;
+      case OpCategory::kMul:
+        p.multiplies += hist[i];
+        break;
+      case OpCategory::kBranch:
+        p.branches += hist[i];
+        break;
+      case OpCategory::kStack:
+        p.stack_ops += hist[i];
+        break;
+      case OpCategory::kAlu:
+        p.alu += hist[i];
+        break;
+    }
+  }
+  const MemAccessStats& mem = machine.memory().stats();
+  p.flash_reads = mem.flash_reads;
+  p.sram_reads = mem.sram_reads;
+  p.sram_writes = mem.sram_writes;
+  return p;
+}
+
+std::string FormatProfile(const ExecutionProfile& p) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "instructions: %llu  cycles: %llu  CPI: %.2f\n"
+      "  loads: %llu (%.1f%%)  stores: %llu (%.1f%%)  alu: %llu (%.1f%%)\n"
+      "  multiplies: %llu (%.1f%%)  branches: %llu (%.1f%%)  stack: %llu (%.1f%%)\n"
+      "memory accesses — flash reads: %llu  sram reads: %llu  sram writes: %llu\n",
+      static_cast<unsigned long long>(p.instructions),
+      static_cast<unsigned long long>(p.cycles), p.CyclesPerInstruction(),
+      static_cast<unsigned long long>(p.loads),
+      100.0 * static_cast<double>(p.loads) / static_cast<double>(p.instructions),
+      static_cast<unsigned long long>(p.stores),
+      100.0 * static_cast<double>(p.stores) / static_cast<double>(p.instructions),
+      static_cast<unsigned long long>(p.alu),
+      100.0 * static_cast<double>(p.alu) / static_cast<double>(p.instructions),
+      static_cast<unsigned long long>(p.multiplies),
+      100.0 * static_cast<double>(p.multiplies) / static_cast<double>(p.instructions),
+      static_cast<unsigned long long>(p.branches),
+      100.0 * static_cast<double>(p.branches) / static_cast<double>(p.instructions),
+      static_cast<unsigned long long>(p.stack_ops),
+      100.0 * static_cast<double>(p.stack_ops) / static_cast<double>(p.instructions),
+      static_cast<unsigned long long>(p.flash_reads),
+      static_cast<unsigned long long>(p.sram_reads),
+      static_cast<unsigned long long>(p.sram_writes));
+  return buf;
+}
+
+}  // namespace neuroc

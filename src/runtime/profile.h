@@ -1,0 +1,44 @@
+// Execution profiling of deployed models on the simulated MCU: instruction mix, memory
+// traffic by region, and per-category cycle attribution. This is the quantitative backing
+// for the paper's Sec. 4.1 discussion — on a cache-less in-order core, the memory-access
+// pattern and control path *are* the performance model.
+
+#ifndef NEUROC_SRC_RUNTIME_PROFILE_H_
+#define NEUROC_SRC_RUNTIME_PROFILE_H_
+
+#include <string>
+
+#include "src/runtime/deployed_model.h"
+
+namespace neuroc {
+
+struct ExecutionProfile {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  // Instruction counts by category.
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t alu = 0;        // data processing, moves, shifts, extends
+  uint64_t multiplies = 0;
+  uint64_t branches = 0;   // B/B<cond>/BL/BX + PC writes
+  uint64_t stack_ops = 0;  // PUSH/POP
+  // Memory traffic (accesses, not bytes).
+  uint64_t flash_reads = 0;
+  uint64_t sram_reads = 0;
+  uint64_t sram_writes = 0;
+
+  double CyclesPerInstruction() const {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(cycles) / static_cast<double>(instructions);
+  }
+};
+
+// Runs one inference on `model` (zero input) and returns the profile of exactly that run.
+ExecutionProfile ProfileInference(DeployedModel& model);
+
+// Multi-line human-readable report.
+std::string FormatProfile(const ExecutionProfile& profile);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_RUNTIME_PROFILE_H_

@@ -1,0 +1,116 @@
+#include "src/runtime/search.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/runtime/deployed_model.h"
+
+namespace neuroc {
+
+namespace {
+
+std::string Describe(const NeuroCSpec& spec) {
+  std::string s = "h[";
+  for (size_t i = 0; i < spec.hidden.size(); ++i) {
+    if (i > 0) {
+      s += ",";
+    }
+    s += std::to_string(spec.hidden[i]);
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "] d=%.2f", spec.layer.ternary.target_density);
+  return s + buf;
+}
+
+}  // namespace
+
+SearchResult RandomSearch(const Dataset& train, const Dataset& validation,
+                          const SearchSpace& space, const SearchConstraints& constraints,
+                          int trials, const TrainConfig& train_cfg, uint64_t seed,
+                          const PlatformSpec& platform) {
+  NEUROC_CHECK(!space.width_choices.empty() && !space.density_choices.empty());
+  NEUROC_CHECK(space.min_hidden_layers >= 1 &&
+               space.min_hidden_layers <= space.max_hidden_layers);
+  Rng rng(seed);
+  SearchResult result;
+  std::set<std::string> seen;
+  const QuantizedDataset qval = QuantizeInputs(validation);
+
+  for (int t = 0; t < trials; ++t) {
+    // Sample a distinct configuration (bounded retries to stay deterministic and finite).
+    NeuroCSpec spec;
+    std::string key;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      spec.hidden.clear();
+      const int layers = static_cast<int>(
+          rng.NextInt(space.min_hidden_layers, space.max_hidden_layers));
+      for (int l = 0; l < layers; ++l) {
+        spec.hidden.push_back(
+            space.width_choices[rng.NextBounded(space.width_choices.size())]);
+      }
+      spec.layer.ternary.target_density =
+          space.density_choices[rng.NextBounded(space.density_choices.size())];
+      key = Describe(spec);
+      if (seen.insert(key).second) {
+        break;
+      }
+    }
+
+    SearchCandidate cand;
+    cand.spec = spec;
+    cand.description = key;
+    Rng train_rng(rng.NextU64());
+    Network net = BuildNeuroC(train.input_dim(), static_cast<size_t>(train.num_classes),
+                              spec, train_rng);
+    Train(net, train, validation, train_cfg);
+    NeuroCModel model = NeuroCModel::FromTrained(net, train);
+    cand.accuracy = model.EvaluateAccuracy(qval);
+    cand.program_bytes = DeployedModel::EstimateProgramBytes(model);
+    if (cand.program_bytes <= constraints.max_program_bytes &&
+        cand.program_bytes <= platform.flash_bytes) {
+      DeployedModel deployed = DeployedModel::Deploy(model, platform.ToMachineConfig());
+      cand.latency_ms = deployed.MeasureLatencyMs();
+      cand.feasible = cand.latency_ms <= constraints.max_latency_ms;
+    }
+    NEUROC_LOG_DEBUG("search %d/%d %s acc=%.4f bytes=%zu lat=%.2f feasible=%d", t + 1,
+                     trials, cand.description.c_str(), cand.accuracy, cand.program_bytes,
+                     cand.latency_ms, cand.feasible ? 1 : 0);
+    result.candidates.push_back(std::move(cand));
+  }
+
+  // Pareto front over feasible candidates: ascending program bytes, strictly increasing
+  // accuracy.
+  std::vector<size_t> feasible;
+  for (size_t i = 0; i < result.candidates.size(); ++i) {
+    if (result.candidates[i].feasible) {
+      feasible.push_back(i);
+    }
+  }
+  std::sort(feasible.begin(), feasible.end(), [&](size_t a, size_t b) {
+    const auto& ca = result.candidates[a];
+    const auto& cb = result.candidates[b];
+    if (ca.program_bytes != cb.program_bytes) {
+      return ca.program_bytes < cb.program_bytes;
+    }
+    return ca.accuracy > cb.accuracy;
+  });
+  float best_acc = -1.0f;
+  for (size_t i : feasible) {
+    if (result.candidates[i].accuracy > best_acc) {
+      best_acc = result.candidates[i].accuracy;
+      result.pareto.push_back(i);
+    }
+  }
+  for (size_t i : feasible) {
+    if (result.best < 0 ||
+        result.candidates[i].accuracy >
+            result.candidates[static_cast<size_t>(result.best)].accuracy) {
+      result.best = static_cast<int>(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,59 @@
+// Automated architecture search for Neuro-C models — the systematic exploration the paper's
+// discussion section names as future work ("automated search methods might be applied").
+//
+// RandomSearch samples (hidden widths × target density) configurations, trains each with
+// fake quantization, quantizes, measures deployment metrics on the simulated target, and
+// returns the accuracy/program-memory Pareto front among configurations satisfying the
+// platform constraints (flash budget, latency budget).
+
+#ifndef NEUROC_SRC_RUNTIME_SEARCH_H_
+#define NEUROC_SRC_RUNTIME_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/runtime/platform.h"
+#include "src/train/trainer.h"
+
+namespace neuroc {
+
+struct SearchSpace {
+  std::vector<size_t> width_choices = {32, 64, 128, 256};
+  int min_hidden_layers = 1;
+  int max_hidden_layers = 2;
+  std::vector<float> density_choices = {0.05f, 0.1f, 0.15f, 0.2f};
+};
+
+struct SearchConstraints {
+  size_t max_program_bytes = 128 * 1024;
+  double max_latency_ms = 1e9;  // unconstrained by default
+};
+
+struct SearchCandidate {
+  NeuroCSpec spec;
+  std::string description;     // e.g. "h[128,64] d=0.10"
+  float accuracy = 0.0f;       // int8 accuracy on the validation set
+  size_t program_bytes = 0;
+  double latency_ms = 0.0;
+  bool feasible = false;       // satisfies the constraints
+};
+
+struct SearchResult {
+  std::vector<SearchCandidate> candidates;  // every trial, in sample order
+  std::vector<size_t> pareto;               // indices of the accuracy/memory Pareto front
+                                            // among feasible candidates, by ascending bytes
+  // Highest-accuracy feasible candidate (index into `candidates`), or -1 if none.
+  int best = -1;
+};
+
+// Runs `trials` random configurations. Deterministic given `seed`. Already-sampled
+// configurations are skipped (resampled), so trials are distinct when the space allows.
+SearchResult RandomSearch(const Dataset& train, const Dataset& validation,
+                          const SearchSpace& space, const SearchConstraints& constraints,
+                          int trials, const TrainConfig& train_cfg, uint64_t seed,
+                          const PlatformSpec& platform = Stm32f072rb());
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_RUNTIME_SEARCH_H_

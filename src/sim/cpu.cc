@@ -1,0 +1,626 @@
+#include "src/sim/cpu.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/check.h"
+#include "src/isa/decoder.h"
+#include "src/isa/disassembler.h"
+
+namespace neuroc {
+
+Cpu::Cpu(MemoryMap* memory, CycleModel model) : mem_(memory), model_(model) {}
+
+void Cpu::ResetCounters() {
+  cycles_ = 0;
+  instructions_ = 0;
+  op_histogram_.fill(0);
+  mem_->ResetStats();
+}
+
+void Cpu::EnableTrace(size_t depth) {
+  trace_.assign(depth, TraceEntry{});
+  trace_pos_ = 0;
+  trace_count_ = 0;
+}
+
+std::string Cpu::DumpTrace() const {
+  std::string out;
+  if (trace_.empty()) {
+    return out;
+  }
+  const size_t n = trace_count_ < trace_.size() ? static_cast<size_t>(trace_count_)
+                                                : trace_.size();
+  // Oldest first: the ring position points at the next overwrite slot.
+  size_t start = trace_count_ < trace_.size() ? 0 : trace_pos_;
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEntry& e = trace_[(start + i) % trace_.size()];
+    const Instr in = DecodeInstr(e.hw1, e.hw2);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  %08x: %04x  ", e.addr, e.hw1);
+    out += buf;
+    out += Disassemble(in, e.addr);
+    out += "\n";
+  }
+  return out;
+}
+
+Cpu::AddResult Cpu::AddWithCarry(uint32_t x, uint32_t y, bool carry_in) {
+  const uint64_t unsigned_sum =
+      static_cast<uint64_t>(x) + static_cast<uint64_t>(y) + (carry_in ? 1 : 0);
+  const int64_t signed_sum = static_cast<int64_t>(static_cast<int32_t>(x)) +
+                             static_cast<int64_t>(static_cast<int32_t>(y)) +
+                             (carry_in ? 1 : 0);
+  AddResult r;
+  r.value = static_cast<uint32_t>(unsigned_sum);
+  r.carry = unsigned_sum != static_cast<uint64_t>(r.value);
+  r.overflow = signed_sum != static_cast<int64_t>(static_cast<int32_t>(r.value));
+  return r;
+}
+
+bool Cpu::EvalCond(Cond cond) const {
+  switch (cond) {
+    case Cond::kEq: return flags_.z;
+    case Cond::kNe: return !flags_.z;
+    case Cond::kCs: return flags_.c;
+    case Cond::kCc: return !flags_.c;
+    case Cond::kMi: return flags_.n;
+    case Cond::kPl: return !flags_.n;
+    case Cond::kVs: return flags_.v;
+    case Cond::kVc: return !flags_.v;
+    case Cond::kHi: return flags_.c && !flags_.z;
+    case Cond::kLs: return !flags_.c || flags_.z;
+    case Cond::kGe: return flags_.n == flags_.v;
+    case Cond::kLt: return flags_.n != flags_.v;
+    case Cond::kGt: return !flags_.z && flags_.n == flags_.v;
+    case Cond::kLe: return flags_.z || flags_.n != flags_.v;
+    case Cond::kAl: return true;
+  }
+  return false;
+}
+
+void Cpu::Branch(uint32_t target, int cost) {
+  pc_ = target & ~1u;
+  cycles_ += static_cast<uint64_t>(cost);
+}
+
+void Cpu::ChargeMemAccess(uint32_t addr, bool is_store) {
+  cycles_ += static_cast<uint64_t>(is_store ? model_.store : model_.load);
+  if (mem_->RegionOf(addr) == MemRegion::kFlash) {
+    cycles_ += static_cast<uint64_t>(model_.flash_wait_states);
+  }
+}
+
+void Cpu::Step() {
+  NEUROC_CHECK(!halted());
+  const uint32_t addr = pc_;
+  const uint16_t hw1 = mem_->Read16(addr);
+  // Peek the second halfword only for 32-bit encodings (BL prefix).
+  const bool wide = (hw1 & 0xF800) == 0xF000;
+  const uint16_t hw2 = wide ? mem_->Read16(addr + 2) : 0;
+  const Instr in = DecodeInstr(hw1, hw2);
+  if (!trace_.empty()) {
+    trace_[trace_pos_] = {addr, hw1, hw2};
+    trace_pos_ = (trace_pos_ + 1) % trace_.size();
+    ++trace_count_;
+  }
+  if (in.op == Op::kInvalid || in.op == Op::kUdf) {
+    if (!trace_.empty()) {
+      std::fprintf(stderr, "simulator: recent instructions:\n%s", DumpTrace().c_str());
+    }
+    std::fprintf(stderr, "simulator: undefined instruction 0x%04x at 0x%08x\n", hw1, addr);
+    std::abort();
+  }
+  ++instructions_;
+  ++op_histogram_[static_cast<size_t>(in.op)];
+  if (mem_->RegionOf(addr) == MemRegion::kFlash) {
+    cycles_ += static_cast<uint64_t>(model_.flash_wait_states);
+  }
+  pc_ = addr + 2u * in.length;  // default fall-through; branches overwrite
+
+  // Register read helper honoring the PC-read rule.
+  auto rr = [&](uint8_t r) -> uint32_t {
+    return r == kRegPc ? addr + 4 : regs_[r];
+  };
+
+  switch (in.op) {
+    case Op::kLslImm: {
+      const uint32_t v = rr(in.rm);
+      uint32_t result;
+      if (in.imm == 0) {
+        result = v;  // MOVS register form: C unchanged
+      } else {
+        flags_.c = (v >> (32 - in.imm)) & 1;
+        result = v << in.imm;
+      }
+      regs_[in.rd] = result;
+      SetNZ(result);
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kLsrImm: {
+      const uint32_t v = rr(in.rm);
+      const int amount = in.imm == 0 ? 32 : in.imm;
+      uint32_t result;
+      if (amount == 32) {
+        flags_.c = (v >> 31) & 1;
+        result = 0;
+      } else {
+        flags_.c = (v >> (amount - 1)) & 1;
+        result = v >> amount;
+      }
+      regs_[in.rd] = result;
+      SetNZ(result);
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kAsrImm: {
+      const uint32_t v = rr(in.rm);
+      const int amount = in.imm == 0 ? 32 : in.imm;
+      uint32_t result;
+      if (amount == 32) {
+        flags_.c = (v >> 31) & 1;
+        result = (v >> 31) ? 0xFFFFFFFFu : 0u;
+      } else {
+        flags_.c = (v >> (amount - 1)) & 1;
+        result = static_cast<uint32_t>(static_cast<int32_t>(v) >> amount);
+      }
+      regs_[in.rd] = result;
+      SetNZ(result);
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kAddReg:
+    case Op::kAddImm3: {
+      const uint32_t op2 = in.op == Op::kAddReg ? rr(in.rm) : static_cast<uint32_t>(in.imm);
+      const AddResult r = AddWithCarry(rr(in.rn), op2, false);
+      regs_[in.rd] = r.value;
+      SetNZ(r.value);
+      flags_.c = r.carry;
+      flags_.v = r.overflow;
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kSubReg:
+    case Op::kSubImm3: {
+      const uint32_t op2 = in.op == Op::kSubReg ? rr(in.rm) : static_cast<uint32_t>(in.imm);
+      const AddResult r = AddWithCarry(rr(in.rn), ~op2, true);
+      regs_[in.rd] = r.value;
+      SetNZ(r.value);
+      flags_.c = r.carry;
+      flags_.v = r.overflow;
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kMovImm:
+      regs_[in.rd] = static_cast<uint32_t>(in.imm);
+      SetNZ(regs_[in.rd]);
+      cycles_ += model_.alu;
+      break;
+    case Op::kCmpImm:
+    case Op::kCmpReg:
+    case Op::kCmpHi: {
+      const uint32_t lhs = rr(in.rn);
+      const uint32_t rhs =
+          in.op == Op::kCmpImm ? static_cast<uint32_t>(in.imm) : rr(in.rm);
+      const AddResult r = AddWithCarry(lhs, ~rhs, true);
+      SetNZ(r.value);
+      flags_.c = r.carry;
+      flags_.v = r.overflow;
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kAddImm8: {
+      const AddResult r = AddWithCarry(regs_[in.rd], static_cast<uint32_t>(in.imm), false);
+      regs_[in.rd] = r.value;
+      SetNZ(r.value);
+      flags_.c = r.carry;
+      flags_.v = r.overflow;
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kSubImm8: {
+      const AddResult r =
+          AddWithCarry(regs_[in.rd], ~static_cast<uint32_t>(in.imm), true);
+      regs_[in.rd] = r.value;
+      SetNZ(r.value);
+      flags_.c = r.carry;
+      flags_.v = r.overflow;
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kAnd:
+      regs_[in.rd] &= rr(in.rm);
+      SetNZ(regs_[in.rd]);
+      cycles_ += model_.alu;
+      break;
+    case Op::kEor:
+      regs_[in.rd] ^= rr(in.rm);
+      SetNZ(regs_[in.rd]);
+      cycles_ += model_.alu;
+      break;
+    case Op::kOrr:
+      regs_[in.rd] |= rr(in.rm);
+      SetNZ(regs_[in.rd]);
+      cycles_ += model_.alu;
+      break;
+    case Op::kBic:
+      regs_[in.rd] &= ~rr(in.rm);
+      SetNZ(regs_[in.rd]);
+      cycles_ += model_.alu;
+      break;
+    case Op::kMvn:
+      regs_[in.rd] = ~rr(in.rm);
+      SetNZ(regs_[in.rd]);
+      cycles_ += model_.alu;
+      break;
+    case Op::kTst: {
+      const uint32_t result = rr(in.rn) & rr(in.rm);
+      SetNZ(result);
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kCmn: {
+      const AddResult r = AddWithCarry(rr(in.rn), rr(in.rm), false);
+      SetNZ(r.value);
+      flags_.c = r.carry;
+      flags_.v = r.overflow;
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kLslReg:
+    case Op::kLsrReg:
+    case Op::kAsrReg:
+    case Op::kRor: {
+      const uint32_t amount = rr(in.rm) & 0xFF;
+      uint32_t v = regs_[in.rd];
+      if (amount != 0) {
+        switch (in.op) {
+          case Op::kLslReg:
+            if (amount < 32) {
+              flags_.c = (v >> (32 - amount)) & 1;
+              v <<= amount;
+            } else {
+              flags_.c = (amount == 32) ? (v & 1) : false;
+              v = 0;
+            }
+            break;
+          case Op::kLsrReg:
+            if (amount < 32) {
+              flags_.c = (v >> (amount - 1)) & 1;
+              v >>= amount;
+            } else {
+              flags_.c = (amount == 32) ? ((v >> 31) & 1) : false;
+              v = 0;
+            }
+            break;
+          case Op::kAsrReg:
+            if (amount < 32) {
+              flags_.c = (v >> (amount - 1)) & 1;
+              v = static_cast<uint32_t>(static_cast<int32_t>(v) >> amount);
+            } else {
+              flags_.c = (v >> 31) & 1;
+              v = (v >> 31) ? 0xFFFFFFFFu : 0u;
+            }
+            break;
+          case Op::kRor: {
+            const uint32_t rot = amount & 31;
+            if (rot != 0) {
+              v = (v >> rot) | (v << (32 - rot));
+            }
+            flags_.c = (v >> 31) & 1;
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      regs_[in.rd] = v;
+      SetNZ(v);
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kAdc: {
+      const AddResult r = AddWithCarry(regs_[in.rd], rr(in.rm), flags_.c);
+      regs_[in.rd] = r.value;
+      SetNZ(r.value);
+      flags_.c = r.carry;
+      flags_.v = r.overflow;
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kSbc: {
+      const AddResult r = AddWithCarry(regs_[in.rd], ~rr(in.rm), flags_.c);
+      regs_[in.rd] = r.value;
+      SetNZ(r.value);
+      flags_.c = r.carry;
+      flags_.v = r.overflow;
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kNeg: {
+      const AddResult r = AddWithCarry(~rr(in.rm), 0, true);
+      regs_[in.rd] = r.value;
+      SetNZ(r.value);
+      flags_.c = r.carry;
+      flags_.v = r.overflow;
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kMul:
+      regs_[in.rd] = regs_[in.rd] * rr(in.rm);
+      SetNZ(regs_[in.rd]);  // ARMv6-M MULS sets N and Z only
+      cycles_ += model_.mul;
+      break;
+    case Op::kAddHi: {
+      const uint32_t result = rr(in.rd) + rr(in.rm);
+      if (in.rd == kRegPc) {
+        Branch(result, model_.pc_alu);
+      } else {
+        regs_[in.rd] = result;
+        cycles_ += model_.alu;
+      }
+      break;
+    }
+    case Op::kMovHi: {
+      const uint32_t result = rr(in.rm);
+      if (in.rd == kRegPc) {
+        Branch(result, model_.pc_alu);
+      } else {
+        regs_[in.rd] = result;
+        cycles_ += model_.alu;
+      }
+      break;
+    }
+    case Op::kBx:
+      Branch(rr(in.rm), model_.bx);
+      break;
+    case Op::kBlx: {
+      const uint32_t target = rr(in.rm);
+      regs_[kRegLr] = (addr + 2) | 1;
+      Branch(target, model_.bx);
+      break;
+    }
+    case Op::kLdrLit: {
+      const uint32_t a = ((addr + 4) & ~3u) + static_cast<uint32_t>(in.imm);
+      regs_[in.rd] = mem_->Read32(a);
+      ChargeMemAccess(a, false);
+      break;
+    }
+    case Op::kStrReg:
+    case Op::kStrImm:
+    case Op::kStrSp: {
+      uint32_t a;
+      if (in.op == Op::kStrReg) {
+        a = rr(in.rn) + rr(in.rm);
+      } else if (in.op == Op::kStrSp) {
+        a = regs_[kRegSp] + static_cast<uint32_t>(in.imm);
+      } else {
+        a = rr(in.rn) + static_cast<uint32_t>(in.imm);
+      }
+      mem_->Write32(a, regs_[in.rd]);
+      ChargeMemAccess(a, true);
+      break;
+    }
+    case Op::kLdrReg:
+    case Op::kLdrImm:
+    case Op::kLdrSp: {
+      uint32_t a;
+      if (in.op == Op::kLdrReg) {
+        a = rr(in.rn) + rr(in.rm);
+      } else if (in.op == Op::kLdrSp) {
+        a = regs_[kRegSp] + static_cast<uint32_t>(in.imm);
+      } else {
+        a = rr(in.rn) + static_cast<uint32_t>(in.imm);
+      }
+      regs_[in.rd] = mem_->Read32(a);
+      ChargeMemAccess(a, false);
+      break;
+    }
+    case Op::kStrbReg:
+    case Op::kStrbImm: {
+      const uint32_t a = in.op == Op::kStrbReg ? rr(in.rn) + rr(in.rm)
+                                               : rr(in.rn) + static_cast<uint32_t>(in.imm);
+      mem_->Write8(a, static_cast<uint8_t>(regs_[in.rd]));
+      ChargeMemAccess(a, true);
+      break;
+    }
+    case Op::kLdrbReg:
+    case Op::kLdrbImm: {
+      const uint32_t a = in.op == Op::kLdrbReg ? rr(in.rn) + rr(in.rm)
+                                               : rr(in.rn) + static_cast<uint32_t>(in.imm);
+      regs_[in.rd] = mem_->Read8(a);
+      ChargeMemAccess(a, false);
+      break;
+    }
+    case Op::kStrhReg:
+    case Op::kStrhImm: {
+      const uint32_t a = in.op == Op::kStrhReg ? rr(in.rn) + rr(in.rm)
+                                               : rr(in.rn) + static_cast<uint32_t>(in.imm);
+      mem_->Write16(a, static_cast<uint16_t>(regs_[in.rd]));
+      ChargeMemAccess(a, true);
+      break;
+    }
+    case Op::kLdrhReg:
+    case Op::kLdrhImm: {
+      const uint32_t a = in.op == Op::kLdrhReg ? rr(in.rn) + rr(in.rm)
+                                               : rr(in.rn) + static_cast<uint32_t>(in.imm);
+      regs_[in.rd] = mem_->Read16(a);
+      ChargeMemAccess(a, false);
+      break;
+    }
+    case Op::kLdrsbReg: {
+      const uint32_t a = rr(in.rn) + rr(in.rm);
+      regs_[in.rd] = static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(
+          mem_->Read8(a))));
+      ChargeMemAccess(a, false);
+      break;
+    }
+    case Op::kLdrshReg: {
+      const uint32_t a = rr(in.rn) + rr(in.rm);
+      regs_[in.rd] = static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(
+          mem_->Read16(a))));
+      ChargeMemAccess(a, false);
+      break;
+    }
+    case Op::kAdr:
+      regs_[in.rd] = ((addr + 4) & ~3u) + static_cast<uint32_t>(in.imm);
+      cycles_ += model_.alu;
+      break;
+    case Op::kAddSpImm:
+      regs_[in.rd] = regs_[kRegSp] + static_cast<uint32_t>(in.imm);
+      cycles_ += model_.alu;
+      break;
+    case Op::kAddSp7:
+      regs_[kRegSp] += static_cast<uint32_t>(in.imm);
+      cycles_ += model_.alu;
+      break;
+    case Op::kSubSp7:
+      regs_[kRegSp] -= static_cast<uint32_t>(in.imm);
+      cycles_ += model_.alu;
+      break;
+    case Op::kSxth:
+      regs_[in.rd] = static_cast<uint32_t>(
+          static_cast<int32_t>(static_cast<int16_t>(rr(in.rm) & 0xFFFF)));
+      cycles_ += model_.alu;
+      break;
+    case Op::kSxtb:
+      regs_[in.rd] =
+          static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(rr(in.rm) & 0xFF)));
+      cycles_ += model_.alu;
+      break;
+    case Op::kUxth:
+      regs_[in.rd] = rr(in.rm) & 0xFFFF;
+      cycles_ += model_.alu;
+      break;
+    case Op::kUxtb:
+      regs_[in.rd] = rr(in.rm) & 0xFF;
+      cycles_ += model_.alu;
+      break;
+    case Op::kRev: {
+      const uint32_t v = rr(in.rm);
+      regs_[in.rd] = ((v & 0xFF) << 24) | ((v & 0xFF00) << 8) | ((v >> 8) & 0xFF00) |
+                     ((v >> 24) & 0xFF);
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kRev16: {
+      const uint32_t v = rr(in.rm);
+      regs_[in.rd] = ((v & 0x00FF00FF) << 8) | ((v & 0xFF00FF00) >> 8);
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kRevsh: {
+      const uint32_t v = rr(in.rm);
+      const uint16_t swapped = static_cast<uint16_t>(((v & 0xFF) << 8) | ((v >> 8) & 0xFF));
+      regs_[in.rd] =
+          static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(swapped)));
+      cycles_ += model_.alu;
+      break;
+    }
+    case Op::kPush: {
+      int count = 0;
+      for (int r = 0; r <= 8; ++r) {
+        if (in.reglist & (1 << r)) {
+          ++count;
+        }
+      }
+      uint32_t a = regs_[kRegSp] - 4u * static_cast<uint32_t>(count);
+      regs_[kRegSp] = a;
+      for (int r = 0; r < 8; ++r) {
+        if (in.reglist & (1 << r)) {
+          mem_->Write32(a, regs_[r]);
+          a += 4;
+        }
+      }
+      if (in.reglist & 0x100) {
+        mem_->Write32(a, regs_[kRegLr]);
+      }
+      cycles_ += static_cast<uint64_t>(model_.push_pop_base + count);
+      break;
+    }
+    case Op::kPop: {
+      int count = 0;
+      for (int r = 0; r <= 8; ++r) {
+        if (in.reglist & (1 << r)) {
+          ++count;
+        }
+      }
+      uint32_t a = regs_[kRegSp];
+      for (int r = 0; r < 8; ++r) {
+        if (in.reglist & (1 << r)) {
+          regs_[r] = mem_->Read32(a);
+          a += 4;
+        }
+      }
+      bool to_pc = false;
+      uint32_t pc_value = 0;
+      if (in.reglist & 0x100) {
+        pc_value = mem_->Read32(a);
+        a += 4;
+        to_pc = true;
+      }
+      regs_[kRegSp] = regs_[kRegSp] + 4u * static_cast<uint32_t>(count);
+      cycles_ += static_cast<uint64_t>(model_.push_pop_base + count);
+      if (to_pc) {
+        cycles_ += static_cast<uint64_t>(model_.pop_pc_extra);
+        pc_ = pc_value & ~1u;
+      }
+      break;
+    }
+    case Op::kLdm: {
+      // LDMIA rn!, {list}: ascending loads; writeback unless rn is in the list.
+      uint32_t a = rr(in.rn);
+      int count = 0;
+      for (int r = 0; r < 8; ++r) {
+        if (in.reglist & (1 << r)) {
+          regs_[r] = mem_->Read32(a);
+          a += 4;
+          ++count;
+        }
+      }
+      if ((in.reglist & (1 << in.rn)) == 0) {
+        regs_[in.rn] = a;
+      }
+      cycles_ += static_cast<uint64_t>(model_.push_pop_base + count);
+      break;
+    }
+    case Op::kStm: {
+      uint32_t a = rr(in.rn);
+      int count = 0;
+      for (int r = 0; r < 8; ++r) {
+        if (in.reglist & (1 << r)) {
+          mem_->Write32(a, regs_[r]);
+          a += 4;
+          ++count;
+        }
+      }
+      regs_[in.rn] = a;
+      cycles_ += static_cast<uint64_t>(model_.push_pop_base + count);
+      break;
+    }
+    case Op::kNop:
+      cycles_ += model_.alu;
+      break;
+    case Op::kBcond:
+      if (EvalCond(in.cond)) {
+        Branch(addr + 4 + static_cast<uint32_t>(in.imm), model_.branch_taken);
+      } else {
+        cycles_ += model_.branch_not_taken;
+      }
+      break;
+    case Op::kB:
+      Branch(addr + 4 + static_cast<uint32_t>(in.imm), model_.branch_taken);
+      break;
+    case Op::kBl:
+      regs_[kRegLr] = (addr + 4) | 1;
+      Branch(addr + 4 + static_cast<uint32_t>(in.imm), model_.bl);
+      break;
+    case Op::kUdf:
+    case Op::kInvalid:
+      NEUROC_CHECK(false);
+      break;
+  }
+}
+
+}  // namespace neuroc

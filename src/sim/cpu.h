@@ -1,0 +1,100 @@
+// ARMv6-M CPU executor: fetch/decode/execute over a MemoryMap with cycle accounting.
+//
+// Program-counter convention: `pc()` is the address of the next instruction to execute;
+// reads of register 15 return pc+4 per the Thumb execution model. Returning through the
+// magic address kStopAddress halts execution (the Machine uses it as the call sentinel,
+// mirroring how EXC_RETURN-style sentinels work on real parts).
+
+#ifndef NEUROC_SRC_SIM_CPU_H_
+#define NEUROC_SRC_SIM_CPU_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.h"
+#include "src/sim/cycle_model.h"
+#include "src/sim/memory.h"
+
+namespace neuroc {
+
+struct CpuFlags {
+  bool n = false;
+  bool z = false;
+  bool c = false;
+  bool v = false;
+};
+
+class Cpu {
+ public:
+  static constexpr uint32_t kStopAddress = 0xFFFFFFFE;
+
+  Cpu(MemoryMap* memory, CycleModel model);
+
+  uint32_t reg(int index) const { return regs_[static_cast<size_t>(index)]; }
+  void set_reg(int index, uint32_t value) { regs_[static_cast<size_t>(index)] = value; }
+  uint32_t pc() const { return pc_; }
+  void set_pc(uint32_t addr) { pc_ = addr & ~1u; }
+  const CpuFlags& flags() const { return flags_; }
+  void set_flags(CpuFlags f) { flags_ = f; }
+
+  bool halted() const { return pc_ == (kStopAddress & ~1u); }
+
+  // Executes one instruction; updates cycle and instruction counters.
+  void Step();
+
+  uint64_t cycles() const { return cycles_; }
+  uint64_t instructions() const { return instructions_; }
+  void ResetCounters();
+  // Per-opcode retired-instruction histogram (indexed by Op).
+  const std::array<uint64_t, 80>& op_histogram() const { return op_histogram_; }
+
+  // Execution tracing: keeps the last `depth` retired instructions in a ring buffer
+  // (addresses + raw halfwords; disassembled lazily on dump). The trace is printed
+  // automatically when execution hits an undefined instruction. depth == 0 disables.
+  void EnableTrace(size_t depth);
+  // Most-recent-last disassembled listing of the buffered instructions.
+  std::string DumpTrace() const;
+
+  const CycleModel& cycle_model() const { return model_; }
+  MemoryMap& memory() { return *mem_; }
+
+ private:
+  struct TraceEntry {
+    uint32_t addr = 0;
+    uint16_t hw1 = 0;
+    uint16_t hw2 = 0;
+  };
+
+  struct AddResult {
+    uint32_t value;
+    bool carry;
+    bool overflow;
+  };
+  static AddResult AddWithCarry(uint32_t x, uint32_t y, bool carry_in);
+
+  void SetNZ(uint32_t value) {
+    flags_.n = (value >> 31) & 1;
+    flags_.z = value == 0;
+  }
+  bool EvalCond(Cond cond) const;
+  void Branch(uint32_t target, int cost);
+  void ChargeMemAccess(uint32_t addr, bool is_store);
+
+  MemoryMap* mem_;
+  CycleModel model_;
+  std::array<uint32_t, 16> regs_{};
+  uint32_t pc_ = 0;
+  CpuFlags flags_;
+  uint64_t cycles_ = 0;
+  uint64_t instructions_ = 0;
+  std::array<uint64_t, 80> op_histogram_{};
+  std::vector<TraceEntry> trace_;  // ring buffer; empty when tracing is disabled
+  size_t trace_pos_ = 0;
+  uint64_t trace_count_ = 0;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_SIM_CPU_H_

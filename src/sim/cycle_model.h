@@ -1,0 +1,42 @@
+// Cycle-cost model of the simulated core.
+//
+// Defaults follow the Cortex-M0 Technical Reference Manual instruction timings (r0p0,
+// "Cortex-M0 instructions"): single-cycle ALU, 2-cycle loads/stores, 3-cycle taken branches
+// (pipeline refill on the 3-stage pipeline), 4-cycle BL. The multiplier is the single-cycle
+// configuration used by STM32F0 parts; set `mul = 32` for the iterative option. Flash wait
+// states model slower program memories (0 at the paper's 8 MHz operating point).
+//
+// Table-1 device classes map onto different parameter sets via runtime/platform.h.
+
+#ifndef NEUROC_SRC_SIM_CYCLE_MODEL_H_
+#define NEUROC_SRC_SIM_CYCLE_MODEL_H_
+
+namespace neuroc {
+
+struct CycleModel {
+  int alu = 1;               // data processing, moves, shifts, extends
+  int mul = 1;               // MULS (1 = fast multiplier, 32 = iterative)
+  int load = 2;              // LDR/LDRB/LDRH/LDRSB/LDRSH (any addressing mode)
+  int store = 2;             // STR/STRB/STRH
+  int branch_taken = 3;      // B / B<cond> taken (2 + pipeline refill)
+  int branch_not_taken = 1;  // B<cond> not taken
+  int bl = 4;                // BL immediate
+  int bx = 3;                // BX/BLX register
+  int pc_alu = 3;            // hi-register ADD/MOV writing PC
+  int push_pop_base = 1;     // PUSH/POP cost is base + #registers ...
+  int pop_pc_extra = 3;      // ... plus this when POP loads PC
+  int flash_wait_states = 0; // added per flash access, incl. instruction fetch
+
+  static CycleModel CortexM0() { return CycleModel{}; }
+
+  // Cortex-M0 with the 32-cycle iterative multiplier option.
+  static CycleModel CortexM0SlowMul() {
+    CycleModel m;
+    m.mul = 32;
+    return m;
+  }
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_SIM_CYCLE_MODEL_H_

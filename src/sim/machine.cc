@@ -1,0 +1,41 @@
+#include "src/sim/machine.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      memory_(config.flash_base, config.flash_size, config.ram_base, config.ram_size),
+      cpu_(&memory_, config.cycle_model) {}
+
+void Machine::LoadBytes(uint32_t addr, std::span<const uint8_t> bytes) {
+  memory_.HostWrite(addr, bytes);
+}
+
+uint64_t Machine::CallFunction(uint32_t addr, std::initializer_list<uint32_t> args) {
+  NEUROC_CHECK(args.size() <= 4);
+  int i = 0;
+  for (uint32_t a : args) {
+    cpu_.set_reg(i++, a);
+  }
+  // 8-byte-aligned stack at the top of SRAM, per AAPCS.
+  cpu_.set_reg(kRegSp, (config_.ram_base + config_.ram_size) & ~7u);
+  cpu_.set_reg(kRegLr, Cpu::kStopAddress | 1u);
+  cpu_.set_pc(addr);
+  const uint64_t start_cycles = cpu_.cycles();
+  const uint64_t start_instr = cpu_.instructions();
+  while (!cpu_.halted()) {
+    cpu_.Step();
+    if (cpu_.instructions() - start_instr > config_.max_instructions) {
+      std::fprintf(stderr, "simulator: instruction budget exceeded (pc=0x%08x)\n", cpu_.pc());
+      std::abort();
+    }
+  }
+  return cpu_.cycles() - start_cycles;
+}
+
+}  // namespace neuroc

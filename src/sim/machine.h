@@ -1,0 +1,59 @@
+// Convenience wrapper: an STM32F072-like machine (flash + SRAM + Cortex-M0 cycle model) with
+// an AAPCS call interface. Benches load an assembled kernel plus a packed model image, call
+// the kernel entry point with r0..r3 arguments, and read back cycles and memory statistics.
+
+#ifndef NEUROC_SRC_SIM_MACHINE_H_
+#define NEUROC_SRC_SIM_MACHINE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+
+#include "src/sim/cpu.h"
+#include "src/sim/memory.h"
+
+namespace neuroc {
+
+struct MachineConfig {
+  uint32_t flash_base = 0x08000000;
+  uint32_t flash_size = 128 * 1024;  // STM32F072RB
+  uint32_t ram_base = 0x20000000;
+  uint32_t ram_size = 16 * 1024;
+  CycleModel cycle_model = CycleModel::CortexM0();
+  double clock_hz = 8e6;  // the paper's operating point
+  uint64_t max_instructions = 400'000'000;  // runaway guard
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = {});
+
+  MemoryMap& memory() { return memory_; }
+  Cpu& cpu() { return cpu_; }
+  const MachineConfig& config() const { return config_; }
+
+  // Copies bytes into simulated memory (flash or RAM).
+  void LoadBytes(uint32_t addr, std::span<const uint8_t> bytes);
+
+  // Calls a Thumb function at `addr` with up to four register arguments. The stack pointer
+  // is set to the top of SRAM; the function returns through the stop sentinel in LR.
+  // Returns the cycle count consumed by the call.
+  uint64_t CallFunction(uint32_t addr, std::initializer_list<uint32_t> args);
+
+  // r0 after the last call.
+  uint32_t ReturnValue() const { return cpu_.reg(0); }
+
+  // Converts cycles to milliseconds at the configured clock.
+  double CyclesToMs(uint64_t cycles) const {
+    return 1e3 * static_cast<double>(cycles) / config_.clock_hz;
+  }
+
+ private:
+  MachineConfig config_;
+  MemoryMap memory_;
+  Cpu cpu_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_SIM_MACHINE_H_

@@ -1,0 +1,137 @@
+#include "src/sim/memory.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+namespace {
+
+[[noreturn]] void MemFault(const char* what, uint32_t addr) {
+  std::fprintf(stderr, "simulated memory fault: %s at 0x%08x\n", what, addr);
+  std::abort();
+}
+
+}  // namespace
+
+MemoryMap::MemoryMap(uint32_t flash_base, uint32_t flash_size, uint32_t ram_base,
+                     uint32_t ram_size)
+    : flash_base_(flash_base), ram_base_(ram_base), flash_(flash_size, 0), ram_(ram_size, 0) {}
+
+MemRegion MemoryMap::RegionOf(uint32_t addr) const {
+  if (addr >= flash_base_ && addr < flash_base_ + flash_.size()) {
+    return MemRegion::kFlash;
+  }
+  if (addr >= ram_base_ && addr < ram_base_ + ram_.size()) {
+    return MemRegion::kSram;
+  }
+  return MemRegion::kNone;
+}
+
+uint8_t* MemoryMap::HostPtr(uint32_t addr, uint32_t size, bool allow_flash_write) {
+  switch (RegionOf(addr)) {
+    case MemRegion::kFlash:
+      if (!allow_flash_write) {
+        MemFault("write to flash", addr);
+      }
+      if (addr + size > flash_base_ + flash_.size()) {
+        MemFault("flash access past end", addr);
+      }
+      return flash_.data() + (addr - flash_base_);
+    case MemRegion::kSram:
+      if (addr + size > ram_base_ + ram_.size()) {
+        MemFault("sram access past end", addr);
+      }
+      return ram_.data() + (addr - ram_base_);
+    case MemRegion::kNone:
+      break;
+  }
+  MemFault("access to unmapped address", addr);
+}
+
+const uint8_t* MemoryMap::HostPtrConst(uint32_t addr, uint32_t size) const {
+  switch (RegionOf(addr)) {
+    case MemRegion::kFlash:
+      if (addr + size > flash_base_ + flash_.size()) {
+        MemFault("flash access past end", addr);
+      }
+      return flash_.data() + (addr - flash_base_);
+    case MemRegion::kSram:
+      if (addr + size > ram_base_ + ram_.size()) {
+        MemFault("sram access past end", addr);
+      }
+      return ram_.data() + (addr - ram_base_);
+    case MemRegion::kNone:
+      break;
+  }
+  MemFault("access to unmapped address", addr);
+}
+
+uint8_t MemoryMap::Read8(uint32_t addr) {
+  const MemRegion region = RegionOf(addr);
+  (region == MemRegion::kFlash ? stats_.flash_reads : stats_.sram_reads) += 1;
+  return *HostPtrConst(addr, 1);
+}
+
+uint16_t MemoryMap::Read16(uint32_t addr) {
+  if (addr % 2 != 0) {
+    MemFault("unaligned halfword read", addr);
+  }
+  const MemRegion region = RegionOf(addr);
+  (region == MemRegion::kFlash ? stats_.flash_reads : stats_.sram_reads) += 1;
+  const uint8_t* p = HostPtrConst(addr, 2);
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t MemoryMap::Read32(uint32_t addr) {
+  if (addr % 4 != 0) {
+    MemFault("unaligned word read", addr);
+  }
+  const MemRegion region = RegionOf(addr);
+  (region == MemRegion::kFlash ? stats_.flash_reads : stats_.sram_reads) += 1;
+  const uint8_t* p = HostPtrConst(addr, 4);
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void MemoryMap::Write8(uint32_t addr, uint8_t value) {
+  ++stats_.sram_writes;
+  *HostPtr(addr, 1, /*allow_flash_write=*/false) = value;
+}
+
+void MemoryMap::Write16(uint32_t addr, uint16_t value) {
+  if (addr % 2 != 0) {
+    MemFault("unaligned halfword write", addr);
+  }
+  ++stats_.sram_writes;
+  uint8_t* p = HostPtr(addr, 2, false);
+  p[0] = static_cast<uint8_t>(value & 0xFF);
+  p[1] = static_cast<uint8_t>(value >> 8);
+}
+
+void MemoryMap::Write32(uint32_t addr, uint32_t value) {
+  if (addr % 4 != 0) {
+    MemFault("unaligned word write", addr);
+  }
+  ++stats_.sram_writes;
+  uint8_t* p = HostPtr(addr, 4, false);
+  p[0] = static_cast<uint8_t>(value & 0xFF);
+  p[1] = static_cast<uint8_t>((value >> 8) & 0xFF);
+  p[2] = static_cast<uint8_t>((value >> 16) & 0xFF);
+  p[3] = static_cast<uint8_t>((value >> 24) & 0xFF);
+}
+
+void MemoryMap::HostWrite(uint32_t addr, std::span<const uint8_t> bytes) {
+  uint8_t* p = HostPtr(addr, static_cast<uint32_t>(bytes.size()), /*allow_flash_write=*/true);
+  std::memcpy(p, bytes.data(), bytes.size());
+}
+
+void MemoryMap::HostRead(uint32_t addr, std::span<uint8_t> bytes) const {
+  const uint8_t* p = HostPtrConst(addr, static_cast<uint32_t>(bytes.size()));
+  std::memcpy(bytes.data(), p, bytes.size());
+}
+
+}  // namespace neuroc

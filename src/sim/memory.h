@@ -1,0 +1,62 @@
+// Simulated memory map of the target MCU: flash at 0x08000000 and SRAM at 0x20000000, the
+// STM32F072RB layout. Flash is writable from the host (image loading) but read-only to the
+// simulated CPU, mirroring the real part. Alignment is enforced as on ARMv6-M (unaligned
+// word/halfword accesses fault). Access counters feed the memory-behaviour analyses.
+
+#ifndef NEUROC_SRC_SIM_MEMORY_H_
+#define NEUROC_SRC_SIM_MEMORY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace neuroc {
+
+enum class MemRegion : uint8_t { kFlash = 0, kSram = 1, kNone = 2 };
+
+struct MemAccessStats {
+  uint64_t flash_reads = 0;
+  uint64_t sram_reads = 0;
+  uint64_t sram_writes = 0;
+};
+
+class MemoryMap {
+ public:
+  MemoryMap(uint32_t flash_base, uint32_t flash_size, uint32_t ram_base, uint32_t ram_size);
+
+  uint32_t flash_base() const { return flash_base_; }
+  uint32_t flash_size() const { return static_cast<uint32_t>(flash_.size()); }
+  uint32_t ram_base() const { return ram_base_; }
+  uint32_t ram_size() const { return static_cast<uint32_t>(ram_.size()); }
+
+  MemRegion RegionOf(uint32_t addr) const;
+
+  // CPU-side accessors (counted, flash writes fault).
+  uint8_t Read8(uint32_t addr);
+  uint16_t Read16(uint32_t addr);
+  uint32_t Read32(uint32_t addr);
+  void Write8(uint32_t addr, uint8_t value);
+  void Write16(uint32_t addr, uint16_t value);
+  void Write32(uint32_t addr, uint32_t value);
+
+  // Host-side loading/inspection (uncounted; may write flash).
+  void HostWrite(uint32_t addr, std::span<const uint8_t> bytes);
+  void HostRead(uint32_t addr, std::span<uint8_t> bytes) const;
+
+  const MemAccessStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MemAccessStats{}; }
+
+ private:
+  uint8_t* HostPtr(uint32_t addr, uint32_t size, bool allow_flash_write);
+  const uint8_t* HostPtrConst(uint32_t addr, uint32_t size) const;
+
+  uint32_t flash_base_;
+  uint32_t ram_base_;
+  std::vector<uint8_t> flash_;
+  std::vector<uint8_t> ram_;
+  MemAccessStats stats_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_SIM_MEMORY_H_

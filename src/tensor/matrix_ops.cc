@@ -1,0 +1,174 @@
+#include "src/tensor/matrix_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neuroc {
+
+namespace {
+
+void EnsureShape(Tensor& t, size_t rows, size_t cols) {
+  if (t.rank() != 2 || t.rows() != rows || t.cols() != cols) {
+    t = Tensor({rows, cols});
+  }
+}
+
+}  // namespace
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor& out) {
+  NEUROC_CHECK(a.rank() == 2 && b.rank() == 2);
+  NEUROC_CHECK(a.cols() == b.rows());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  EnsureShape(out, m, n);
+  out.Fill(0.0f);
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of b and out.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out.data() + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = b.data() + p * n;
+      for (size_t j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void MatMulTransposeA(const Tensor& a, const Tensor& b, Tensor& out) {
+  NEUROC_CHECK(a.rank() == 2 && b.rank() == 2);
+  NEUROC_CHECK(a.rows() == b.rows());
+  const size_t k = a.rows();
+  const size_t m = a.cols();
+  const size_t n = b.cols();
+  EnsureShape(out, m, n);
+  out.Fill(0.0f);
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) {
+        continue;
+      }
+      float* orow = out.data() + i * n;
+      for (size_t j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void MatMulTransposeB(const Tensor& a, const Tensor& b, Tensor& out) {
+  NEUROC_CHECK(a.rank() == 2 && b.rank() == 2);
+  NEUROC_CHECK(a.cols() == b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  EnsureShape(out, m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out.data() + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) {
+        acc += arow[p] * brow[p];
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+void AddRowBias(Tensor& out, std::span<const float> bias) {
+  NEUROC_CHECK(out.rank() == 2 && out.cols() == bias.size());
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.data() + r * out.cols();
+    for (size_t c = 0; c < out.cols(); ++c) {
+      row[c] += bias[c];
+    }
+  }
+}
+
+void ColumnSums(const Tensor& m, std::span<float> column_sums) {
+  NEUROC_CHECK(m.rank() == 2 && m.cols() == column_sums.size());
+  std::fill(column_sums.begin(), column_sums.end(), 0.0f);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* row = m.data() + r * m.cols();
+    for (size_t c = 0; c < m.cols(); ++c) {
+      column_sums[c] += row[c];
+    }
+  }
+}
+
+void Scale(Tensor& out, float scale) {
+  for (float& v : out.flat()) {
+    v *= scale;
+  }
+}
+
+void Axpy(float scale, const Tensor& value, Tensor& accum) {
+  NEUROC_CHECK(value.SameShape(accum));
+  const float* src = value.data();
+  float* dst = accum.data();
+  for (size_t i = 0; i < value.size(); ++i) {
+    dst[i] += scale * src[i];
+  }
+}
+
+void SoftmaxRows(Tensor& m) {
+  NEUROC_CHECK(m.rank() == 2);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    float* row = m.data() + r * m.cols();
+    float max_v = row[0];
+    for (size_t c = 1; c < m.cols(); ++c) {
+      max_v = std::max(max_v, row[c]);
+    }
+    float sum = 0.0f;
+    for (size_t c = 0; c < m.cols(); ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (size_t c = 0; c < m.cols(); ++c) {
+      row[c] *= inv;
+    }
+  }
+}
+
+size_t ArgMax(std::span<const float> row) {
+  NEUROC_CHECK(!row.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < row.size(); ++i) {
+    if (row[i] > row[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+float MaxAbs(const Tensor& m) {
+  float v = 0.0f;
+  for (float x : m.flat()) {
+    v = std::max(v, std::fabs(x));
+  }
+  return v;
+}
+
+float MeanAbs(const Tensor& m) {
+  if (m.size() == 0) {
+    return 0.0f;
+  }
+  double acc = 0.0;
+  for (float x : m.flat()) {
+    acc += std::fabs(x);
+  }
+  return static_cast<float>(acc / static_cast<double>(m.size()));
+}
+
+}  // namespace neuroc

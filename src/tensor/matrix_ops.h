@@ -1,0 +1,47 @@
+// Linear-algebra kernels for the training substrate. All matrices are rank-2 Tensors in
+// row-major layout. These are host-side float kernels (training never runs on the simulated
+// MCU); correctness is validated against naive references in the test suite.
+
+#ifndef NEUROC_SRC_TENSOR_MATRIX_OPS_H_
+#define NEUROC_SRC_TENSOR_MATRIX_OPS_H_
+
+#include <span>
+
+#include "src/tensor/tensor.h"
+
+namespace neuroc {
+
+// out = a * b. a is [m,k], b is [k,n], out is resized/verified to [m,n].
+void MatMul(const Tensor& a, const Tensor& b, Tensor& out);
+
+// out = a^T * b. a is [k,m], b is [k,n], out is [m,n].
+void MatMulTransposeA(const Tensor& a, const Tensor& b, Tensor& out);
+
+// out = a * b^T. a is [m,k], b is [n,k], out is [m,n].
+void MatMulTransposeB(const Tensor& a, const Tensor& b, Tensor& out);
+
+// out[r, :] += bias for every row r. bias length must equal out.cols().
+void AddRowBias(Tensor& out, std::span<const float> bias);
+
+// column_sums[c] = sum_r m(r, c). Used for bias gradients.
+void ColumnSums(const Tensor& m, std::span<float> column_sums);
+
+// Elementwise: out = out * scale (in place).
+void Scale(Tensor& out, float scale);
+
+// Elementwise: accum += value * scale.
+void Axpy(float scale, const Tensor& value, Tensor& accum);
+
+// Row-wise softmax in place (numerically stabilized).
+void SoftmaxRows(Tensor& m);
+
+// Returns the index of the maximum element of `row`.
+size_t ArgMax(std::span<const float> row);
+
+// Frobenius-norm helpers used by optimizers/tests.
+float MaxAbs(const Tensor& m);
+float MeanAbs(const Tensor& m);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_TENSOR_MATRIX_OPS_H_

@@ -1,0 +1,36 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+
+namespace neuroc {
+
+namespace {
+size_t ElementCount(const std::vector<size_t>& shape) {
+  size_t n = shape.empty() ? 0 : 1;
+  for (size_t d : shape) {
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<size_t> shape) : shape_(std::move(shape)) {
+  data_.assign(ElementCount(shape_), 0.0f);
+}
+
+Tensor Tensor::FromData(size_t rows, size_t cols, std::vector<float> data) {
+  NEUROC_CHECK(data.size() == rows * cols);
+  Tensor t;
+  t.shape_ = {rows, cols};
+  t.data_ = std::move(data);
+  return t;
+}
+
+void Tensor::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::Reshape(std::vector<size_t> shape) {
+  NEUROC_CHECK(ElementCount(shape) == data_.size());
+  shape_ = std::move(shape);
+}
+
+}  // namespace neuroc

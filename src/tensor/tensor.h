@@ -1,0 +1,99 @@
+// Dense row-major float tensor used by the training substrate.
+//
+// The training framework only needs rank-1/rank-2 tensors (minibatches of flattened images and
+// weight matrices), so this type is deliberately small: contiguous float storage plus a shape.
+// All linear-algebra kernels live in matrix_ops.h and operate on Tensor views.
+
+#ifndef NEUROC_SRC_TENSOR_TENSOR_H_
+#define NEUROC_SRC_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Constructs a zero-filled tensor with the given shape.
+  explicit Tensor(std::vector<size_t> shape);
+  Tensor(std::initializer_list<size_t> shape) : Tensor(std::vector<size_t>(shape)) {}
+
+  // Constructs a rank-2 tensor from explicit data (size must equal rows*cols).
+  static Tensor FromData(size_t rows, size_t cols, std::vector<float> data);
+
+  // Shape access.
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t rank() const { return shape_.size(); }
+  size_t dim(size_t i) const {
+    NEUROC_DCHECK(i < shape_.size());
+    return shape_[i];
+  }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  // Rank-2 convenience accessors.
+  size_t rows() const {
+    NEUROC_DCHECK(rank() == 2);
+    return shape_[0];
+  }
+  size_t cols() const {
+    NEUROC_DCHECK(rank() == 2);
+    return shape_[1];
+  }
+  float& at(size_t r, size_t c) {
+    NEUROC_DCHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+  float at(size_t r, size_t c) const {
+    NEUROC_DCHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+
+  // Flat element access.
+  float& operator[](size_t i) {
+    NEUROC_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  float operator[](size_t i) const {
+    NEUROC_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  // Raw storage.
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return std::span<float>(data_); }
+  std::span<const float> flat() const { return std::span<const float>(data_); }
+
+  // Row view for rank-2 tensors.
+  std::span<const float> row(size_t r) const {
+    NEUROC_DCHECK(rank() == 2 && r < shape_[0]);
+    return std::span<const float>(data_.data() + r * shape_[1], shape_[1]);
+  }
+  std::span<float> row(size_t r) {
+    NEUROC_DCHECK(rank() == 2 && r < shape_[0]);
+    return std::span<float>(data_.data() + r * shape_[1], shape_[1]);
+  }
+
+  // Fills every element with `value`.
+  void Fill(float value);
+
+  // Reshape without copying; new shape must have the same element count.
+  void Reshape(std::vector<size_t> shape);
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_TENSOR_TENSOR_H_

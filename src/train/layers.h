@@ -1,0 +1,108 @@
+// Standard trainable layers: dense (the MLP baseline building block), ReLU, dropout and
+// 1-D batch normalization. Hand-written forward/backward passes; gradient-checked in tests.
+
+#ifndef NEUROC_SRC_TRAIN_LAYERS_H_
+#define NEUROC_SRC_TRAIN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/train/module.h"
+
+namespace neuroc {
+
+// Fully connected layer: y = x W + b, W is [in, out].
+class DenseLayer : public Module {
+ public:
+  DenseLayer(size_t in_dim, size_t out_dim, Rng& rng);
+
+  const Tensor& Forward(const Tensor& input, bool training) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
+  void CollectParams(std::vector<ParamRef>& out) override;
+  std::string Name() const override;
+  size_t DeployedParameterCount() const override;
+
+  size_t in_dim() const { return weights_.rows(); }
+  size_t out_dim() const { return weights_.cols(); }
+  const Tensor& weights() const { return weights_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  Tensor weights_;       // [in, out]
+  Tensor bias_;          // [1, out]
+  Tensor grad_weights_;
+  Tensor grad_bias_;
+  Tensor input_cache_;
+  Tensor output_;
+  Tensor grad_input_;
+};
+
+// Elementwise rectified linear unit.
+class ReluLayer : public Module {
+ public:
+  const Tensor& Forward(const Tensor& input, bool training) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
+  std::string Name() const override { return "relu"; }
+
+ private:
+  Tensor output_;
+  Tensor grad_input_;
+};
+
+// Inverted dropout: active only in training mode.
+class DropoutLayer : public Module {
+ public:
+  DropoutLayer(float rate, Rng& rng);
+
+  const Tensor& Forward(const Tensor& input, bool training) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
+  std::string Name() const override;
+
+ private:
+  float rate_;
+  Rng rng_;
+  Tensor mask_;
+  Tensor output_;
+  Tensor grad_input_;
+};
+
+// Batch normalization over the feature dimension with running statistics for inference.
+// Used only by MLP baseline configurations (the paper's point is that Neuro-C does not
+// need it — and that TNNs that do need it cannot deploy it on an M0).
+class BatchNorm1dLayer : public Module {
+ public:
+  explicit BatchNorm1dLayer(size_t dim, float momentum = 0.9f, float epsilon = 1e-5f);
+
+  const Tensor& Forward(const Tensor& input, bool training) override;
+  const Tensor& Backward(const Tensor& grad_output) override;
+  void CollectParams(std::vector<ParamRef>& out) override;
+  std::string Name() const override;
+  size_t DeployedParameterCount() const override;
+
+  // Accessors used when folding batch norm into a preceding dense layer at export time.
+  const Tensor& gamma() const { return gamma_; }
+  const Tensor& beta() const { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  float epsilon() const { return epsilon_; }
+
+ private:
+  float momentum_;
+  float epsilon_;
+  Tensor gamma_;         // [1, dim]
+  Tensor beta_;          // [1, dim]
+  Tensor grad_gamma_;
+  Tensor grad_beta_;
+  Tensor running_mean_;  // [1, dim]
+  Tensor running_var_;   // [1, dim]
+  // Caches for backward.
+  Tensor x_hat_;
+  Tensor batch_inv_std_;  // [1, dim]
+  Tensor output_;
+  Tensor grad_input_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_TRAIN_LAYERS_H_

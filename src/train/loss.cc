@@ -1,0 +1,48 @@
+#include "src/train/loss.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace neuroc {
+
+float SoftmaxCrossEntropy(const Tensor& logits, std::span<const int> labels, Tensor* grad) {
+  NEUROC_CHECK(logits.rank() == 2 && logits.rows() == labels.size());
+  const size_t n = logits.rows();
+  const size_t k = logits.cols();
+  Tensor probs = logits;
+  SoftmaxRows(probs);
+  double loss = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    const int label = labels[r];
+    NEUROC_CHECK(label >= 0 && static_cast<size_t>(label) < k);
+    loss += -std::log(std::max(probs.at(r, static_cast<size_t>(label)), 1e-12f));
+  }
+  if (grad != nullptr) {
+    *grad = probs;
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (size_t r = 0; r < n; ++r) {
+      grad->at(r, static_cast<size_t>(labels[r])) -= 1.0f;
+      float* row = grad->data() + r * k;
+      for (size_t c = 0; c < k; ++c) {
+        row[c] *= inv_n;
+      }
+    }
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+float Accuracy(const Tensor& logits, std::span<const int> labels) {
+  NEUROC_CHECK(logits.rank() == 2 && logits.rows() == labels.size());
+  size_t correct = 0;
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    if (ArgMax(logits.row(r)) == static_cast<size_t>(labels[r])) {
+      ++correct;
+    }
+  }
+  return labels.empty() ? 0.0f
+                        : static_cast<float>(correct) / static_cast<float>(labels.size());
+}
+
+}  // namespace neuroc

@@ -1,0 +1,23 @@
+// Softmax cross-entropy loss with fused gradient.
+
+#ifndef NEUROC_SRC_TRAIN_LOSS_H_
+#define NEUROC_SRC_TRAIN_LOSS_H_
+
+#include <span>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace neuroc {
+
+// Computes mean softmax cross-entropy over the batch and (optionally) the gradient with
+// respect to the logits. `labels` holds one class index per row of `logits`.
+// Returns the mean loss; writes dLoss/dLogits into `grad` when grad != nullptr.
+float SoftmaxCrossEntropy(const Tensor& logits, std::span<const int> labels, Tensor* grad);
+
+// Fraction of rows whose arg-max logit equals the label.
+float Accuracy(const Tensor& logits, std::span<const int> labels);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_TRAIN_LOSS_H_

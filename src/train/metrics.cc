@@ -1,0 +1,100 @@
+#include "src/train/metrics.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<size_t>(num_classes) * static_cast<size_t>(num_classes), 0) {
+  NEUROC_CHECK(num_classes > 0);
+}
+
+void ConfusionMatrix::Add(int true_class, int predicted_class) {
+  NEUROC_CHECK(true_class >= 0 && true_class < num_classes_);
+  NEUROC_CHECK(predicted_class >= 0 && predicted_class < num_classes_);
+  ++counts_[static_cast<size_t>(true_class) * num_classes_ + predicted_class];
+  ++total_;
+}
+
+void ConfusionMatrix::Merge(const ConfusionMatrix& other) {
+  NEUROC_CHECK(other.num_classes_ == num_classes_);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+uint64_t ConfusionMatrix::count(int true_class, int predicted_class) const {
+  NEUROC_CHECK(true_class >= 0 && true_class < num_classes_);
+  NEUROC_CHECK(predicted_class >= 0 && predicted_class < num_classes_);
+  return counts_[static_cast<size_t>(true_class) * num_classes_ + predicted_class];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  uint64_t diag = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    diag += count(c, c);
+  }
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(int cls) const {
+  uint64_t predicted = 0;
+  for (int t = 0; t < num_classes_; ++t) {
+    predicted += count(t, cls);
+  }
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(count(cls, cls)) /
+                              static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::Recall(int cls) const {
+  uint64_t actual = 0;
+  for (int p = 0; p < num_classes_; ++p) {
+    actual += count(cls, p);
+  }
+  return actual == 0 ? 0.0
+                     : static_cast<double>(count(cls, cls)) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::F1(int cls) const {
+  const double p = Precision(cls);
+  const double r = Recall(cls);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) {
+    sum += F1(c);
+  }
+  return sum / num_classes_;
+}
+
+std::string ConfusionMatrix::Format(const std::vector<std::string>& class_names) const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-12s %9s %9s %9s\n", "class", "precision", "recall",
+                "f1");
+  out += buf;
+  for (int c = 0; c < num_classes_; ++c) {
+    const std::string name = c < static_cast<int>(class_names.size())
+                                 ? class_names[static_cast<size_t>(c)]
+                                 : "class " + std::to_string(c);
+    std::snprintf(buf, sizeof(buf), "%-12s %9.4f %9.4f %9.4f\n", name.c_str(), Precision(c),
+                  Recall(c), F1(c));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "accuracy %.4f | macro-F1 %.4f | n=%llu\n", Accuracy(),
+                MacroF1(), static_cast<unsigned long long>(total_));
+  out += buf;
+  return out;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,44 @@
+// Classification quality metrics beyond top-1 accuracy: confusion matrix, per-class
+// precision/recall/F1, macro averages. Used by the examples and benches to report
+// deployment-grade evaluation (a fall detector cares about fall recall, not accuracy).
+
+#ifndef NEUROC_SRC_TRAIN_METRICS_H_
+#define NEUROC_SRC_TRAIN_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace neuroc {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Add(int true_class, int predicted_class);
+  // Merges counts from another matrix of the same shape.
+  void Merge(const ConfusionMatrix& other);
+
+  int num_classes() const { return num_classes_; }
+  uint64_t count(int true_class, int predicted_class) const;
+  uint64_t total() const { return total_; }
+
+  double Accuracy() const;
+  // Per-class one-vs-rest metrics. Classes with no predicted (resp. true) examples report
+  // 0 precision (resp. recall).
+  double Precision(int cls) const;
+  double Recall(int cls) const;
+  double F1(int cls) const;
+  double MacroF1() const;
+
+  // Fixed-width table with per-class rows (optionally named).
+  std::string Format(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  int num_classes_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> counts_;  // [true * num_classes + predicted]
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_TRAIN_METRICS_H_

@@ -1,0 +1,90 @@
+#include "src/train/network.h"
+
+#include "src/common/check.h"
+#include "src/train/layers.h"
+
+namespace neuroc {
+
+const Tensor& Network::Forward(const Tensor& input, bool training) {
+  NEUROC_CHECK(!modules_.empty());
+  const Tensor* x = &input;
+  for (auto& m : modules_) {
+    x = &m->Forward(*x, training);
+  }
+  return *x;
+}
+
+void Network::Backward(const Tensor& grad_loss) {
+  const Tensor* g = &grad_loss;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    g = &(*it)->Backward(*g);
+  }
+}
+
+std::vector<ParamRef> Network::Params() {
+  std::vector<ParamRef> params;
+  for (auto& m : modules_) {
+    m->CollectParams(params);
+  }
+  return params;
+}
+
+size_t Network::DeployedParameterCount() const {
+  size_t n = 0;
+  for (const auto& m : modules_) {
+    n += m->DeployedParameterCount();
+  }
+  return n;
+}
+
+std::string Network::Summary() const {
+  std::string s;
+  for (const auto& m : modules_) {
+    if (!s.empty()) {
+      s += " -> ";
+    }
+    s += m->Name();
+  }
+  return s;
+}
+
+Network BuildMlp(size_t in_dim, size_t num_classes, const MlpSpec& spec, Rng& rng) {
+  Network net;
+  size_t prev = in_dim;
+  for (size_t width : spec.hidden) {
+    net.Add<DenseLayer>(prev, width, rng);
+    if (spec.batch_norm) {
+      net.Add<BatchNorm1dLayer>(width);
+    }
+    net.Add<ReluLayer>();
+    if (spec.dropout > 0.0f) {
+      net.Add<DropoutLayer>(spec.dropout, rng);
+    }
+    prev = width;
+  }
+  net.Add<DenseLayer>(prev, num_classes, rng);
+  return net;
+}
+
+Network BuildNeuroC(size_t in_dim, size_t num_classes, const NeuroCSpec& spec, Rng& rng) {
+  Network net;
+  size_t prev = in_dim;
+  for (size_t width : spec.hidden) {
+    net.Add<NeuroCLayer>(prev, width, rng, spec.layer);
+    net.Add<ReluLayer>();
+    prev = width;
+  }
+  net.Add<NeuroCLayer>(prev, num_classes, rng, spec.layer);
+  return net;
+}
+
+Network BuildFixedAdjacency(size_t in_dim, size_t num_classes, size_t hidden,
+                            const FixedAdjacencyConfig& cfg, Rng& rng) {
+  Network net;
+  net.Add<FixedAdjacencyLayer>(in_dim, hidden, rng, cfg);
+  net.Add<ReluLayer>();
+  net.Add<DenseLayer>(hidden, num_classes, rng);
+  return net;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,273 @@
+#include "src/train/neuroc_layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace neuroc {
+
+namespace {
+
+// Broadcast-multiply each row of m by `col` (length m.cols()).
+void ScaleColumns(const Tensor& m, const Tensor& col, Tensor& out) {
+  if (!out.SameShape(m)) {
+    out = Tensor(m.shape());
+  }
+  const size_t n = m.rows();
+  const size_t d = m.cols();
+  for (size_t r = 0; r < n; ++r) {
+    const float* src = m.data() + r * d;
+    float* dst = out.data() + r * d;
+    for (size_t c = 0; c < d; ++c) {
+      dst[c] = src[c] * col[c];
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NeuroCLayer
+// ---------------------------------------------------------------------------
+
+NeuroCLayer::NeuroCLayer(size_t in_dim, size_t out_dim, Rng& rng, NeuroCLayerConfig cfg)
+    : cfg_(cfg),
+      latent_({in_dim, out_dim}),
+      scale_({size_t{1}, out_dim}),
+      bias_({size_t{1}, out_dim}),
+      grad_latent_({in_dim, out_dim}),
+      grad_scale_({size_t{1}, out_dim}),
+      grad_bias_({size_t{1}, out_dim}) {
+  // Glorot-style init on the latent weights; the ternary threshold adapts to their scale.
+  const float stddev =
+      cfg.latent_init_stddev_scale * std::sqrt(2.0f / static_cast<float>(in_dim + out_dim));
+  for (float& w : latent_.flat()) {
+    w = rng.NextGaussian(0.0f, stddev);
+  }
+  // The per-neuron scale starts near the inverse of the expected fan-in magnitude so early
+  // pre-activations are O(1) — this is the built-in normalizer role described in Sec. 3.4.
+  const float init_scale = 1.0f / std::sqrt(static_cast<float>(in_dim));
+  scale_.Fill(init_scale);
+}
+
+const Tensor& NeuroCLayer::Adjacency() {
+  if (!adjacency_valid_) {
+    Ternarize(latent_, TernaryThreshold(latent_, cfg_.ternary), adjacency_);
+    adjacency_valid_ = true;
+  }
+  return adjacency_;
+}
+
+float NeuroCLayer::CurrentThreshold() const {
+  return TernaryThreshold(latent_, cfg_.ternary);
+}
+
+size_t NeuroCLayer::NonZeroCount() const {
+  return CountNonZero(latent_, TernaryThreshold(latent_, cfg_.ternary));
+}
+
+const Tensor& NeuroCLayer::Forward(const Tensor& input, bool training) {
+  (void)training;
+  NEUROC_CHECK(input.rank() == 2 && input.cols() == latent_.rows());
+  input_cache_ = input;
+  adjacency_valid_ = false;  // latent weights may have changed since the last step
+  const Tensor& a = Adjacency();
+  MatMul(input, a, presum_);
+  if (cfg_.use_per_neuron_scale) {
+    ScaleColumns(presum_, scale_, output_);
+  } else {
+    output_ = presum_;
+  }
+  AddRowBias(output_, bias_.flat());
+  return output_;
+}
+
+const Tensor& NeuroCLayer::Backward(const Tensor& grad_output) {
+  NEUROC_CHECK(grad_output.SameShape(output_));
+  const size_t n = grad_output.rows();
+  const size_t d = grad_output.cols();
+  // Bias gradient.
+  ColumnSums(grad_output, grad_bias_.flat());
+  // Scale gradient: dL/ds_j = sum_r g[r,j] * z[r,j].
+  if (cfg_.use_per_neuron_scale) {
+    for (size_t c = 0; c < d; ++c) {
+      grad_scale_[c] = 0.0f;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const float* g = grad_output.data() + r * d;
+      const float* z = presum_.data() + r * d;
+      for (size_t c = 0; c < d; ++c) {
+        grad_scale_[c] += g[c] * z[c];
+      }
+    }
+  }
+  // Gradient reaching the pre-sum z: gz = g * s (or g if no scale).
+  Tensor gz;
+  if (cfg_.use_per_neuron_scale) {
+    ScaleColumns(grad_output, scale_, gz);
+  } else {
+    gz = grad_output;
+  }
+  // Latent gradient through the ternarizer (straight-through): dL/dW = x^T gz, clipped.
+  MatMulTransposeA(input_cache_, gz, grad_latent_);
+  ApplySteClip(latent_, cfg_.ternary.ste_clip, grad_latent_);
+  // Input gradient through the ternary adjacency.
+  MatMulTransposeB(gz, Adjacency(), grad_input_);
+  return grad_input_;
+}
+
+void NeuroCLayer::CollectParams(std::vector<ParamRef>& out) {
+  out.push_back({&latent_, &grad_latent_, Name() + ".latent"});
+  if (cfg_.use_per_neuron_scale) {
+    out.push_back({&scale_, &grad_scale_, Name() + ".scale"});
+  }
+  out.push_back({&bias_, &grad_bias_, Name() + ".bias"});
+}
+
+std::string NeuroCLayer::Name() const {
+  return std::string(cfg_.use_per_neuron_scale ? "neuroc" : "tnn") + "[" +
+         std::to_string(in_dim()) + "x" + std::to_string(out_dim()) + "]";
+}
+
+size_t NeuroCLayer::DeployedParameterCount() const {
+  // Deployed cost: nonzero adjacency entries + per-neuron (scale and bias).
+  const size_t per_neuron = cfg_.use_per_neuron_scale ? 2 : 1;
+  return NonZeroCount() + per_neuron * out_dim();
+}
+
+// ---------------------------------------------------------------------------
+// FixedAdjacencyLayer
+// ---------------------------------------------------------------------------
+
+FixedAdjacencyLayer::FixedAdjacencyLayer(size_t in_dim, size_t out_dim, Rng& rng,
+                                         FixedAdjacencyConfig cfg)
+    : cfg_(cfg),
+      adjacency_({in_dim, out_dim}),
+      scale_({size_t{1}, out_dim}),
+      bias_({size_t{1}, out_dim}),
+      grad_scale_({size_t{1}, out_dim}),
+      grad_bias_({size_t{1}, out_dim}) {
+  switch (cfg_.strategy) {
+    case AdjacencyStrategy::kRandom: {
+      for (float& a : adjacency_.flat()) {
+        if (rng.NextBool(cfg_.density)) {
+          a = rng.NextBool(0.5) ? 1.0f : -1.0f;
+        }
+      }
+      break;
+    }
+    case AdjacencyStrategy::kConstrainedRandom: {
+      const size_t fan_in = std::min(cfg_.fan_in, in_dim);
+      std::vector<size_t> pool(in_dim);
+      for (size_t i = 0; i < in_dim; ++i) {
+        pool[i] = i;
+      }
+      for (size_t j = 0; j < out_dim; ++j) {
+        rng.Shuffle(pool);
+        for (size_t k = 0; k < fan_in; ++k) {
+          adjacency_.at(pool[k], j) = rng.NextBool(0.5) ? 1.0f : -1.0f;
+        }
+      }
+      break;
+    }
+    case AdjacencyStrategy::kSpatialLocal: {
+      // Assign each output neuron a receptive-field center (evenly spread over the input
+      // raster, mimicking a convolutional local pattern) and connect the window around it.
+      const int w = cfg_.image_width > 0 ? cfg_.image_width : static_cast<int>(in_dim);
+      const int h = static_cast<int>(in_dim) / w;
+      NEUROC_CHECK(w * h == static_cast<int>(in_dim));
+      for (size_t j = 0; j < out_dim; ++j) {
+        const double t = (static_cast<double>(j) + 0.5) / static_cast<double>(out_dim);
+        // Space centers along a grid-filling order with a random perturbation.
+        int cx = static_cast<int>(t * w * 997.0) % w;
+        int cy = (static_cast<int>(t * h * 1009.0) + static_cast<int>(rng.NextBounded(3))) % h;
+        cx = std::clamp(cx, 0, w - 1);
+        cy = std::clamp(cy, 0, h - 1);
+        for (int dy = -cfg_.window_radius; dy <= cfg_.window_radius; ++dy) {
+          for (int dx = -cfg_.window_radius; dx <= cfg_.window_radius; ++dx) {
+            const int x = cx + dx;
+            const int y = cy + dy;
+            if (x < 0 || x >= w || y < 0 || y >= h) {
+              continue;
+            }
+            adjacency_.at(static_cast<size_t>(y) * w + x, j) =
+                rng.NextBool(0.5) ? 1.0f : -1.0f;
+          }
+        }
+      }
+      break;
+    }
+  }
+  const float init_scale = 1.0f / std::sqrt(static_cast<float>(in_dim));
+  scale_.Fill(init_scale);
+}
+
+const Tensor& FixedAdjacencyLayer::Forward(const Tensor& input, bool training) {
+  (void)training;
+  NEUROC_CHECK(input.rank() == 2 && input.cols() == adjacency_.rows());
+  input_cache_ = input;
+  MatMul(input, adjacency_, presum_);
+  ScaleColumns(presum_, scale_, output_);
+  AddRowBias(output_, bias_.flat());
+  return output_;
+}
+
+const Tensor& FixedAdjacencyLayer::Backward(const Tensor& grad_output) {
+  NEUROC_CHECK(grad_output.SameShape(output_));
+  const size_t n = grad_output.rows();
+  const size_t d = grad_output.cols();
+  ColumnSums(grad_output, grad_bias_.flat());
+  for (size_t c = 0; c < d; ++c) {
+    grad_scale_[c] = 0.0f;
+  }
+  for (size_t r = 0; r < n; ++r) {
+    const float* g = grad_output.data() + r * d;
+    const float* z = presum_.data() + r * d;
+    for (size_t c = 0; c < d; ++c) {
+      grad_scale_[c] += g[c] * z[c];
+    }
+  }
+  Tensor gz;
+  ScaleColumns(grad_output, scale_, gz);
+  MatMulTransposeB(gz, adjacency_, grad_input_);
+  return grad_input_;
+}
+
+void FixedAdjacencyLayer::CollectParams(std::vector<ParamRef>& out) {
+  out.push_back({&scale_, &grad_scale_, Name() + ".scale"});
+  out.push_back({&bias_, &grad_bias_, Name() + ".bias"});
+}
+
+std::string FixedAdjacencyLayer::Name() const {
+  const char* tag = "?";
+  switch (cfg_.strategy) {
+    case AdjacencyStrategy::kRandom:
+      tag = "random";
+      break;
+    case AdjacencyStrategy::kConstrainedRandom:
+      tag = "constrained";
+      break;
+    case AdjacencyStrategy::kSpatialLocal:
+      tag = "spatial";
+      break;
+  }
+  return std::string("fixed-adj[") + tag + "]";
+}
+
+size_t FixedAdjacencyLayer::NonZeroCount() const {
+  size_t n = 0;
+  for (float a : adjacency_.flat()) {
+    if (a != 0.0f) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t FixedAdjacencyLayer::DeployedParameterCount() const {
+  return NonZeroCount() + 2 * adjacency_.cols();
+}
+
+}  // namespace neuroc

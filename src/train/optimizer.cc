@@ -1,0 +1,64 @@
+#include "src/train/optimizer.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+void SgdOptimizer::Step(std::span<ParamRef> params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (const ParamRef& p : params) {
+      velocity_.emplace_back(p.value->shape());
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& w = *params[i].value;
+    Tensor& g = *params[i].grad;
+    NEUROC_CHECK(w.SameShape(g));
+    Tensor& vel = velocity_[i];
+    float* wp = w.data();
+    float* gp = g.data();
+    float* vp = vel.data();
+    for (size_t k = 0; k < w.size(); ++k) {
+      float grad = gp[k] + weight_decay_ * wp[k];
+      vp[k] = momentum_ * vp[k] + grad;
+      wp[k] -= learning_rate_ * vp[k];
+    }
+  }
+}
+
+void AdamOptimizer::Step(std::span<ParamRef> params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (const ParamRef& p : params) {
+      m_.emplace_back(p.value->shape());
+      v_.emplace_back(p.value->shape());
+    }
+    t_ = 0;
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& w = *params[i].value;
+    Tensor& g = *params[i].grad;
+    NEUROC_CHECK(w.SameShape(g));
+    float* wp = w.data();
+    float* gp = g.data();
+    float* mp = m_[i].data();
+    float* vp = v_[i].data();
+    for (size_t k = 0; k < w.size(); ++k) {
+      const float grad = gp[k] + weight_decay_ * wp[k];
+      mp[k] = beta1_ * mp[k] + (1.0f - beta1_) * grad;
+      vp[k] = beta2_ * vp[k] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = mp[k] / bc1;
+      const float v_hat = vp[k] / bc2;
+      wp[k] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace neuroc

@@ -1,0 +1,66 @@
+// Gradient-based optimizers. State is kept per parameter slot, matched by position in the
+// CollectParams order, which is stable for the lifetime of a network.
+
+#ifndef NEUROC_SRC_TRAIN_OPTIMIZER_H_
+#define NEUROC_SRC_TRAIN_OPTIMIZER_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/train/module.h"
+
+namespace neuroc {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the gradients currently stored in `params`.
+  virtual void Step(std::span<ParamRef> params) = 0;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ protected:
+  explicit Optimizer(float lr) : learning_rate_(lr) {}
+  float learning_rate_;
+};
+
+// Plain SGD with optional momentum and weight decay.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(float lr, float momentum = 0.0f, float weight_decay = 0.0f)
+      : Optimizer(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void Step(std::span<ParamRef> params) override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba) with bias correction.
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                         float epsilon = 1e-8f, float weight_decay = 0.0f)
+      : Optimizer(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon),
+        weight_decay_(weight_decay) {}
+
+  void Step(std::span<ParamRef> params) override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_TRAIN_OPTIMIZER_H_

@@ -1,0 +1,76 @@
+#include "src/train/ternary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/tensor/matrix_ops.h"
+
+namespace neuroc {
+
+float TernaryThreshold(const Tensor& latent, const TernaryConfig& cfg) {
+  if (cfg.target_density <= 0.0f) {
+    return cfg.threshold_factor * MeanAbs(latent);
+  }
+  NEUROC_CHECK(cfg.target_density <= 1.0f);
+  // Threshold at the (1 - density) quantile of |W|: keeps ~density of the connections.
+  std::vector<float> mags(latent.size());
+  for (size_t i = 0; i < latent.size(); ++i) {
+    mags[i] = std::fabs(latent[i]);
+  }
+  const size_t keep =
+      std::min(mags.size() - 1,
+               static_cast<size_t>((1.0f - cfg.target_density) *
+                                   static_cast<float>(mags.size())));
+  std::nth_element(mags.begin(), mags.begin() + static_cast<ptrdiff_t>(keep), mags.end());
+  return mags[keep];
+}
+
+void Ternarize(const Tensor& latent, float threshold, Tensor& out) {
+  if (!out.SameShape(latent)) {
+    out = Tensor(latent.shape());
+  }
+  const float* src = latent.data();
+  float* dst = out.data();
+  for (size_t i = 0; i < latent.size(); ++i) {
+    if (src[i] > threshold) {
+      dst[i] = 1.0f;
+    } else if (src[i] < -threshold) {
+      dst[i] = -1.0f;
+    } else {
+      dst[i] = 0.0f;
+    }
+  }
+}
+
+void TernarizeToInt8(const Tensor& latent, float threshold, std::vector<int8_t>& out) {
+  out.resize(latent.size());
+  const float* src = latent.data();
+  for (size_t i = 0; i < latent.size(); ++i) {
+    out[i] = src[i] > threshold ? int8_t{1} : (src[i] < -threshold ? int8_t{-1} : int8_t{0});
+  }
+}
+
+void ApplySteClip(const Tensor& latent, float clip, Tensor& grad) {
+  NEUROC_CHECK(latent.SameShape(grad));
+  const float* w = latent.data();
+  float* g = grad.data();
+  for (size_t i = 0; i < latent.size(); ++i) {
+    if (std::fabs(w[i]) > clip) {
+      g[i] = 0.0f;
+    }
+  }
+}
+
+size_t CountNonZero(const Tensor& latent, float threshold) {
+  size_t n = 0;
+  for (float w : latent.flat()) {
+    if (w > threshold || w < -threshold) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace neuroc

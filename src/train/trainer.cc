@@ -1,0 +1,104 @@
+#include "src/train/trainer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/train/loss.h"
+
+namespace neuroc {
+
+void GatherBatch(const Dataset& ds, std::span<const size_t> indices, Tensor& batch_x,
+                 std::vector<int>& batch_y) {
+  const size_t dim = ds.input_dim();
+  if (batch_x.rank() != 2 || batch_x.rows() != indices.size() || batch_x.cols() != dim) {
+    batch_x = Tensor({indices.size(), dim});
+  }
+  batch_y.resize(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    NEUROC_CHECK(indices[i] < ds.num_examples());
+    std::copy(ds.images.row(indices[i]).begin(), ds.images.row(indices[i]).end(),
+              batch_x.row(i).begin());
+    batch_y[i] = ds.labels[indices[i]];
+  }
+}
+
+float EvaluateAccuracy(Network& net, const Dataset& ds, size_t batch_size) {
+  size_t correct = 0;
+  Tensor batch_x;
+  std::vector<int> batch_y;
+  std::vector<size_t> idx;
+  for (size_t start = 0; start < ds.num_examples(); start += batch_size) {
+    const size_t end = std::min(start + batch_size, ds.num_examples());
+    idx.resize(end - start);
+    for (size_t i = start; i < end; ++i) {
+      idx[i - start] = i;
+    }
+    GatherBatch(ds, idx, batch_x, batch_y);
+    const Tensor& logits = net.Forward(batch_x, /*training=*/false);
+    correct += static_cast<size_t>(
+        Accuracy(logits, batch_y) * static_cast<float>(batch_y.size()) + 0.5f);
+  }
+  return ds.num_examples() == 0
+             ? 0.0f
+             : static_cast<float>(correct) / static_cast<float>(ds.num_examples());
+}
+
+TrainResult Train(Network& net, const Dataset& train, const Dataset& test,
+                  const TrainConfig& cfg) {
+  NEUROC_CHECK(train.num_examples() > 0);
+  std::unique_ptr<Optimizer> opt;
+  if (cfg.use_adam) {
+    opt = std::make_unique<AdamOptimizer>(cfg.learning_rate, 0.9f, 0.999f, 1e-8f,
+                                          cfg.weight_decay);
+  } else {
+    opt = std::make_unique<SgdOptimizer>(cfg.learning_rate, cfg.momentum, cfg.weight_decay);
+  }
+  std::vector<ParamRef> params = net.Params();
+  Rng rng(cfg.shuffle_seed);
+  std::vector<size_t> order(train.num_examples());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  TrainResult result;
+  Tensor batch_x, grad;
+  std::vector<int> batch_y;
+  float lr = cfg.learning_rate;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < order.size(); start += cfg.batch_size) {
+      const size_t end = std::min(start + cfg.batch_size, order.size());
+      GatherBatch(train, std::span<const size_t>(order.data() + start, end - start), batch_x,
+                  batch_y);
+      const Tensor& logits = net.Forward(batch_x, /*training=*/true);
+      const float loss = SoftmaxCrossEntropy(logits, batch_y, &grad);
+      loss_sum += loss;
+      acc_sum += Accuracy(logits, batch_y);
+      ++batches;
+      net.Backward(grad);
+      opt->Step(params);
+    }
+    EpochStats stats;
+    stats.train_loss = static_cast<float>(loss_sum / std::max<size_t>(batches, 1));
+    stats.train_accuracy = static_cast<float>(acc_sum / std::max<size_t>(batches, 1));
+    stats.test_accuracy = test.num_examples() > 0 ? EvaluateAccuracy(net, test) : 0.0f;
+    result.history.push_back(stats);
+    result.best_test_accuracy = std::max(result.best_test_accuracy, stats.test_accuracy);
+    if (cfg.verbose) {
+      NEUROC_LOG_INFO("epoch %d/%d loss=%.4f train_acc=%.4f test_acc=%.4f", epoch + 1,
+                      cfg.epochs, stats.train_loss, stats.train_accuracy,
+                      stats.test_accuracy);
+    }
+    lr *= cfg.lr_decay;
+    opt->set_learning_rate(lr);
+  }
+  result.final_test_accuracy =
+      result.history.empty() ? 0.0f : result.history.back().test_accuracy;
+  return result;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/core/model_serde.h"
+#include "src/core/synthetic.h"
+
+namespace neuroc {
+namespace {
+
+NeuroCModel MakeModel(uint64_t seed, EncodingKind kind, bool with_scale = true) {
+  Rng rng(seed);
+  SyntheticNeuroCLayerSpec l0;
+  l0.in_dim = 96;
+  l0.out_dim = 32;
+  l0.density = 0.18;
+  l0.encoding = kind;
+  l0.has_scale = with_scale;
+  SyntheticNeuroCLayerSpec l1 = l0;
+  l1.in_dim = 32;
+  l1.out_dim = 10;
+  l1.relu = false;
+  std::vector<QuantNeuroCLayer> layers;
+  layers.push_back(MakeSyntheticNeuroCLayer(l0, rng));
+  layers.push_back(MakeSyntheticNeuroCLayer(l1, rng));
+  return NeuroCModel::FromLayers(std::move(layers));
+}
+
+class SerdeEncodingTest : public ::testing::TestWithParam<EncodingKind> {};
+
+TEST_P(SerdeEncodingTest, NeuroCRoundTripPreservesPredictions) {
+  NeuroCModel model = MakeModel(11 + static_cast<uint64_t>(GetParam()), GetParam());
+  const std::vector<uint8_t> bytes = SerializeModel(model);
+  auto loaded = DeserializeNeuroCModel(bytes);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->layers().size(), model.layers().size());
+  EXPECT_EQ(loaded->WeightBytes(), model.WeightBytes());
+  Rng rng(5);
+  for (int t = 0; t < 20; ++t) {
+    const std::vector<int8_t> input = MakeRandomInput(model.in_dim(), rng);
+    std::vector<int8_t> a, b;
+    model.Forward(input, a);
+    loaded->Forward(input, b);
+    ASSERT_EQ(a, b) << "trial " << t;
+  }
+}
+
+TEST_P(SerdeEncodingTest, RoundTripPreservesLayerMetadata) {
+  NeuroCModel model = MakeModel(23, GetParam());
+  auto loaded = DeserializeNeuroCModel(SerializeModel(model));
+  ASSERT_TRUE(loaded.has_value());
+  for (size_t k = 0; k < model.layers().size(); ++k) {
+    const auto& a = model.layers()[k];
+    const auto& b = loaded->layers()[k];
+    EXPECT_EQ(a.in_dim, b.in_dim);
+    EXPECT_EQ(a.out_dim, b.out_dim);
+    EXPECT_EQ(a.encoding->kind(), b.encoding->kind());
+    EXPECT_EQ(a.in_frac, b.in_frac);
+    EXPECT_EQ(a.out_frac, b.out_frac);
+    EXPECT_EQ(a.scale_frac, b.scale_frac);
+    EXPECT_EQ(a.requant_shift, b.requant_shift);
+    EXPECT_EQ(a.relu, b.relu);
+    EXPECT_EQ(a.scale_q, b.scale_q);
+    EXPECT_EQ(a.bias_q, b.bias_q);
+    EXPECT_TRUE(a.encoding->Decode() == b.encoding->Decode());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, SerdeEncodingTest,
+                         ::testing::ValuesIn(std::vector<EncodingKind>(
+                             std::begin(kAllEncodingKinds), std::end(kAllEncodingKinds))));
+
+TEST(SerdeTest, TnnVariantRoundTrips) {
+  NeuroCModel model = MakeModel(31, EncodingKind::kBlock, /*with_scale=*/false);
+  auto loaded = DeserializeNeuroCModel(SerializeModel(model));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(loaded->layers()[0].has_scale());
+}
+
+TEST(SerdeTest, MlpRoundTripPreservesPredictions) {
+  Rng rng(7);
+  std::vector<QuantDenseLayer> layers;
+  layers.push_back(MakeSyntheticDenseLayer(48, 24, true, 10, rng));
+  layers.push_back(MakeSyntheticDenseLayer(24, 10, false, 10, rng));
+  MlpModel model = MlpModel::FromLayers(std::move(layers));
+  auto loaded = DeserializeMlpModel(SerializeModel(model));
+  ASSERT_TRUE(loaded.has_value());
+  for (int t = 0; t < 20; ++t) {
+    const std::vector<int8_t> input = MakeRandomInput(48, rng);
+    EXPECT_EQ(model.Predict(input), loaded->Predict(input));
+  }
+}
+
+TEST(SerdeTest, RejectsWrongMagic) {
+  NeuroCModel model = MakeModel(3, EncodingKind::kCsc);
+  std::vector<uint8_t> bytes = SerializeModel(model);
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(DeserializeNeuroCModel(bytes).has_value());
+  // A NeuroC blob is not an MLP blob.
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(DeserializeMlpModel(bytes).has_value());
+}
+
+TEST(SerdeTest, RejectsTruncation) {
+  NeuroCModel model = MakeModel(4, EncodingKind::kDelta);
+  const std::vector<uint8_t> bytes = SerializeModel(model);
+  for (size_t cut : {size_t{3}, size_t{8}, bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(DeserializeNeuroCModel(truncated).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(SerdeTest, RejectsTrailingGarbage) {
+  NeuroCModel model = MakeModel(5, EncodingKind::kMixed);
+  std::vector<uint8_t> bytes = SerializeModel(model);
+  bytes.push_back(0xAB);
+  EXPECT_FALSE(DeserializeNeuroCModel(bytes).has_value());
+}
+
+TEST(SerdeTest, RejectsEmptyInput) {
+  EXPECT_FALSE(DeserializeNeuroCModel({}).has_value());
+  EXPECT_FALSE(DeserializeMlpModel({}).has_value());
+}
+
+TEST(SerdeTest, FuzzRandomBytesNeverCrash) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint8_t> junk(rng.NextBounded(256));
+    for (auto& b : junk) {
+      b = static_cast<uint8_t>(rng.NextBounded(256));
+    }
+    // Must return nullopt or a valid model, never crash.
+    auto m = DeserializeNeuroCModel(junk);
+    auto m2 = DeserializeMlpModel(junk);
+    (void)m;
+    (void)m2;
+  }
+}
+
+TEST(SerdeTest, FuzzBitFlippedValidBlobsNeverCrash) {
+  NeuroCModel model = MakeModel(6, EncodingKind::kBlock);
+  const std::vector<uint8_t> bytes = SerializeModel(model);
+  Rng rng(123);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint8_t> mutated = bytes;
+    const size_t pos = rng.NextBounded(mutated.size());
+    mutated[pos] ^= static_cast<uint8_t>(1u << rng.NextBounded(8));
+    auto m = DeserializeNeuroCModel(mutated);
+    if (m.has_value()) {
+      // If it still parses, it must at least be structurally sound.
+      EXPECT_GT(m->layers().size(), 0u);
+    }
+  }
+}
+
+TEST(SerdeTest, FileSaveLoadRoundTrip) {
+  NeuroCModel model = MakeModel(8, EncodingKind::kBlock);
+  const std::string path = ::testing::TempDir() + "/neuroc_model.bin";
+  ASSERT_TRUE(SaveModel(model, path));
+  auto loaded = LoadNeuroCModel(path);
+  ASSERT_TRUE(loaded.has_value());
+  Rng rng(1);
+  const std::vector<int8_t> input = MakeRandomInput(model.in_dim(), rng);
+  EXPECT_EQ(model.Predict(input), loaded->Predict(input));
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadNeuroCModel(path).has_value());
+}
+
+TEST(SerdeTest, SaveToUnwritablePathFails) {
+  NeuroCModel model = MakeModel(9, EncodingKind::kCsc);
+  EXPECT_FALSE(SaveModel(model, "/nonexistent_dir_xyz/model.bin"));
+}
+
+}  // namespace
+}  // namespace neuroc

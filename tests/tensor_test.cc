@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/tensor/matrix_ops.h"
+#include "src/tensor/tensor.h"
+
+namespace neuroc {
+namespace {
+
+Tensor RandomTensor(size_t rows, size_t cols, Rng& rng) {
+  Tensor t({rows, cols});
+  for (float& v : t.flat()) {
+    v = rng.NextUniform(-2.0f, 2.0f);
+  }
+  return t;
+}
+
+// Naive triple-loop reference.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  Tensor out({a.rows(), b.cols()});
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (size_t k = 0; k < a.cols(); ++k) {
+        acc += a.at(i, k) * b.at(k, j);
+      }
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+TEST(TensorTest, ShapeAndFill) {
+  Tensor t({3, 4});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  t.Fill(2.5f);
+  for (float v : t.flat()) {
+    EXPECT_EQ(v, 2.5f);
+  }
+}
+
+TEST(TensorTest, FromDataAndAccess) {
+  Tensor t = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+  t.at(1, 2) = 9.0f;
+  EXPECT_EQ(t[5], 9.0f);
+}
+
+TEST(TensorTest, RowView) {
+  Tensor t = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  auto r = t.row(1);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], 4.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromData(2, 3, {1, 2, 3, 4, 5, 6});
+  t.Reshape({3, 2});
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+}
+
+struct MatMulCase {
+  size_t m, k, n;
+};
+
+class MatMulParamTest : public ::testing::TestWithParam<MatMulCase> {};
+
+TEST_P(MatMulParamTest, MatchesNaiveReference) {
+  const auto p = GetParam();
+  Rng rng(p.m * 131 + p.k * 17 + p.n);
+  Tensor a = RandomTensor(p.m, p.k, rng);
+  Tensor b = RandomTensor(p.k, p.n, rng);
+  Tensor out;
+  MatMul(a, b, out);
+  Tensor ref = NaiveMatMul(a, b);
+  ASSERT_TRUE(out.SameShape(ref));
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], ref[i], 1e-3f);
+  }
+}
+
+TEST_P(MatMulParamTest, TransposeAMatchesExplicitTranspose) {
+  const auto p = GetParam();
+  Rng rng(p.m * 7 + p.k * 3 + p.n * 11);
+  // a is [k, m]; compute a^T b with b [k, n].
+  Tensor a = RandomTensor(p.k, p.m, rng);
+  Tensor b = RandomTensor(p.k, p.n, rng);
+  Tensor at({p.m, p.k});
+  for (size_t i = 0; i < p.k; ++i) {
+    for (size_t j = 0; j < p.m; ++j) {
+      at.at(j, i) = a.at(i, j);
+    }
+  }
+  Tensor out, ref;
+  MatMulTransposeA(a, b, out);
+  MatMul(at, b, ref);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], ref[i], 1e-3f);
+  }
+}
+
+TEST_P(MatMulParamTest, TransposeBMatchesExplicitTranspose) {
+  const auto p = GetParam();
+  Rng rng(p.m + p.k + p.n * 29);
+  Tensor a = RandomTensor(p.m, p.k, rng);
+  Tensor b = RandomTensor(p.n, p.k, rng);  // b^T is [k, n]
+  Tensor bt({p.k, p.n});
+  for (size_t i = 0; i < p.n; ++i) {
+    for (size_t j = 0; j < p.k; ++j) {
+      bt.at(j, i) = b.at(i, j);
+    }
+  }
+  Tensor out, ref;
+  MatMulTransposeB(a, b, out);
+  MatMul(a, bt, ref);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], ref[i], 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulParamTest,
+                         ::testing::Values(MatMulCase{1, 1, 1}, MatMulCase{2, 3, 4},
+                                           MatMulCase{5, 1, 7}, MatMulCase{8, 8, 8},
+                                           MatMulCase{16, 33, 9}, MatMulCase{31, 17, 1}));
+
+TEST(MatrixOpsTest, AddRowBias) {
+  Tensor m = Tensor::FromData(2, 3, {0, 0, 0, 1, 1, 1});
+  std::vector<float> bias{1, 2, 3};
+  AddRowBias(m, bias);
+  EXPECT_EQ(m.at(0, 0), 1.0f);
+  EXPECT_EQ(m.at(0, 2), 3.0f);
+  EXPECT_EQ(m.at(1, 1), 3.0f);
+}
+
+TEST(MatrixOpsTest, ColumnSums) {
+  Tensor m = Tensor::FromData(3, 2, {1, 2, 3, 4, 5, 6});
+  std::vector<float> sums(2);
+  ColumnSums(m, sums);
+  EXPECT_EQ(sums[0], 9.0f);
+  EXPECT_EQ(sums[1], 12.0f);
+}
+
+TEST(MatrixOpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor m = RandomTensor(5, 10, rng);
+  SoftmaxRows(m);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    float sum = 0.0f;
+    for (size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_GE(m.at(r, c), 0.0f);
+      sum += m.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(MatrixOpsTest, SoftmaxIsShiftInvariantAndStable) {
+  Tensor a = Tensor::FromData(1, 3, {1000.0f, 1001.0f, 1002.0f});
+  Tensor b = Tensor::FromData(1, 3, {0.0f, 1.0f, 2.0f});
+  SoftmaxRows(a);
+  SoftmaxRows(b);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-5f);
+    EXPECT_FALSE(std::isnan(a[i]));
+  }
+}
+
+TEST(MatrixOpsTest, ArgMax) {
+  std::vector<float> v{0.1f, 0.9f, 0.3f};
+  EXPECT_EQ(ArgMax(v), 1u);
+  std::vector<float> first_wins{1.0f, 1.0f};
+  EXPECT_EQ(ArgMax(first_wins), 0u);
+}
+
+TEST(MatrixOpsTest, MaxAbsAndMeanAbs) {
+  Tensor m = Tensor::FromData(1, 4, {-3.0f, 1.0f, 2.0f, -2.0f});
+  EXPECT_EQ(MaxAbs(m), 3.0f);
+  EXPECT_EQ(MeanAbs(m), 2.0f);
+}
+
+TEST(MatrixOpsTest, AxpyAccumulates) {
+  Tensor acc = Tensor::FromData(1, 3, {1, 1, 1});
+  Tensor val = Tensor::FromData(1, 3, {1, 2, 3});
+  Axpy(2.0f, val, acc);
+  EXPECT_EQ(acc[0], 3.0f);
+  EXPECT_EQ(acc[2], 7.0f);
+}
+
+}  // namespace
+}  // namespace neuroc

@@ -1,0 +1,275 @@
+// `neuroc` — command-line front end for the library. Subcommands:
+//
+//   neuroc train   --dataset <name> [--hidden 128,64] [--density 0.12] [--epochs 8]
+//                  [--tnn] [--seed N] --out model.ncm
+//   neuroc eval    --model model.ncm --dataset <name> [--seed N]
+//   neuroc inspect --model model.ncm
+//   neuroc bench   --model model.ncm [--platform STM32F072RB]
+//   neuroc deploy  --model model.ncm --format c|hex --out <path> [--prefix name]
+//
+// Datasets: digits, mnist, fashion, cifar5, events (procedural; see src/data/synth.h).
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/adjacency_stats.h"
+#include "src/core/model_serde.h"
+#include "src/data/synth.h"
+#include "src/runtime/c_emitter.h"
+#include "src/runtime/deployed_model.h"
+#include "src/runtime/firmware_image.h"
+#include "src/runtime/platform.h"
+#include "src/runtime/profile.h"
+#include "src/train/metrics.h"
+#include "src/train/trainer.h"
+
+namespace neuroc {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  const char* Get(const std::string& key, const char* fallback = nullptr) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second.c_str();
+  }
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: neuroc <train|eval|inspect|bench|deploy> [options]\n"
+               "  train   --dataset <digits|mnist|fashion|cifar5|events> --out model.ncm\n"
+               "          [--hidden 128,64] [--density 0.12] [--epochs 8] [--tnn] [--seed N]\n"
+               "  eval    --model model.ncm --dataset <name> [--seed N]\n"
+               "  inspect --model model.ncm\n"
+               "  bench   --model model.ncm [--platform STM32F072RB]\n"
+               "  deploy  --model model.ncm --format <c|hex> --out <path> [--prefix name]\n");
+  return 2;
+}
+
+Dataset MakeDataset(const std::string& name, size_t count, uint64_t seed) {
+  if (name == "digits") {
+    return MakeDigits8x8(count, seed);
+  }
+  if (name == "mnist") {
+    return MakeMnistLike(count, seed);
+  }
+  if (name == "fashion") {
+    return MakeFashionLike(count, seed);
+  }
+  if (name == "cifar5") {
+    return MakeCifar5Like(count, seed);
+  }
+  if (name == "events") {
+    return MakeEventDetection(count, seed);
+  }
+  std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+  std::exit(2);
+}
+
+std::vector<size_t> ParseHidden(const std::string& s) {
+  std::vector<size_t> widths;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t end = s.find(',', pos);
+    if (end == std::string::npos) {
+      end = s.size();
+    }
+    widths.push_back(static_cast<size_t>(std::strtoul(s.substr(pos, end - pos).c_str(),
+                                                      nullptr, 10)));
+    pos = end + 1;
+  }
+  return widths;
+}
+
+int CmdTrain(const Args& args) {
+  if (!args.Has("dataset") || !args.Has("out")) {
+    return Usage();
+  }
+  const uint64_t seed = std::strtoull(args.Get("seed", "1"), nullptr, 10);
+  Dataset all = MakeDataset(args.Get("dataset"), 4000, seed);
+  Rng split_rng(seed + 1);
+  auto [train, test] = all.Split(0.2, split_rng);
+
+  NeuroCSpec spec;
+  spec.hidden = ParseHidden(args.Get("hidden", "128"));
+  spec.layer.ternary.target_density =
+      static_cast<float>(std::strtod(args.Get("density", "0.12"), nullptr));
+  spec.layer.use_per_neuron_scale = !args.Has("tnn");
+
+  TrainConfig cfg;
+  cfg.epochs = static_cast<int>(std::strtol(args.Get("epochs", "8"), nullptr, 10));
+  cfg.batch_size = 64;
+  cfg.learning_rate = 2e-3f;
+  cfg.lr_decay = 0.9f;
+  cfg.verbose = true;
+
+  Rng rng(seed + 2);
+  Network net =
+      BuildNeuroC(train.input_dim(), static_cast<size_t>(train.num_classes), spec, rng);
+  std::printf("training %s on %s (%zu train / %zu test)\n", net.Summary().c_str(),
+              all.name.c_str(), train.num_examples(), test.num_examples());
+  const TrainResult result = Train(net, train, test, cfg);
+  NeuroCModel model = NeuroCModel::FromTrained(net, train);
+  const float q_acc = model.EvaluateAccuracy(QuantizeInputs(test));
+  std::printf("float accuracy %.4f | int8 accuracy %.4f\n", result.final_test_accuracy,
+              q_acc);
+  if (!SaveModel(model, args.Get("out"))) {
+    std::fprintf(stderr, "failed to write %s\n", args.Get("out"));
+    return 1;
+  }
+  std::printf("saved %s (%zu layers, %zu weight bytes)\n", args.Get("out"),
+              model.layers().size(), model.WeightBytes());
+  return 0;
+}
+
+std::optional<NeuroCModel> LoadOrComplain(const Args& args) {
+  if (!args.Has("model")) {
+    Usage();
+    return std::nullopt;
+  }
+  auto model = LoadNeuroCModel(args.Get("model"));
+  if (!model) {
+    std::fprintf(stderr, "cannot load model: %s\n", args.Get("model"));
+  }
+  return model;
+}
+
+int CmdEval(const Args& args) {
+  auto model = LoadOrComplain(args);
+  if (!model || !args.Has("dataset")) {
+    return model ? Usage() : 1;
+  }
+  const uint64_t seed = std::strtoull(args.Get("seed", "1"), nullptr, 10);
+  Dataset all = MakeDataset(args.Get("dataset"), 4000, seed);
+  Rng split_rng(seed + 1);
+  auto [train, test] = all.Split(0.2, split_rng);
+  (void)train;
+  if (test.input_dim() != model->in_dim()) {
+    std::fprintf(stderr, "model expects %zu inputs, dataset has %zu\n", model->in_dim(),
+                 test.input_dim());
+    return 1;
+  }
+  const QuantizedDataset q = QuantizeInputs(test);
+  ConfusionMatrix cm(static_cast<int>(model->out_dim()));
+  for (size_t i = 0; i < q.num_examples(); ++i) {
+    cm.Add(q.labels[i], model->Predict({q.example(i), q.input_dim}));
+  }
+  std::printf("%s", cm.Format().c_str());
+  return 0;
+}
+
+int CmdInspect(const Args& args) {
+  auto model = LoadOrComplain(args);
+  if (!model) {
+    return 1;
+  }
+  std::printf("model: %s\n", model->Summary().c_str());
+  std::printf("weight bytes: %zu; estimated program memory: %zu B\n", model->WeightBytes(),
+              DeployedModel::EstimateProgramBytes(*model));
+  for (size_t k = 0; k < model->layers().size(); ++k) {
+    const QuantNeuroCLayer& l = model->layers()[k];
+    std::printf("\nlayer %zu (%s, shift %d, in_frac %d -> out_frac %d):\n%s", k,
+                EncodingKindName(l.encoding->kind()), l.requant_shift, l.in_frac, l.out_frac,
+                FormatAdjacencyStats(AnalyzeAdjacency(l.encoding->Decode())).c_str());
+  }
+  return 0;
+}
+
+int CmdBench(const Args& args) {
+  auto model = LoadOrComplain(args);
+  if (!model) {
+    return 1;
+  }
+  const PlatformSpec& platform = PlatformByName(args.Get("platform", "STM32F072RB"));
+  const size_t bytes = DeployedModel::EstimateProgramBytes(*model);
+  std::printf("platform: %s (%s @ %.0f MHz, %u KB flash)\n", platform.name.c_str(),
+              platform.core.c_str(), platform.clock_hz / 1e6, platform.flash_bytes / 1024);
+  if (bytes > platform.flash_bytes) {
+    std::printf("NOT DEPLOYABLE: needs %zu B of %u B flash\n", bytes, platform.flash_bytes);
+    return 1;
+  }
+  DeployedModel deployed = DeployedModel::Deploy(*model, platform.ToMachineConfig());
+  const ExecutionProfile profile = ProfileInference(deployed);
+  std::printf("latency: %.3f ms (%llu cycles)\n", deployed.report().latency_ms,
+              static_cast<unsigned long long>(deployed.report().cycles_per_inference));
+  std::printf("program memory: %zu B | RAM buffers: %zu B\n",
+              deployed.report().program_bytes, deployed.report().ram_bytes);
+  std::printf("%s", FormatProfile(profile).c_str());
+  return 0;
+}
+
+int CmdDeploy(const Args& args) {
+  auto model = LoadOrComplain(args);
+  if (!model || !args.Has("format") || !args.Has("out")) {
+    return model ? Usage() : 1;
+  }
+  const std::string format = args.Get("format");
+  if (format == "c") {
+    const std::string prefix = args.Get("prefix", "model");
+    const CSources sources = EmitCSources(*model, prefix);
+    std::filesystem::create_directories(args.Get("out"));
+    const std::string h = std::string(args.Get("out")) + "/" + prefix + ".h";
+    const std::string c = std::string(args.Get("out")) + "/" + prefix + ".c";
+    std::ofstream(h) << sources.header;
+    std::ofstream(c) << sources.source;
+    std::printf("wrote %s and %s\n", h.c_str(), c.c_str());
+    return 0;
+  }
+  if (format == "hex") {
+    const std::string hex = FirmwareHexForModel(*model);
+    std::ofstream(args.Get("out")) << hex;
+    std::printf("wrote %s (%zu bytes of Intel HEX)\n", args.Get("out"), hex.size());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown format: %s\n", format.c_str());
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      return Usage();
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "";  // boolean flag
+    }
+  }
+  if (args.command == "train") {
+    return CmdTrain(args);
+  }
+  if (args.command == "eval") {
+    return CmdEval(args);
+  }
+  if (args.command == "inspect") {
+    return CmdInspect(args);
+  }
+  if (args.command == "bench") {
+    return CmdBench(args);
+  }
+  if (args.command == "deploy") {
+    return CmdDeploy(args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace neuroc
+
+int main(int argc, char** argv) { return neuroc::Main(argc, argv); }
