@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_adjacency.dir/bench_fig1_adjacency.cc.o"
+  "CMakeFiles/bench_fig1_adjacency.dir/bench_fig1_adjacency.cc.o.d"
+  "bench_fig1_adjacency"
+  "bench_fig1_adjacency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_adjacency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_fc_vs_cnn.dir/bench_fig2_fc_vs_cnn.cc.o"
+  "CMakeFiles/bench_fig2_fc_vs_cnn.dir/bench_fig2_fc_vs_cnn.cc.o.d"
+  "bench_fig2_fc_vs_cnn"
+  "bench_fig2_fc_vs_cnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_fc_vs_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

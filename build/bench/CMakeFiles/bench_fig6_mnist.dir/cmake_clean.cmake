@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_mnist.dir/bench_fig6_mnist.cc.o"
+  "CMakeFiles/bench_fig6_mnist.dir/bench_fig6_mnist.cc.o.d"
+  "bench_fig6_mnist"
+  "bench_fig6_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

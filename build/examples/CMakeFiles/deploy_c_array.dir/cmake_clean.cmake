@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_c_array.dir/deploy_c_array.cpp.o"
+  "CMakeFiles/deploy_c_array.dir/deploy_c_array.cpp.o.d"
+  "deploy_c_array"
+  "deploy_c_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_c_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoding_explorer.dir/encoding_explorer.cpp.o"
+  "CMakeFiles/encoding_explorer.dir/encoding_explorer.cpp.o.d"
+  "encoding_explorer"
+  "encoding_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoding_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/neuroc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/neuroc_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/neuroc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/neuroc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/neuroc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/neuroc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neuroc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/neuroc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neuroc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuroc_common.dir/fixed_point.cc.o"
+  "CMakeFiles/neuroc_common.dir/fixed_point.cc.o.d"
+  "CMakeFiles/neuroc_common.dir/logging.cc.o"
+  "CMakeFiles/neuroc_common.dir/logging.cc.o.d"
+  "CMakeFiles/neuroc_common.dir/rng.cc.o"
+  "CMakeFiles/neuroc_common.dir/rng.cc.o.d"
+  "libneuroc_common.a"
+  "libneuroc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuroc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adjacency_stats.cc" "src/core/CMakeFiles/neuroc_core.dir/adjacency_stats.cc.o" "gcc" "src/core/CMakeFiles/neuroc_core.dir/adjacency_stats.cc.o.d"
+  "/root/repo/src/core/block_encoding.cc" "src/core/CMakeFiles/neuroc_core.dir/block_encoding.cc.o" "gcc" "src/core/CMakeFiles/neuroc_core.dir/block_encoding.cc.o.d"
+  "/root/repo/src/core/csc_encoding.cc" "src/core/CMakeFiles/neuroc_core.dir/csc_encoding.cc.o" "gcc" "src/core/CMakeFiles/neuroc_core.dir/csc_encoding.cc.o.d"
+  "/root/repo/src/core/delta_encoding.cc" "src/core/CMakeFiles/neuroc_core.dir/delta_encoding.cc.o" "gcc" "src/core/CMakeFiles/neuroc_core.dir/delta_encoding.cc.o.d"
+  "/root/repo/src/core/encoding.cc" "src/core/CMakeFiles/neuroc_core.dir/encoding.cc.o" "gcc" "src/core/CMakeFiles/neuroc_core.dir/encoding.cc.o.d"
+  "/root/repo/src/core/mixed_encoding.cc" "src/core/CMakeFiles/neuroc_core.dir/mixed_encoding.cc.o" "gcc" "src/core/CMakeFiles/neuroc_core.dir/mixed_encoding.cc.o.d"
+  "/root/repo/src/core/mlp_model.cc" "src/core/CMakeFiles/neuroc_core.dir/mlp_model.cc.o" "gcc" "src/core/CMakeFiles/neuroc_core.dir/mlp_model.cc.o.d"
+  "/root/repo/src/core/model_image.cc" "src/core/CMakeFiles/neuroc_core.dir/model_image.cc.o" "gcc" "src/core/CMakeFiles/neuroc_core.dir/model_image.cc.o.d"
+  "/root/repo/src/core/model_serde.cc" "src/core/CMakeFiles/neuroc_core.dir/model_serde.cc.o" "gcc" "src/core/CMakeFiles/neuroc_core.dir/model_serde.cc.o.d"
+  "/root/repo/src/core/neuroc_model.cc" "src/core/CMakeFiles/neuroc_core.dir/neuroc_model.cc.o" "gcc" "src/core/CMakeFiles/neuroc_core.dir/neuroc_model.cc.o.d"
+  "/root/repo/src/core/synthetic.cc" "src/core/CMakeFiles/neuroc_core.dir/synthetic.cc.o" "gcc" "src/core/CMakeFiles/neuroc_core.dir/synthetic.cc.o.d"
+  "/root/repo/src/core/ternary_matrix.cc" "src/core/CMakeFiles/neuroc_core.dir/ternary_matrix.cc.o" "gcc" "src/core/CMakeFiles/neuroc_core.dir/ternary_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neuroc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/neuroc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/neuroc_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/neuroc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

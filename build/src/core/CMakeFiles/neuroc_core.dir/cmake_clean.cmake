@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuroc_core.dir/adjacency_stats.cc.o"
+  "CMakeFiles/neuroc_core.dir/adjacency_stats.cc.o.d"
+  "CMakeFiles/neuroc_core.dir/block_encoding.cc.o"
+  "CMakeFiles/neuroc_core.dir/block_encoding.cc.o.d"
+  "CMakeFiles/neuroc_core.dir/csc_encoding.cc.o"
+  "CMakeFiles/neuroc_core.dir/csc_encoding.cc.o.d"
+  "CMakeFiles/neuroc_core.dir/delta_encoding.cc.o"
+  "CMakeFiles/neuroc_core.dir/delta_encoding.cc.o.d"
+  "CMakeFiles/neuroc_core.dir/encoding.cc.o"
+  "CMakeFiles/neuroc_core.dir/encoding.cc.o.d"
+  "CMakeFiles/neuroc_core.dir/mixed_encoding.cc.o"
+  "CMakeFiles/neuroc_core.dir/mixed_encoding.cc.o.d"
+  "CMakeFiles/neuroc_core.dir/mlp_model.cc.o"
+  "CMakeFiles/neuroc_core.dir/mlp_model.cc.o.d"
+  "CMakeFiles/neuroc_core.dir/model_image.cc.o"
+  "CMakeFiles/neuroc_core.dir/model_image.cc.o.d"
+  "CMakeFiles/neuroc_core.dir/model_serde.cc.o"
+  "CMakeFiles/neuroc_core.dir/model_serde.cc.o.d"
+  "CMakeFiles/neuroc_core.dir/neuroc_model.cc.o"
+  "CMakeFiles/neuroc_core.dir/neuroc_model.cc.o.d"
+  "CMakeFiles/neuroc_core.dir/synthetic.cc.o"
+  "CMakeFiles/neuroc_core.dir/synthetic.cc.o.d"
+  "CMakeFiles/neuroc_core.dir/ternary_matrix.cc.o"
+  "CMakeFiles/neuroc_core.dir/ternary_matrix.cc.o.d"
+  "libneuroc_core.a"
+  "libneuroc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuroc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/neuroc_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/neuroc_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/idx_loader.cc" "src/data/CMakeFiles/neuroc_data.dir/idx_loader.cc.o" "gcc" "src/data/CMakeFiles/neuroc_data.dir/idx_loader.cc.o.d"
+  "/root/repo/src/data/raster.cc" "src/data/CMakeFiles/neuroc_data.dir/raster.cc.o" "gcc" "src/data/CMakeFiles/neuroc_data.dir/raster.cc.o.d"
+  "/root/repo/src/data/stroke_font.cc" "src/data/CMakeFiles/neuroc_data.dir/stroke_font.cc.o" "gcc" "src/data/CMakeFiles/neuroc_data.dir/stroke_font.cc.o.d"
+  "/root/repo/src/data/synth.cc" "src/data/CMakeFiles/neuroc_data.dir/synth.cc.o" "gcc" "src/data/CMakeFiles/neuroc_data.dir/synth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neuroc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/neuroc_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuroc_data.dir/dataset.cc.o"
+  "CMakeFiles/neuroc_data.dir/dataset.cc.o.d"
+  "CMakeFiles/neuroc_data.dir/idx_loader.cc.o"
+  "CMakeFiles/neuroc_data.dir/idx_loader.cc.o.d"
+  "CMakeFiles/neuroc_data.dir/raster.cc.o"
+  "CMakeFiles/neuroc_data.dir/raster.cc.o.d"
+  "CMakeFiles/neuroc_data.dir/stroke_font.cc.o"
+  "CMakeFiles/neuroc_data.dir/stroke_font.cc.o.d"
+  "CMakeFiles/neuroc_data.dir/synth.cc.o"
+  "CMakeFiles/neuroc_data.dir/synth.cc.o.d"
+  "libneuroc_data.a"
+  "libneuroc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuroc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuroc_isa.dir/assembler.cc.o"
+  "CMakeFiles/neuroc_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/neuroc_isa.dir/decoder.cc.o"
+  "CMakeFiles/neuroc_isa.dir/decoder.cc.o.d"
+  "CMakeFiles/neuroc_isa.dir/disassembler.cc.o"
+  "CMakeFiles/neuroc_isa.dir/disassembler.cc.o.d"
+  "CMakeFiles/neuroc_isa.dir/encoder.cc.o"
+  "CMakeFiles/neuroc_isa.dir/encoder.cc.o.d"
+  "CMakeFiles/neuroc_isa.dir/isa.cc.o"
+  "CMakeFiles/neuroc_isa.dir/isa.cc.o.d"
+  "libneuroc_isa.a"
+  "libneuroc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuroc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

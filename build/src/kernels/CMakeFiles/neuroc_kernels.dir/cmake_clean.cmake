@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuroc_kernels.dir/conv_desc.cc.o"
+  "CMakeFiles/neuroc_kernels.dir/conv_desc.cc.o.d"
+  "CMakeFiles/neuroc_kernels.dir/kernel_set.cc.o"
+  "CMakeFiles/neuroc_kernels.dir/kernel_set.cc.o.d"
+  "CMakeFiles/neuroc_kernels.dir/kernel_sources.cc.o"
+  "CMakeFiles/neuroc_kernels.dir/kernel_sources.cc.o.d"
+  "libneuroc_kernels.a"
+  "libneuroc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuroc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

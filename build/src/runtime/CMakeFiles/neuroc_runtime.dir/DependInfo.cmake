@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/c_emitter.cc" "src/runtime/CMakeFiles/neuroc_runtime.dir/c_emitter.cc.o" "gcc" "src/runtime/CMakeFiles/neuroc_runtime.dir/c_emitter.cc.o.d"
+  "/root/repo/src/runtime/deployed_model.cc" "src/runtime/CMakeFiles/neuroc_runtime.dir/deployed_model.cc.o" "gcc" "src/runtime/CMakeFiles/neuroc_runtime.dir/deployed_model.cc.o.d"
+  "/root/repo/src/runtime/firmware_image.cc" "src/runtime/CMakeFiles/neuroc_runtime.dir/firmware_image.cc.o" "gcc" "src/runtime/CMakeFiles/neuroc_runtime.dir/firmware_image.cc.o.d"
+  "/root/repo/src/runtime/platform.cc" "src/runtime/CMakeFiles/neuroc_runtime.dir/platform.cc.o" "gcc" "src/runtime/CMakeFiles/neuroc_runtime.dir/platform.cc.o.d"
+  "/root/repo/src/runtime/profile.cc" "src/runtime/CMakeFiles/neuroc_runtime.dir/profile.cc.o" "gcc" "src/runtime/CMakeFiles/neuroc_runtime.dir/profile.cc.o.d"
+  "/root/repo/src/runtime/search.cc" "src/runtime/CMakeFiles/neuroc_runtime.dir/search.cc.o" "gcc" "src/runtime/CMakeFiles/neuroc_runtime.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/neuroc_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/neuroc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/neuroc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neuroc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/neuroc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/neuroc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/neuroc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/neuroc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuroc_runtime.dir/c_emitter.cc.o"
+  "CMakeFiles/neuroc_runtime.dir/c_emitter.cc.o.d"
+  "CMakeFiles/neuroc_runtime.dir/deployed_model.cc.o"
+  "CMakeFiles/neuroc_runtime.dir/deployed_model.cc.o.d"
+  "CMakeFiles/neuroc_runtime.dir/firmware_image.cc.o"
+  "CMakeFiles/neuroc_runtime.dir/firmware_image.cc.o.d"
+  "CMakeFiles/neuroc_runtime.dir/platform.cc.o"
+  "CMakeFiles/neuroc_runtime.dir/platform.cc.o.d"
+  "CMakeFiles/neuroc_runtime.dir/profile.cc.o"
+  "CMakeFiles/neuroc_runtime.dir/profile.cc.o.d"
+  "CMakeFiles/neuroc_runtime.dir/search.cc.o"
+  "CMakeFiles/neuroc_runtime.dir/search.cc.o.d"
+  "libneuroc_runtime.a"
+  "libneuroc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuroc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

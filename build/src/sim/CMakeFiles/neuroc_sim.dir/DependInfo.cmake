@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/neuroc_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/neuroc_sim.dir/cpu.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/neuroc_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/neuroc_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/neuroc_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/neuroc_sim.dir/memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neuroc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/neuroc_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

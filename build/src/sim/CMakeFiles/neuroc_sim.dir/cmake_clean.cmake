@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuroc_sim.dir/cpu.cc.o"
+  "CMakeFiles/neuroc_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/neuroc_sim.dir/machine.cc.o"
+  "CMakeFiles/neuroc_sim.dir/machine.cc.o.d"
+  "CMakeFiles/neuroc_sim.dir/memory.cc.o"
+  "CMakeFiles/neuroc_sim.dir/memory.cc.o.d"
+  "libneuroc_sim.a"
+  "libneuroc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuroc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

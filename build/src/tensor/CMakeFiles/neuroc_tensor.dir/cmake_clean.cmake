@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuroc_tensor.dir/matrix_ops.cc.o"
+  "CMakeFiles/neuroc_tensor.dir/matrix_ops.cc.o.d"
+  "CMakeFiles/neuroc_tensor.dir/tensor.cc.o"
+  "CMakeFiles/neuroc_tensor.dir/tensor.cc.o.d"
+  "libneuroc_tensor.a"
+  "libneuroc_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuroc_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

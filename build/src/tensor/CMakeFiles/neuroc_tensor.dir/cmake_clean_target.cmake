@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libneuroc_tensor.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/layers.cc" "src/train/CMakeFiles/neuroc_train.dir/layers.cc.o" "gcc" "src/train/CMakeFiles/neuroc_train.dir/layers.cc.o.d"
+  "/root/repo/src/train/loss.cc" "src/train/CMakeFiles/neuroc_train.dir/loss.cc.o" "gcc" "src/train/CMakeFiles/neuroc_train.dir/loss.cc.o.d"
+  "/root/repo/src/train/metrics.cc" "src/train/CMakeFiles/neuroc_train.dir/metrics.cc.o" "gcc" "src/train/CMakeFiles/neuroc_train.dir/metrics.cc.o.d"
+  "/root/repo/src/train/network.cc" "src/train/CMakeFiles/neuroc_train.dir/network.cc.o" "gcc" "src/train/CMakeFiles/neuroc_train.dir/network.cc.o.d"
+  "/root/repo/src/train/neuroc_layer.cc" "src/train/CMakeFiles/neuroc_train.dir/neuroc_layer.cc.o" "gcc" "src/train/CMakeFiles/neuroc_train.dir/neuroc_layer.cc.o.d"
+  "/root/repo/src/train/optimizer.cc" "src/train/CMakeFiles/neuroc_train.dir/optimizer.cc.o" "gcc" "src/train/CMakeFiles/neuroc_train.dir/optimizer.cc.o.d"
+  "/root/repo/src/train/ternary.cc" "src/train/CMakeFiles/neuroc_train.dir/ternary.cc.o" "gcc" "src/train/CMakeFiles/neuroc_train.dir/ternary.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/train/CMakeFiles/neuroc_train.dir/trainer.cc.o" "gcc" "src/train/CMakeFiles/neuroc_train.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/neuroc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/neuroc_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/neuroc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuroc_train.dir/layers.cc.o"
+  "CMakeFiles/neuroc_train.dir/layers.cc.o.d"
+  "CMakeFiles/neuroc_train.dir/loss.cc.o"
+  "CMakeFiles/neuroc_train.dir/loss.cc.o.d"
+  "CMakeFiles/neuroc_train.dir/metrics.cc.o"
+  "CMakeFiles/neuroc_train.dir/metrics.cc.o.d"
+  "CMakeFiles/neuroc_train.dir/network.cc.o"
+  "CMakeFiles/neuroc_train.dir/network.cc.o.d"
+  "CMakeFiles/neuroc_train.dir/neuroc_layer.cc.o"
+  "CMakeFiles/neuroc_train.dir/neuroc_layer.cc.o.d"
+  "CMakeFiles/neuroc_train.dir/optimizer.cc.o"
+  "CMakeFiles/neuroc_train.dir/optimizer.cc.o.d"
+  "CMakeFiles/neuroc_train.dir/ternary.cc.o"
+  "CMakeFiles/neuroc_train.dir/ternary.cc.o.d"
+  "CMakeFiles/neuroc_train.dir/trainer.cc.o"
+  "CMakeFiles/neuroc_train.dir/trainer.cc.o.d"
+  "libneuroc_train.a"
+  "libneuroc_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuroc_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[common_test]=] "/root/repo/build/tests/common_test")
+set_tests_properties([=[common_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[tensor_test]=] "/root/repo/build/tests/tensor_test")
+set_tests_properties([=[tensor_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[data_test]=] "/root/repo/build/tests/data_test")
+set_tests_properties([=[data_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[train_test]=] "/root/repo/build/tests/train_test")
+set_tests_properties([=[train_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[core_test]=] "/root/repo/build/tests/core_test")
+set_tests_properties([=[core_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[isa_test]=] "/root/repo/build/tests/isa_test")
+set_tests_properties([=[isa_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[sim_test]=] "/root/repo/build/tests/sim_test")
+set_tests_properties([=[sim_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[kernels_test]=] "/root/repo/build/tests/kernels_test")
+set_tests_properties([=[kernels_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[runtime_test]=] "/root/repo/build/tests/runtime_test")
+set_tests_properties([=[runtime_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[serde_test]=] "/root/repo/build/tests/serde_test")
+set_tests_properties([=[serde_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[firmware_test]=] "/root/repo/build/tests/firmware_test")
+set_tests_properties([=[firmware_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[isa_semantics_test]=] "/root/repo/build/tests/isa_semantics_test")
+set_tests_properties([=[isa_semantics_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[robustness_test]=] "/root/repo/build/tests/robustness_test")
+set_tests_properties([=[robustness_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[metrics_test]=] "/root/repo/build/tests/metrics_test")
+set_tests_properties([=[metrics_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;22;neuroc_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuroc.dir/neuroc_cli.cc.o"
+  "CMakeFiles/neuroc.dir/neuroc_cli.cc.o.d"
+  "neuroc"
+  "neuroc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuroc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
