@@ -1,0 +1,174 @@
+// Host-side training throughput: dense-vs-sparse kernels × 1-vs-N threads.
+//
+// The trainer historically ran the ternary adjacency through a dense float MatMul and
+// re-ternarized the latent matrix on every forward. This bench tracks what the sparse
+// signed-index path (src/train/sparse_kernels.*) and the shared thread pool buy on the
+// paper's layer shapes (256→128→64→10), in examples/sec and epoch wall-clock, and emits
+// BENCH_train_throughput.json so the perf trajectory is tracked across PRs.
+//
+// The dense baseline (use_sparse_kernels = false) deliberately reproduces the legacy
+// trainer, including its per-forward re-ternarization — that is the path being replaced.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/data/dataset.h"
+#include "src/train/network.h"
+#include "src/train/trainer.h"
+
+namespace neuroc {
+namespace {
+
+constexpr size_t kInputDim = 256;  // 16×16 raster
+constexpr size_t kTrainExamples = 4096;
+constexpr size_t kTestExamples = 1024;
+constexpr int kEpochs = 2;
+constexpr size_t kBatchSize = 64;
+
+// Random raster-like dataset: ~half the pixels are exactly zero (like digit backgrounds),
+// so the activation-sparsity skips in the kernels see realistic data. Labels are random —
+// throughput does not depend on learnability.
+Dataset MakeThroughputDataset(size_t n, uint64_t seed) {
+  Dataset ds;
+  ds.name = "throughput-synthetic";
+  ds.width = 16;
+  ds.height = 16;
+  ds.channels = 1;
+  ds.num_classes = 10;
+  ds.images = Tensor({n, kInputDim});
+  ds.labels.resize(n);
+  Rng rng(seed);
+  for (float& v : ds.images.flat()) {
+    v = rng.NextBool(0.5) ? 0.0f : rng.NextUniform(0.0f, 1.0f);
+  }
+  for (int& l : ds.labels) {
+    l = static_cast<int>(rng.NextBounded(10));
+  }
+  return ds;
+}
+
+struct RunResult {
+  std::string kernels;
+  unsigned threads = 1;
+  float density = 0.0f;
+  double examples_per_sec = 0.0;
+  double epoch_ms = 0.0;
+  float final_loss = 0.0f;
+};
+
+// Best of kRepeats timed runs — the standard throughput-bench protocol, since a shared host
+// can slow any single run arbitrarily but cannot make one faster than the machine allows.
+constexpr int kRepeats = 3;
+
+RunResult RunConfig(const Dataset& train, const Dataset& test, bool sparse, unsigned threads,
+                    float density) {
+  ThreadPool::SetGlobalThreads(threads);
+  NeuroCSpec spec;
+  spec.hidden = {128, 64};
+  spec.layer.ternary.target_density = density;
+  spec.layer.use_sparse_kernels = sparse;
+  RunResult r;
+  r.kernels = sparse ? "sparse" : "dense";
+  r.threads = threads;
+  r.density = density;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    Rng rng(7);
+    Network net = BuildNeuroC(kInputDim, 10, spec, rng);
+    TrainConfig cfg;
+    cfg.epochs = kEpochs;
+    cfg.batch_size = kBatchSize;
+    cfg.learning_rate = 2e-3f;
+    const auto t0 = std::chrono::steady_clock::now();
+    const TrainResult tr = Train(net, train, test, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    const double eps = static_cast<double>(train.num_examples()) * kEpochs / seconds;
+    if (eps > r.examples_per_sec) {
+      r.examples_per_sec = eps;
+      r.epoch_ms = seconds * 1000.0 / kEpochs;
+    }
+    r.final_loss = tr.history.back().train_loss;  // deterministic: identical across reps
+  }
+  return r;
+}
+
+void WriteJson(const std::vector<RunResult>& results, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"train_throughput\",\n");
+  std::fprintf(f, "  \"network\": \"256-128-64-10\",\n");
+  std::fprintf(f, "  \"train_examples\": %zu,\n", kTrainExamples);
+  std::fprintf(f, "  \"test_examples\": %zu,\n", kTestExamples);
+  std::fprintf(f, "  \"batch_size\": %zu,\n", kBatchSize);
+  std::fprintf(f, "  \"epochs\": %d,\n", kEpochs);
+  std::fprintf(f, "  \"configs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"kernels\": \"%s\", \"threads\": %u, \"density\": %.2f, "
+                 "\"examples_per_sec\": %.1f, \"epoch_ms\": %.1f, \"final_loss\": %.4f}%s\n",
+                 r.kernels.c_str(), r.threads, r.density, r.examples_per_sec, r.epoch_ms,
+                 r.final_loss, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  // Headline ratios: sparse wins at 1 thread (kernel effect alone), then with threading.
+  std::fprintf(f, "  \"speedups\": {\n");
+  bool first = true;
+  for (const RunResult& base : results) {
+    if (base.kernels != "dense" || base.threads != 1) {
+      continue;
+    }
+    for (const RunResult& r : results) {
+      if (r.kernels != "sparse" || r.density != base.density) {
+        continue;
+      }
+      std::fprintf(f, "%s    \"sparse_%ut_vs_dense_1t_density_%.2f\": %.2f",
+                   first ? "" : ",\n", r.threads, r.density,
+                   r.examples_per_sec / base.examples_per_sec);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace neuroc
+
+int main(int argc, char** argv) {
+  using namespace neuroc;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_train_throughput.json";
+  const Dataset train = MakeThroughputDataset(kTrainExamples, 11);
+  const Dataset test = MakeThroughputDataset(kTestExamples, 12);
+  unsigned n_threads = DefaultThreadCount();
+  if (n_threads == 1) {
+    n_threads = 4;  // single-core host: still exercise the pooled path (expect ~1x)
+  }
+  std::printf("train throughput, 256-128-64-10, batch %zu, %d epochs, %zu train examples\n",
+              kBatchSize, kEpochs, kTrainExamples);
+  std::printf("%-8s %8s %8s %14s %10s %10s\n", "kernels", "threads", "density", "examples/s",
+              "epoch_ms", "loss");
+  std::vector<RunResult> results;
+  for (float density : {0.05f, 0.1f, 0.3f}) {
+    for (bool sparse : {false, true}) {
+      for (unsigned threads : {1u, n_threads}) {
+        const RunResult r = RunConfig(train, test, sparse, threads, density);
+        std::printf("%-8s %8u %8.2f %14.1f %10.1f %10.4f\n", r.kernels.c_str(), r.threads,
+                    r.density, r.examples_per_sec, r.epoch_ms, r.final_loss);
+        results.push_back(r);
+      }
+    }
+  }
+  ThreadPool::SetGlobalThreads(0);  // restore default
+  WriteJson(results, out_path);
+  return 0;
+}

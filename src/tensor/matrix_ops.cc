@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/thread_pool.h"
+
 namespace neuroc {
 
 namespace {
@@ -11,6 +13,12 @@ void EnsureShape(Tensor& t, size_t rows, size_t cols) {
   if (t.rank() != 2 || t.rows() != rows || t.cols() != cols) {
     t = Tensor({rows, cols});
   }
+}
+
+// ParallelFor grain targeting ~32k inner-loop operations per chunk, so small matrices run
+// in-line and large ones split without scheduling overhead dominating.
+size_t GrainFor(size_t ops_per_row) {
+  return std::max<size_t>(1, 32768 / std::max<size_t>(1, ops_per_row));
 }
 
 }  // namespace
@@ -23,21 +31,25 @@ void MatMul(const Tensor& a, const Tensor& b, Tensor& out) {
   const size_t n = b.cols();
   EnsureShape(out, m, n);
   out.Fill(0.0f);
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows of b and out.
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* orow = out.data() + i * n;
-    for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* brow = b.data() + p * n;
-      for (size_t j = 0; j < n; ++j) {
-        orow[j] += av * brow[j];
+  // Row-blocked over the batch dimension: each output row is owned by exactly one chunk and
+  // accumulated in the same i-k-j order regardless of worker count (the inner loop streams
+  // over contiguous rows of b and out).
+  ParallelFor(0, m, GrainFor(k * n), [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      const float* arow = a.data() + i * k;
+      float* orow = out.data() + i * n;
+      for (size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) {
+          continue;
+        }
+        const float* brow = b.data() + p * n;
+        for (size_t j = 0; j < n; ++j) {
+          orow[j] += av * brow[j];
+        }
       }
     }
-  }
+  });
 }
 
 void MatMulTransposeA(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -48,20 +60,23 @@ void MatMulTransposeA(const Tensor& a, const Tensor& b, Tensor& out) {
   const size_t n = b.cols();
   EnsureShape(out, m, n);
   out.Fill(0.0f);
-  for (size_t p = 0; p < k; ++p) {
-    const float* arow = a.data() + p * m;
-    const float* brow = b.data() + p * n;
-    for (size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) {
-        continue;
-      }
+  // Parallel over output rows (not the shared reduction dimension k): chunks write disjoint
+  // rows of out, and each element still accumulates over p ascending.
+  ParallelFor(0, m, GrainFor(k * n), [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
       float* orow = out.data() + i * n;
-      for (size_t j = 0; j < n; ++j) {
-        orow[j] += av * brow[j];
+      for (size_t p = 0; p < k; ++p) {
+        const float av = a.data()[p * m + i];
+        if (av == 0.0f) {
+          continue;
+        }
+        const float* brow = b.data() + p * n;
+        for (size_t j = 0; j < n; ++j) {
+          orow[j] += av * brow[j];
+        }
       }
     }
-  }
+  });
 }
 
 void MatMulTransposeB(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -71,18 +86,20 @@ void MatMulTransposeB(const Tensor& a, const Tensor& b, Tensor& out) {
   const size_t k = a.cols();
   const size_t n = b.rows();
   EnsureShape(out, m, n);
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* orow = out.data() + i * n;
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      float acc = 0.0f;
-      for (size_t p = 0; p < k; ++p) {
-        acc += arow[p] * brow[p];
+  ParallelFor(0, m, GrainFor(k * n), [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      const float* arow = a.data() + i * k;
+      float* orow = out.data() + i * n;
+      for (size_t j = 0; j < n; ++j) {
+        const float* brow = b.data() + j * k;
+        float acc = 0.0f;
+        for (size_t p = 0; p < k; ++p) {
+          acc += arow[p] * brow[p];
+        }
+        orow[j] = acc;
       }
-      orow[j] = acc;
     }
-  }
+  });
 }
 
 void AddRowBias(Tensor& out, std::span<const float> bias) {

@@ -1,6 +1,10 @@
 // Linear-algebra kernels for the training substrate. All matrices are rank-2 Tensors in
 // row-major layout. These are host-side float kernels (training never runs on the simulated
 // MCU); correctness is validated against naive references in the test suite.
+//
+// The matmul family is parallelized over output rows through the shared thread pool
+// (src/common/thread_pool.h). Chunks own disjoint output rows and every element accumulates
+// in a fixed order, so results are bit-identical for any NEUROC_NUM_THREADS.
 
 #ifndef NEUROC_SRC_TENSOR_MATRIX_OPS_H_
 #define NEUROC_SRC_TENSOR_MATRIX_OPS_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/matrix_ops.h"
 
 namespace neuroc {
@@ -57,27 +58,49 @@ size_t DenseLayer::DeployedParameterCount() const {
 // ReluLayer
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Free functions so the __restrict qualifiers survive (they would be lost through a lambda
+// capture) and the compiler emits branch-free vector code.
+void ReluChunk(const float* __restrict src, float* __restrict dst, size_t i0, size_t i1) {
+  for (size_t i = i0; i < i1; ++i) {
+    dst[i] = src[i] < 0.0f ? 0.0f : src[i];
+  }
+}
+
+void ReluGradChunk(const float* __restrict y, const float* __restrict go, float* __restrict g,
+                   size_t i0, size_t i1) {
+  for (size_t i = i0; i < i1; ++i) {
+    g[i] = y[i] <= 0.0f ? 0.0f : go[i];
+  }
+}
+
+}  // namespace
+
 const Tensor& ReluLayer::Forward(const Tensor& input, bool training) {
   (void)training;
-  output_ = input;
-  for (float& v : output_.flat()) {
-    if (v < 0.0f) {
-      v = 0.0f;
-    }
+  if (!output_.SameShape(input)) {
+    output_ = Tensor(input.shape());
   }
+  // Single fused pass (no copy-then-clamp); ReluChunk keeps the exact semantics of the
+  // original in-place loop (negative zero passes through untouched).
+  const float* src = input.data();
+  float* dst = output_.data();
+  ParallelFor(0, input.size(), 8192,
+              [&](size_t i0, size_t i1) { ReluChunk(src, dst, i0, i1); });
   return output_;
 }
 
 const Tensor& ReluLayer::Backward(const Tensor& grad_output) {
   NEUROC_CHECK(grad_output.SameShape(output_));
-  grad_input_ = grad_output;
-  const float* y = output_.data();
-  float* g = grad_input_.data();
-  for (size_t i = 0; i < output_.size(); ++i) {
-    if (y[i] <= 0.0f) {
-      g[i] = 0.0f;
-    }
+  if (!grad_input_.SameShape(grad_output)) {
+    grad_input_ = Tensor(grad_output.shape());
   }
+  const float* y = output_.data();
+  const float* go = grad_output.data();
+  float* g = grad_input_.data();
+  ParallelFor(0, output_.size(), 8192,
+              [&](size_t i0, size_t i1) { ReluGradChunk(y, go, g, i0, i1); });
   return grad_input_;
 }
 

@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/tensor/matrix_ops.h"
+#include "src/train/metrics.h"
 
 namespace neuroc {
 
@@ -35,14 +36,9 @@ float SoftmaxCrossEntropy(const Tensor& logits, std::span<const int> labels, Ten
 
 float Accuracy(const Tensor& logits, std::span<const int> labels) {
   NEUROC_CHECK(logits.rank() == 2 && logits.rows() == labels.size());
-  size_t correct = 0;
-  for (size_t r = 0; r < logits.rows(); ++r) {
-    if (ArgMax(logits.row(r)) == static_cast<size_t>(labels[r])) {
-      ++correct;
-    }
-  }
   return labels.empty() ? 0.0f
-                        : static_cast<float>(correct) / static_cast<float>(labels.size());
+                        : static_cast<float>(CountCorrect(logits, labels)) /
+                              static_cast<float>(labels.size());
 }
 
 }  // namespace neuroc

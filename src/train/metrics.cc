@@ -1,10 +1,28 @@
 #include "src/train/metrics.h"
 
+#include <atomic>
 #include <cstdio>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
+#include "src/tensor/matrix_ops.h"
 
 namespace neuroc {
+
+size_t CountCorrect(const Tensor& logits, std::span<const int> labels) {
+  NEUROC_CHECK(logits.rank() == 2 && logits.rows() == labels.size());
+  std::atomic<size_t> correct{0};
+  ParallelFor(0, logits.rows(), /*grain=*/64, [&](size_t r0, size_t r1) {
+    size_t local = 0;
+    for (size_t r = r0; r < r1; ++r) {
+      if (ArgMax(logits.row(r)) == static_cast<size_t>(labels[r])) {
+        ++local;
+      }
+    }
+    correct.fetch_add(local, std::memory_order_relaxed);
+  });
+  return correct.load(std::memory_order_relaxed);
+}
 
 ConfusionMatrix::ConfusionMatrix(int num_classes)
     : num_classes_(num_classes),

@@ -5,10 +5,18 @@
 #ifndef NEUROC_SRC_TRAIN_METRICS_H_
 #define NEUROC_SRC_TRAIN_METRICS_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/tensor/tensor.h"
+
 namespace neuroc {
+
+// Number of rows of `logits` whose arg-max equals the label. Integer counts sum exactly
+// across batches (unlike reconstructing counts from a float accuracy), and the row loop is
+// parallel — integer partial sums are order-independent, so any worker count agrees.
+size_t CountCorrect(const Tensor& logits, std::span<const int> labels);
 
 class ConfusionMatrix {
  public:

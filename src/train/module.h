@@ -30,7 +30,8 @@ class Module {
   virtual const Tensor& Forward(const Tensor& input, bool training) = 0;
 
   // Given dLoss/dOutput, accumulates parameter gradients and returns dLoss/dInput.
-  // Must be called after Forward with the same batch.
+  // Must be called after a Forward with training == true on the same batch (eval-mode
+  // forwards skip the activation caches that backward passes consume).
   virtual const Tensor& Backward(const Tensor& grad_output) = 0;
 
   // Appends this module's trainable parameters.

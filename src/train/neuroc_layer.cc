@@ -52,29 +52,67 @@ NeuroCLayer::NeuroCLayer(size_t in_dim, size_t out_dim, Rng& rng, NeuroCLayerCon
   scale_.Fill(init_scale);
 }
 
+void NeuroCLayer::EnsureTernarized() const {
+  if (ternary_valid_) {
+    return;
+  }
+  threshold_ = TernaryThreshold(latent_, cfg_.ternary);
+  if (cfg_.use_sparse_kernels) {
+    sparse_.AssignFromLatent(latent_, threshold_);  // in place: no allocs after warm-up
+    sparse_valid_ = true;
+    dense_valid_ = false;
+  } else {
+    // Legacy mode ternarizes straight into the dense tensor, exactly like the original
+    // trainer — no sparse build it would never use.
+    Ternarize(latent_, threshold_, adjacency_);
+    dense_valid_ = true;
+    sparse_valid_ = false;
+  }
+  ternary_valid_ = true;
+}
+
 const Tensor& NeuroCLayer::Adjacency() {
-  if (!adjacency_valid_) {
-    Ternarize(latent_, TernaryThreshold(latent_, cfg_.ternary), adjacency_);
-    adjacency_valid_ = true;
+  EnsureTernarized();
+  if (!dense_valid_) {
+    sparse_.ToDense(adjacency_);
+    dense_valid_ = true;
   }
   return adjacency_;
 }
 
 float NeuroCLayer::CurrentThreshold() const {
-  return TernaryThreshold(latent_, cfg_.ternary);
+  EnsureTernarized();
+  return threshold_;
 }
 
 size_t NeuroCLayer::NonZeroCount() const {
-  return CountNonZero(latent_, TernaryThreshold(latent_, cfg_.ternary));
+  EnsureTernarized();
+  return sparse_valid_ ? sparse_.NonZeroCount() : CountNonZero(latent_, threshold_);
+}
+
+const SparseTernaryMatrix& NeuroCLayer::SparseAdjacency() const {
+  EnsureTernarized();
+  if (!sparse_valid_) {
+    sparse_.AssignFromLatent(latent_, threshold_);
+    sparse_valid_ = true;
+  }
+  return sparse_;
 }
 
 const Tensor& NeuroCLayer::Forward(const Tensor& input, bool training) {
-  (void)training;
   NEUROC_CHECK(input.rank() == 2 && input.cols() == latent_.rows());
-  input_cache_ = input;
-  adjacency_valid_ = false;  // latent weights may have changed since the last step
-  const Tensor& a = Adjacency();
-  MatMul(input, a, presum_);
+  if (training) {
+    input_cache_ = input;  // only Backward consumes it — eval forwards skip the copy
+  }
+  if (!cfg_.use_sparse_kernels) {
+    InvalidateTernaryCache();  // legacy trainer behaviour: re-ternarize on every forward
+  }
+  EnsureTernarized();
+  if (cfg_.use_sparse_kernels) {
+    SparseForward(input, sparse_, presum_);
+  } else {
+    MatMul(input, Adjacency(), presum_);
+  }
   if (cfg_.use_per_neuron_scale) {
     ScaleColumns(presum_, scale_, output_);
   } else {
@@ -86,6 +124,8 @@ const Tensor& NeuroCLayer::Forward(const Tensor& input, bool training) {
 
 const Tensor& NeuroCLayer::Backward(const Tensor& grad_output) {
   NEUROC_CHECK(grad_output.SameShape(output_));
+  // Backward requires a preceding training-mode Forward on the same batch.
+  NEUROC_CHECK(input_cache_.rank() == 2 && input_cache_.rows() == grad_output.rows());
   const size_t n = grad_output.rows();
   const size_t d = grad_output.cols();
   // Bias gradient.
@@ -103,18 +143,30 @@ const Tensor& NeuroCLayer::Backward(const Tensor& grad_output) {
       }
     }
   }
-  // Gradient reaching the pre-sum z: gz = g * s (or g if no scale).
-  Tensor gz;
+  // Gradient reaching the pre-sum z: gz = g * s (or g if no scale). gz_ is a member
+  // scratch so the per-step allocation disappears after the first batch.
+  const Tensor* gz = &grad_output;
   if (cfg_.use_per_neuron_scale) {
-    ScaleColumns(grad_output, scale_, gz);
-  } else {
-    gz = grad_output;
+    ScaleColumns(grad_output, scale_, gz_);
+    gz = &gz_;
   }
   // Latent gradient through the ternarizer (straight-through): dL/dW = x^T gz, clipped.
-  MatMulTransposeA(input_cache_, gz, grad_latent_);
+  EnsureTernarized();
+  if (cfg_.use_sparse_kernels) {
+    SparseGradLatent(input_cache_, *gz, grad_latent_);
+  } else {
+    MatMulTransposeA(input_cache_, *gz, grad_latent_);
+  }
   ApplySteClip(latent_, cfg_.ternary.ste_clip, grad_latent_);
   // Input gradient through the ternary adjacency.
-  MatMulTransposeB(gz, Adjacency(), grad_input_);
+  if (cfg_.use_sparse_kernels) {
+    SparseGradInput(*gz, sparse_, grad_input_);
+  } else {
+    MatMulTransposeB(*gz, Adjacency(), grad_input_);
+  }
+  // The optimizer steps the latent weights right after Backward, so the ternarization
+  // computed for this step is about to go stale.
+  InvalidateTernaryCache();
   return grad_input_;
 }
 
@@ -205,9 +257,8 @@ FixedAdjacencyLayer::FixedAdjacencyLayer(size_t in_dim, size_t out_dim, Rng& rng
 }
 
 const Tensor& FixedAdjacencyLayer::Forward(const Tensor& input, bool training) {
-  (void)training;
+  (void)training;  // only scale/bias train, so no activation cache is needed
   NEUROC_CHECK(input.rank() == 2 && input.cols() == adjacency_.rows());
-  input_cache_ = input;
   MatMul(input, adjacency_, presum_);
   ScaleColumns(presum_, scale_, output_);
   AddRowBias(output_, bias_.flat());

@@ -3,8 +3,42 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 
 namespace neuroc {
+
+namespace {
+
+// Both steppers are element-wise, so chunking over elements is bit-identical for any worker
+// count. The chunk bodies live in free functions so the __restrict qualifiers reach the
+// compiler (qualifiers on locals captured by a lambda do not survive into the closure);
+// with them the sqrt/div chain vectorizes, and sqrtps/divps are correctly-rounded IEEE ops,
+// so vectorization does not change results either.
+
+void SgdChunk(float* __restrict wp, const float* __restrict gp, float* __restrict vp,
+              float learning_rate, float momentum, float weight_decay, size_t k0, size_t k1) {
+  for (size_t k = k0; k < k1; ++k) {
+    const float grad = gp[k] + weight_decay * wp[k];
+    vp[k] = momentum * vp[k] + grad;
+    wp[k] -= learning_rate * vp[k];
+  }
+}
+
+void AdamChunk(float* __restrict wp, const float* __restrict gp, float* __restrict mp,
+               float* __restrict vp, float learning_rate, float beta1, float beta2,
+               float epsilon, float weight_decay, float bc1, float bc2, size_t k0,
+               size_t k1) {
+  for (size_t k = k0; k < k1; ++k) {
+    const float grad = gp[k] + weight_decay * wp[k];
+    mp[k] = beta1 * mp[k] + (1.0f - beta1) * grad;
+    vp[k] = beta2 * vp[k] + (1.0f - beta2) * grad * grad;
+    const float m_hat = mp[k] / bc1;
+    const float v_hat = vp[k] / bc2;
+    wp[k] -= learning_rate * m_hat / (std::sqrt(v_hat) + epsilon);
+  }
+}
+
+}  // namespace
 
 void SgdOptimizer::Step(std::span<ParamRef> params) {
   if (velocity_.size() != params.size()) {
@@ -19,13 +53,11 @@ void SgdOptimizer::Step(std::span<ParamRef> params) {
     NEUROC_CHECK(w.SameShape(g));
     Tensor& vel = velocity_[i];
     float* wp = w.data();
-    float* gp = g.data();
+    const float* gp = g.data();
     float* vp = vel.data();
-    for (size_t k = 0; k < w.size(); ++k) {
-      float grad = gp[k] + weight_decay_ * wp[k];
-      vp[k] = momentum_ * vp[k] + grad;
-      wp[k] -= learning_rate_ * vp[k];
-    }
+    ParallelFor(0, w.size(), 8192, [&](size_t k0, size_t k1) {
+      SgdChunk(wp, gp, vp, learning_rate_, momentum_, weight_decay_, k0, k1);
+    });
   }
 }
 
@@ -47,17 +79,13 @@ void AdamOptimizer::Step(std::span<ParamRef> params) {
     Tensor& g = *params[i].grad;
     NEUROC_CHECK(w.SameShape(g));
     float* wp = w.data();
-    float* gp = g.data();
+    const float* gp = g.data();
     float* mp = m_[i].data();
     float* vp = v_[i].data();
-    for (size_t k = 0; k < w.size(); ++k) {
-      const float grad = gp[k] + weight_decay_ * wp[k];
-      mp[k] = beta1_ * mp[k] + (1.0f - beta1_) * grad;
-      vp[k] = beta2_ * vp[k] + (1.0f - beta2_) * grad * grad;
-      const float m_hat = mp[k] / bc1;
-      const float v_hat = vp[k] / bc2;
-      wp[k] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
-    }
+    ParallelFor(0, w.size(), 8192, [&](size_t k0, size_t k1) {
+      AdamChunk(wp, gp, mp, vp, learning_rate_, beta1_, beta2_, epsilon_, weight_decay_, bc1,
+                bc2, k0, k1);
+    });
   }
 }
 

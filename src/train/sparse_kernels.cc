@@ -1,0 +1,256 @@
+#include "src/train/sparse_kernels.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/thread_pool.h"
+
+namespace neuroc {
+
+namespace {
+
+void EnsureShape(Tensor& t, size_t rows, size_t cols) {
+  if (t.rank() != 2 || t.rows() != rows || t.cols() != cols) {
+    t = Tensor({rows, cols});
+  }
+}
+
+// Batch rows processed together per column walk, so one pass over the index/sign stream
+// feeds several rows (the stream is the memory-bound part at low density).
+constexpr size_t kRowBlock = 8;
+
+// ParallelFor grain targeting ~32k accumulations per chunk.
+size_t GrainFor(size_t ops_per_index) {
+  return std::max<size_t>(1, 32768 / std::max<size_t>(1, ops_per_index));
+}
+
+// Fills `m` in place; all buffers are assign()/resize()d so repeated rebuilds into the same
+// object reuse capacity instead of reallocating.
+template <typename Classify>
+void BuildInto(SparseTernaryMatrix& m, size_t rows, size_t cols, const float* data,
+               Classify classify) {
+  m.rows = rows;
+  m.cols = cols;
+  m.pos_ptr.assign(cols + 1, 0);
+  m.neg_ptr.assign(cols + 1, 0);
+  m.ptr.assign(cols + 1, 0);
+  // The counting pass memoizes each entry's class so the fill pass reads one byte per
+  // element instead of re-reading and re-classifying the float data.
+  thread_local std::vector<int8_t> cls;
+  cls.resize(rows * cols);
+  for (size_t i = 0; i < rows; ++i) {
+    const float* row = data + i * cols;
+    int8_t* crow = cls.data() + i * cols;
+    for (size_t j = 0; j < cols; ++j) {
+      const int s = classify(row[j]);
+      crow[j] = static_cast<int8_t>(s);
+      if (s > 0) {
+        ++m.pos_ptr[j + 1];
+      } else if (s < 0) {
+        ++m.neg_ptr[j + 1];
+      }
+    }
+  }
+  for (size_t j = 0; j < cols; ++j) {
+    m.pos_ptr[j + 1] += m.pos_ptr[j];
+    m.neg_ptr[j + 1] += m.neg_ptr[j];
+    m.ptr[j + 1] = m.pos_ptr[j + 1] + m.neg_ptr[j + 1];
+  }
+  const size_t nnz = m.ptr[cols];
+  m.pos_idx.resize(m.pos_ptr[cols]);
+  m.neg_idx.resize(m.neg_ptr[cols]);
+  m.idx.resize(nnz);
+  m.sign.resize(nnz);
+  m.row_ptr.assign(rows + 1, 0);
+  m.row_idx.resize(nnz);
+  m.row_sign.resize(nnz);
+  thread_local std::vector<uint32_t> pos_cur, neg_cur, all_cur;
+  pos_cur.assign(m.pos_ptr.begin(), m.pos_ptr.end() - 1);
+  neg_cur.assign(m.neg_ptr.begin(), m.neg_ptr.end() - 1);
+  all_cur.assign(m.ptr.begin(), m.ptr.end() - 1);
+  // Row-major scan pushes ascending row indices into every column list; the same scan emits
+  // the row-major view contiguously (ascending columns within each row), so a single running
+  // cursor fills it.
+  size_t row_cursor = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    const int8_t* crow = cls.data() + i * cols;
+    for (size_t j = 0; j < cols; ++j) {
+      const int s = crow[j];
+      if (s == 0) {
+        continue;
+      }
+      if (s > 0) {
+        m.pos_idx[pos_cur[j]++] = static_cast<uint32_t>(i);
+      } else {
+        m.neg_idx[neg_cur[j]++] = static_cast<uint32_t>(i);
+      }
+      m.idx[all_cur[j]] = static_cast<uint32_t>(i);
+      m.sign[all_cur[j]] = s > 0 ? 1.0f : -1.0f;
+      ++all_cur[j];
+      m.row_idx[row_cursor] = static_cast<uint32_t>(j);
+      m.row_sign[row_cursor] = s > 0 ? 1.0f : -1.0f;
+      ++row_cursor;
+    }
+    m.row_ptr[i + 1] = static_cast<uint32_t>(row_cursor);
+  }
+}
+
+}  // namespace
+
+SparseTernaryMatrix SparseTernaryMatrix::FromLatent(const Tensor& latent, float threshold) {
+  SparseTernaryMatrix m;
+  m.AssignFromLatent(latent, threshold);
+  return m;
+}
+
+void SparseTernaryMatrix::AssignFromLatent(const Tensor& latent, float threshold) {
+  NEUROC_CHECK(latent.rank() == 2);
+  BuildInto(*this, latent.rows(), latent.cols(), latent.data(), [threshold](float w) {
+    return w > threshold ? 1 : (w < -threshold ? -1 : 0);
+  });
+}
+
+SparseTernaryMatrix SparseTernaryMatrix::FromDense(const Tensor& adjacency) {
+  NEUROC_CHECK(adjacency.rank() == 2);
+  SparseTernaryMatrix m;
+  BuildInto(m, adjacency.rows(), adjacency.cols(), adjacency.data(), [](float a) {
+    NEUROC_DCHECK(a == 0.0f || a == 1.0f || a == -1.0f);
+    return a > 0.0f ? 1 : (a < 0.0f ? -1 : 0);
+  });
+  return m;
+}
+
+void SparseTernaryMatrix::ToDense(Tensor& out) const {
+  EnsureShape(out, rows, cols);
+  out.Fill(0.0f);
+  for (size_t j = 0; j < cols; ++j) {
+    for (uint32_t k = ptr[j]; k < ptr[j + 1]; ++k) {
+      out.at(idx[k], j) = sign[k];
+    }
+  }
+}
+
+void SparseForward(const Tensor& x, const SparseTernaryMatrix& a, Tensor& out) {
+  NEUROC_CHECK(x.rank() == 2 && x.cols() == a.rows);
+  const size_t n = x.rows();
+  const size_t in = a.rows;
+  const size_t cols = a.cols;
+  EnsureShape(out, n, cols);
+  const float* xd = x.data();
+  float* od = out.data();
+  ParallelFor(0, n, GrainFor(a.idx.size()), [&](size_t rb0, size_t rb1) {
+    for (size_t rb = rb0; rb < rb1; rb += kRowBlock) {
+      const size_t nb = std::min(kRowBlock, rb1 - rb);
+      for (size_t j = 0; j < cols; ++j) {
+        float acc[kRowBlock] = {0.0f};
+        for (uint32_t k = a.ptr[j]; k < a.ptr[j + 1]; ++k) {
+          const size_t i = a.idx[k];
+          const float s = a.sign[k];
+          for (size_t t = 0; t < nb; ++t) {
+            acc[t] += s * xd[(rb + t) * in + i];
+          }
+        }
+        for (size_t t = 0; t < nb; ++t) {
+          od[(rb + t) * cols + j] = acc[t];
+        }
+      }
+    }
+  });
+}
+
+void SparseGradInput(const Tensor& gz, const SparseTernaryMatrix& a, Tensor& out) {
+  NEUROC_CHECK(gz.rank() == 2 && gz.cols() == a.cols);
+  const size_t n = gz.rows();
+  const size_t in = a.rows;
+  const size_t cols = a.cols;
+  EnsureShape(out, n, in);
+  const float* gd = gz.data();
+  float* od = out.data();
+  ParallelFor(0, n, GrainFor(a.row_idx.size()), [&](size_t rb0, size_t rb1) {
+    for (size_t rb = rb0; rb < rb1; rb += kRowBlock) {
+      const size_t nb = std::min(kRowBlock, rb1 - rb);
+      // Gather along the row-major view: out[r, i] accumulates its contributions in
+      // ascending j, the order the dense transpose-B reference reduces in.
+      for (size_t i = 0; i < in; ++i) {
+        float acc[kRowBlock] = {0.0f};
+        for (uint32_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+          const size_t j = a.row_idx[k];
+          const float s = a.row_sign[k];
+          for (size_t t = 0; t < nb; ++t) {
+            acc[t] += s * gd[(rb + t) * cols + j];
+          }
+        }
+        for (size_t t = 0; t < nb; ++t) {
+          od[(rb + t) * in + i] = acc[t];
+        }
+      }
+    }
+  });
+}
+
+void SparseGradLatent(const Tensor& x, const Tensor& gz, Tensor& out) {
+  NEUROC_CHECK(x.rank() == 2 && gz.rank() == 2);
+  NEUROC_CHECK(x.rows() == gz.rows());
+  const size_t n = x.rows();
+  const size_t in = x.cols();
+  const size_t cols = gz.cols();
+  EnsureShape(out, in, cols);
+  const float* xd = x.data();
+  const float* gd = gz.data();
+  float* od = out.data();
+  ParallelFor(0, in, GrainFor(n * cols), [&](size_t ib0, size_t ib1) {
+    for (size_t ib = ib0; ib < ib1; ib += kRowBlock) {
+      const size_t nb = std::min(kRowBlock, ib1 - ib);
+      std::fill(od + ib * cols, od + (ib + nb) * cols, 0.0f);
+      // Batch rows are consumed in pairs so each output row is loaded/stored once per two
+      // contributions. The accumulator keeps two separate dependent adds (t += v0*g0;
+      // t += v1*g1), which is the exact sequential reduction order of the dense reference —
+      // only the redundant memory traffic is fused, not the arithmetic.
+      for (size_t r = 0; r + 1 < n; r += 2) {
+        const float* __restrict g0 = gd + r * cols;
+        const float* __restrict g1 = gd + (r + 1) * cols;
+        const float* x0 = xd + r * in + ib;
+        const float* x1 = xd + (r + 1) * in + ib;
+        for (size_t t = 0; t < nb; ++t) {
+          const float v0 = x0[t];
+          const float v1 = x1[t];
+          float* __restrict orow = od + (ib + t) * cols;
+          if (v0 != 0.0f && v1 != 0.0f) {
+            for (size_t j = 0; j < cols; ++j) {
+              float acc = orow[j];
+              acc += v0 * g0[j];
+              acc += v1 * g1[j];
+              orow[j] = acc;
+            }
+          } else if (v0 != 0.0f) {
+            for (size_t j = 0; j < cols; ++j) {
+              orow[j] += v0 * g0[j];
+            }
+          } else if (v1 != 0.0f) {
+            for (size_t j = 0; j < cols; ++j) {
+              orow[j] += v1 * g1[j];
+            }
+          }
+          // both zero: ReLU/pixel zeros — the data-side sparsity
+        }
+      }
+      if (n % 2 != 0) {
+        const size_t r = n - 1;
+        const float* __restrict grow = gd + r * cols;
+        const float* xrow = xd + r * in + ib;
+        for (size_t t = 0; t < nb; ++t) {
+          const float v = xrow[t];
+          if (v == 0.0f) {
+            continue;
+          }
+          float* __restrict orow = od + (ib + t) * cols;
+          for (size_t j = 0; j < cols; ++j) {
+            orow[j] += v * grow[j];
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace neuroc

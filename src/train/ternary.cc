@@ -1,7 +1,9 @@
 #include "src/train/ternary.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "src/common/check.h"
@@ -9,22 +11,57 @@
 
 namespace neuroc {
 
+namespace {
+
+// k-th smallest magnitude (0-indexed) via radix bucketing on the IEEE-754 bit pattern.
+// For non-negative floats the bit pattern is monotonic in the value, so the k-th smallest
+// 32-bit key IS the k-th smallest |w| — the exact order statistic std::nth_element on
+// fabs values would return, but in ~two branch-light linear passes instead of introselect's
+// compare-and-swap churn. This runs once per layer per optimizer step, which made it one of
+// the hottest density-independent costs in the training profile.
+float SelectMagnitude(const Tensor& latent, size_t k) {
+  thread_local std::vector<uint32_t> keys;
+  thread_local std::vector<uint32_t> bucket_keys;
+  const size_t n = latent.size();
+  keys.resize(n);
+  constexpr int kShift = 21;  // bucket on sign(=0 after abs) + exponent + 2 mantissa bits
+  uint32_t hist[1u << (31 - kShift + 1)] = {0};
+  const float* src = latent.data();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t key = std::bit_cast<uint32_t>(src[i]) & 0x7fffffffu;  // |w| bitwise
+    keys[i] = key;
+    ++hist[key >> kShift];
+  }
+  size_t before = 0;
+  uint32_t bucket = 0;
+  while (before + hist[bucket] <= k) {
+    before += hist[bucket];
+    ++bucket;
+  }
+  bucket_keys.clear();
+  for (const uint32_t key : keys) {
+    if ((key >> kShift) == bucket) {
+      bucket_keys.push_back(key);
+    }
+  }
+  const auto nth = bucket_keys.begin() + static_cast<ptrdiff_t>(k - before);
+  std::nth_element(bucket_keys.begin(), nth, bucket_keys.end());
+  return std::bit_cast<float>(*nth);
+}
+
+}  // namespace
+
 float TernaryThreshold(const Tensor& latent, const TernaryConfig& cfg) {
   if (cfg.target_density <= 0.0f) {
     return cfg.threshold_factor * MeanAbs(latent);
   }
   NEUROC_CHECK(cfg.target_density <= 1.0f);
   // Threshold at the (1 - density) quantile of |W|: keeps ~density of the connections.
-  std::vector<float> mags(latent.size());
-  for (size_t i = 0; i < latent.size(); ++i) {
-    mags[i] = std::fabs(latent[i]);
-  }
   const size_t keep =
-      std::min(mags.size() - 1,
+      std::min(latent.size() - 1,
                static_cast<size_t>((1.0f - cfg.target_density) *
-                                   static_cast<float>(mags.size())));
-  std::nth_element(mags.begin(), mags.begin() + static_cast<ptrdiff_t>(keep), mags.end());
-  return mags[keep];
+                                   static_cast<float>(latent.size())));
+  return SelectMagnitude(latent, keep);
 }
 
 void Ternarize(const Tensor& latent, float threshold, Tensor& out) {

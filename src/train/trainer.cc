@@ -5,9 +5,20 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/train/loss.h"
+#include "src/train/metrics.h"
 
 namespace neuroc {
+
+namespace {
+
+// Keep a few KB of row copies per chunk so small batches gather in-line.
+size_t GrainForRowCopy(size_t dim) {
+  return std::max<size_t>(8, 16384 / std::max<size_t>(1, dim));
+}
+
+}  // namespace
 
 void GatherBatch(const Dataset& ds, std::span<const size_t> indices, Tensor& batch_x,
                  std::vector<int>& batch_y) {
@@ -16,12 +27,14 @@ void GatherBatch(const Dataset& ds, std::span<const size_t> indices, Tensor& bat
     batch_x = Tensor({indices.size(), dim});
   }
   batch_y.resize(indices.size());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    NEUROC_CHECK(indices[i] < ds.num_examples());
-    std::copy(ds.images.row(indices[i]).begin(), ds.images.row(indices[i]).end(),
-              batch_x.row(i).begin());
-    batch_y[i] = ds.labels[indices[i]];
-  }
+  ParallelFor(0, indices.size(), GrainForRowCopy(dim), [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      NEUROC_CHECK(indices[i] < ds.num_examples());
+      std::copy(ds.images.row(indices[i]).begin(), ds.images.row(indices[i]).end(),
+                batch_x.row(i).begin());
+      batch_y[i] = ds.labels[indices[i]];
+    }
+  });
 }
 
 float EvaluateAccuracy(Network& net, const Dataset& ds, size_t batch_size) {
@@ -37,8 +50,7 @@ float EvaluateAccuracy(Network& net, const Dataset& ds, size_t batch_size) {
     }
     GatherBatch(ds, idx, batch_x, batch_y);
     const Tensor& logits = net.Forward(batch_x, /*training=*/false);
-    correct += static_cast<size_t>(
-        Accuracy(logits, batch_y) * static_cast<float>(batch_y.size()) + 0.5f);
+    correct += CountCorrect(logits, batch_y);  // exact integer count per batch
   }
   return ds.num_examples() == 0
              ? 0.0f

@@ -1,0 +1,301 @@
+// Parity tests for the sparse ternary training kernels.
+//
+// The contract (sparse_kernels.h) is bit-exactness: each sparse kernel accumulates every
+// output element in the dense reference's reduction order, so results are EXPECT_EQ-equal
+// on the raw bit patterns — across densities, odd shapes, and any thread-pool size. These
+// tests also pin the structural invariants of SparseTernaryMatrix (the three redundant
+// views must describe the same matrix) and end-to-end training determinism: sparse-vs-dense
+// kernels and 1-vs-4 threads must produce identical loss histories.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/data/dataset.h"
+#include "src/tensor/matrix_ops.h"
+#include "src/train/network.h"
+#include "src/train/sparse_kernels.h"
+#include "src/train/ternary.h"
+#include "src/train/trainer.h"
+
+namespace neuroc {
+namespace {
+
+struct GlobalThreadsGuard {
+  ~GlobalThreadsGuard() { ThreadPool::SetGlobalThreads(0); }
+};
+
+Tensor RandomTensor(size_t rows, size_t cols, Rng& rng, double zero_fraction = 0.0) {
+  Tensor t({rows, cols});
+  for (float& v : t.flat()) {
+    v = rng.NextBool(zero_fraction) ? 0.0f : rng.NextGaussian(0.0f, 1.0f);
+  }
+  return t;
+}
+
+// Bit-for-bit equality: distinguishes +0.0 from -0.0 and would catch any reassociated
+// rounding, which EXPECT_FLOAT_EQ (and even EXPECT_EQ on floats) would not.
+void ExpectBitEqual(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_TRUE(a.SameShape(b)) << what;
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint32_t>(ad[i]), std::bit_cast<uint32_t>(bd[i]))
+        << what << " diverges at flat index " << i << ": " << ad[i] << " vs " << bd[i];
+  }
+}
+
+float ThresholdFor(const Tensor& latent, float density) {
+  if (density >= 1.0f) {
+    return 0.0f;  // Gaussian latents are never exactly 0, so t=0 keeps every entry
+  }
+  TernaryConfig cfg;
+  cfg.target_density = density;
+  return TernaryThreshold(latent, cfg);
+}
+
+struct Shape {
+  size_t in, out, batch;
+};
+
+// 256×128 is the paper's first layer; 17×13 batch 5 exercises odd sizes (row-block and
+// batch-pairing tails in every kernel).
+const Shape kShapes[] = {{256, 128, 64}, {17, 13, 5}, {33, 7, 9}};
+const float kDensities[] = {0.05f, 0.3f, 1.0f};
+
+TEST(SparseKernelsTest, ForwardMatchesDenseBitForBit) {
+  GlobalThreadsGuard guard;
+  Rng rng(42);
+  for (const Shape& s : kShapes) {
+    for (float density : kDensities) {
+      const Tensor latent = RandomTensor(s.in, s.out, rng);
+      const float t = ThresholdFor(latent, density);
+      Tensor dense;
+      Ternarize(latent, t, dense);
+      const SparseTernaryMatrix sparse = SparseTernaryMatrix::FromLatent(latent, t);
+      // Inputs with exact zeros, like ReLU activations / empty pixels.
+      const Tensor x = RandomTensor(s.batch, s.in, rng, 0.4);
+      Tensor ref, got;
+      MatMul(x, dense, ref);
+      for (unsigned threads : {1u, 4u}) {
+        ThreadPool::SetGlobalThreads(threads);
+        SparseForward(x, sparse, got);
+        ExpectBitEqual(got, ref, "SparseForward");
+      }
+    }
+  }
+}
+
+TEST(SparseKernelsTest, GradInputMatchesDenseBitForBit) {
+  GlobalThreadsGuard guard;
+  Rng rng(43);
+  for (const Shape& s : kShapes) {
+    for (float density : kDensities) {
+      const Tensor latent = RandomTensor(s.in, s.out, rng);
+      const float t = ThresholdFor(latent, density);
+      Tensor dense;
+      Ternarize(latent, t, dense);
+      const SparseTernaryMatrix sparse = SparseTernaryMatrix::FromLatent(latent, t);
+      const Tensor gz = RandomTensor(s.batch, s.out, rng);
+      Tensor ref, got;
+      MatMulTransposeB(gz, dense, ref);
+      for (unsigned threads : {1u, 4u}) {
+        ThreadPool::SetGlobalThreads(threads);
+        SparseGradInput(gz, sparse, got);
+        ExpectBitEqual(got, ref, "SparseGradInput");
+      }
+    }
+  }
+}
+
+TEST(SparseKernelsTest, GradLatentMatchesDenseBitForBit) {
+  GlobalThreadsGuard guard;
+  Rng rng(44);
+  for (const Shape& s : kShapes) {
+    // Activation zeros are what the kernel skips; include a fully dense x as well.
+    for (double zero_fraction : {0.0, 0.5}) {
+      const Tensor x = RandomTensor(s.batch, s.in, rng, zero_fraction);
+      const Tensor gz = RandomTensor(s.batch, s.out, rng);
+      Tensor ref, got;
+      MatMulTransposeA(x, gz, ref);
+      for (unsigned threads : {1u, 4u}) {
+        ThreadPool::SetGlobalThreads(threads);
+        SparseGradLatent(x, gz, got);
+        ExpectBitEqual(got, ref, "SparseGradLatent");
+      }
+    }
+  }
+}
+
+TEST(SparseKernelsTest, FromLatentEqualsTernarizeThenFromDense) {
+  Rng rng(45);
+  for (const Shape& s : kShapes) {
+    for (float density : kDensities) {
+      const Tensor latent = RandomTensor(s.in, s.out, rng);
+      const float t = ThresholdFor(latent, density);
+      Tensor dense;
+      Ternarize(latent, t, dense);
+      const SparseTernaryMatrix a = SparseTernaryMatrix::FromLatent(latent, t);
+      const SparseTernaryMatrix b = SparseTernaryMatrix::FromDense(dense);
+      EXPECT_EQ(a.rows, b.rows);
+      EXPECT_EQ(a.cols, b.cols);
+      EXPECT_EQ(a.pos_ptr, b.pos_ptr);
+      EXPECT_EQ(a.pos_idx, b.pos_idx);
+      EXPECT_EQ(a.neg_ptr, b.neg_ptr);
+      EXPECT_EQ(a.neg_idx, b.neg_idx);
+      EXPECT_EQ(a.ptr, b.ptr);
+      EXPECT_EQ(a.idx, b.idx);
+      EXPECT_EQ(a.sign, b.sign);
+      EXPECT_EQ(a.row_ptr, b.row_ptr);
+      EXPECT_EQ(a.row_idx, b.row_idx);
+      EXPECT_EQ(a.row_sign, b.row_sign);
+      EXPECT_EQ(a.NonZeroCount(), CountNonZero(latent, t));
+    }
+  }
+}
+
+TEST(SparseKernelsTest, ToDenseRoundTrips) {
+  Rng rng(46);
+  for (const Shape& s : kShapes) {
+    const Tensor latent = RandomTensor(s.in, s.out, rng);
+    const float t = ThresholdFor(latent, 0.3f);
+    Tensor dense;
+    Ternarize(latent, t, dense);
+    Tensor round_trip;
+    SparseTernaryMatrix::FromDense(dense).ToDense(round_trip);
+    ExpectBitEqual(round_trip, dense, "ToDense round trip");
+  }
+}
+
+TEST(SparseKernelsTest, AssignFromLatentReusesObjectCorrectly) {
+  Rng rng(47);
+  // Rebuild the same object across different shapes and densities (larger → smaller →
+  // larger); every rebuild must be indistinguishable from a fresh FromLatent.
+  SparseTernaryMatrix reused;
+  for (const Shape& s : {Shape{64, 32, 1}, Shape{17, 13, 1}, Shape{128, 96, 1}}) {
+    for (float density : kDensities) {
+      const Tensor latent = RandomTensor(s.in, s.out, rng);
+      const float t = ThresholdFor(latent, density);
+      reused.AssignFromLatent(latent, t);
+      const SparseTernaryMatrix fresh = SparseTernaryMatrix::FromLatent(latent, t);
+      EXPECT_EQ(reused.ptr, fresh.ptr);
+      EXPECT_EQ(reused.idx, fresh.idx);
+      EXPECT_EQ(reused.sign, fresh.sign);
+      EXPECT_EQ(reused.row_ptr, fresh.row_ptr);
+      EXPECT_EQ(reused.row_idx, fresh.row_idx);
+      EXPECT_EQ(reused.row_sign, fresh.row_sign);
+      EXPECT_EQ(reused.pos_idx, fresh.pos_idx);
+      EXPECT_EQ(reused.neg_idx, fresh.neg_idx);
+    }
+  }
+}
+
+TEST(SparseKernelsTest, ColumnAndRowViewsDescribeTheSameMatrix) {
+  Rng rng(48);
+  const Tensor latent = RandomTensor(33, 21, rng);
+  const float t = ThresholdFor(latent, 0.3f);
+  const SparseTernaryMatrix a = SparseTernaryMatrix::FromLatent(latent, t);
+  // Reconstruct dense from the column view and from the row view; both must agree with
+  // the merged traversal and with each other.
+  Tensor from_cols({a.rows, a.cols});
+  from_cols.Fill(0.0f);
+  for (size_t j = 0; j < a.cols; ++j) {
+    EXPECT_EQ(a.ptr[j + 1] - a.ptr[j],
+              (a.pos_ptr[j + 1] - a.pos_ptr[j]) + (a.neg_ptr[j + 1] - a.neg_ptr[j]));
+    for (uint32_t k = a.ptr[j]; k < a.ptr[j + 1]; ++k) {
+      if (k > a.ptr[j]) {
+        EXPECT_LT(a.idx[k - 1], a.idx[k]) << "column " << j << " not ascending";
+      }
+      from_cols.at(a.idx[k], j) = a.sign[k];
+    }
+  }
+  Tensor from_rows({a.rows, a.cols});
+  from_rows.Fill(0.0f);
+  for (size_t i = 0; i < a.rows; ++i) {
+    for (uint32_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      if (k > a.row_ptr[i]) {
+        EXPECT_LT(a.row_idx[k - 1], a.row_idx[k]) << "row " << i << " not ascending";
+      }
+      from_rows.at(i, a.row_idx[k]) = a.row_sign[k];
+    }
+  }
+  ExpectBitEqual(from_rows, from_cols, "row view vs column view");
+  EXPECT_EQ(a.row_ptr.back(), a.NonZeroCount());
+  EXPECT_NEAR(a.Density(),
+              static_cast<double>(a.NonZeroCount()) / static_cast<double>(a.rows * a.cols),
+              1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: the properties the bench and tests rely on.
+// ---------------------------------------------------------------------------
+
+Dataset SmallDataset(size_t n, uint64_t seed) {
+  Dataset ds;
+  ds.name = "parity-synthetic";
+  ds.width = 8;
+  ds.height = 8;
+  ds.channels = 1;
+  ds.num_classes = 10;
+  ds.images = Tensor({n, size_t{64}});
+  ds.labels.resize(n);
+  Rng rng(seed);
+  for (float& v : ds.images.flat()) {
+    v = rng.NextBool(0.5) ? 0.0f : rng.NextUniform(0.0f, 1.0f);
+  }
+  for (int& l : ds.labels) {
+    l = static_cast<int>(rng.NextBounded(10));
+  }
+  return ds;
+}
+
+TrainResult TrainSmall(bool sparse, unsigned threads) {
+  ThreadPool::SetGlobalThreads(threads);
+  const Dataset train = SmallDataset(256, 5);
+  const Dataset test = SmallDataset(64, 6);
+  NeuroCSpec spec;
+  spec.hidden = {32};
+  spec.layer.ternary.target_density = 0.2f;
+  spec.layer.use_sparse_kernels = sparse;
+  Rng rng(9);
+  Network net = BuildNeuroC(64, 10, spec, rng);
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 5e-3f;
+  return Train(net, train, test, cfg);
+}
+
+void ExpectIdenticalHistories(const TrainResult& a, const TrainResult& b, const char* what) {
+  ASSERT_EQ(a.history.size(), b.history.size()) << what;
+  for (size_t e = 0; e < a.history.size(); ++e) {
+    EXPECT_EQ(std::bit_cast<uint32_t>(a.history[e].train_loss),
+              std::bit_cast<uint32_t>(b.history[e].train_loss))
+        << what << ": train_loss diverges at epoch " << e;
+    EXPECT_EQ(a.history[e].train_accuracy, b.history[e].train_accuracy)
+        << what << ": epoch " << e;
+    EXPECT_EQ(a.history[e].test_accuracy, b.history[e].test_accuracy)
+        << what << ": epoch " << e;
+  }
+}
+
+TEST(SparseKernelsTest, TrainingLossCurveIsThreadCountInvariant) {
+  GlobalThreadsGuard guard;
+  const TrainResult t1 = TrainSmall(/*sparse=*/true, /*threads=*/1);
+  const TrainResult t4 = TrainSmall(/*sparse=*/true, /*threads=*/4);
+  ExpectIdenticalHistories(t1, t4, "sparse 1-vs-4 threads");
+}
+
+TEST(SparseKernelsTest, SparseAndDenseTrainersProduceIdenticalLossCurves) {
+  GlobalThreadsGuard guard;
+  const TrainResult dense = TrainSmall(/*sparse=*/false, /*threads=*/1);
+  const TrainResult sparse = TrainSmall(/*sparse=*/true, /*threads=*/4);
+  ExpectIdenticalHistories(dense, sparse, "dense-1t vs sparse-4t");
+}
+
+}  // namespace
+}  // namespace neuroc

@@ -24,8 +24,9 @@ Tensor RandomBatch(size_t n, size_t d, Rng& rng) {
 }
 
 // Scalar loss used for gradient checks: sum of squares of the module output.
+// Training-mode forward: Backward requires the activation caches a training forward fills.
 float HalfSquaredOutput(Module& m, const Tensor& x, Tensor* grad_out = nullptr) {
-  const Tensor& y = m.Forward(x, /*training=*/false);
+  const Tensor& y = m.Forward(x, /*training=*/true);
   float loss = 0.0f;
   for (float v : y.flat()) {
     loss += 0.5f * v * v;
