@@ -14,9 +14,11 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/data/dataset.h"
+#include "src/obs/json_writer.h"
 #include "src/train/network.h"
 #include "src/train/trainer.h"
 
@@ -97,31 +99,28 @@ RunResult RunConfig(const Dataset& train, const Dataset& test, bool sparse, unsi
 }
 
 void WriteJson(const std::vector<RunResult>& results, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").Value("train_throughput");
+  w.Key("network").Value("256-128-64-10");
+  w.Key("train_examples").Value(static_cast<uint64_t>(kTrainExamples));
+  w.Key("test_examples").Value(static_cast<uint64_t>(kTestExamples));
+  w.Key("batch_size").Value(static_cast<uint64_t>(kBatchSize));
+  w.Key("epochs").Value(kEpochs);
+  w.Key("configs").BeginArray();
+  for (const RunResult& r : results) {
+    w.BeginObject();
+    w.Key("kernels").Value(r.kernels);
+    w.Key("threads").Value(r.threads);
+    w.Key("density").Value(static_cast<double>(r.density), 2);
+    w.Key("examples_per_sec").Value(r.examples_per_sec, 8);
+    w.Key("epoch_ms").Value(r.epoch_ms, 8);
+    w.Key("final_loss").Value(static_cast<double>(r.final_loss), 4);
+    w.EndObject();
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"train_throughput\",\n");
-  std::fprintf(f, "  \"network\": \"256-128-64-10\",\n");
-  std::fprintf(f, "  \"train_examples\": %zu,\n", kTrainExamples);
-  std::fprintf(f, "  \"test_examples\": %zu,\n", kTestExamples);
-  std::fprintf(f, "  \"batch_size\": %zu,\n", kBatchSize);
-  std::fprintf(f, "  \"epochs\": %d,\n", kEpochs);
-  std::fprintf(f, "  \"configs\": [\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
-    std::fprintf(f,
-                 "    {\"kernels\": \"%s\", \"threads\": %u, \"density\": %.2f, "
-                 "\"examples_per_sec\": %.1f, \"epoch_ms\": %.1f, \"final_loss\": %.4f}%s\n",
-                 r.kernels.c_str(), r.threads, r.density, r.examples_per_sec, r.epoch_ms,
-                 r.final_loss, i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n");
+  w.EndArray();
   // Headline ratios: sparse wins at 1 thread (kernel effect alone), then with threading.
-  std::fprintf(f, "  \"speedups\": {\n");
-  bool first = true;
+  w.Key("speedups").BeginObject();
   for (const RunResult& base : results) {
     if (base.kernels != "dense" || base.threads != 1) {
       continue;
@@ -130,15 +129,15 @@ void WriteJson(const std::vector<RunResult>& results, const std::string& path) {
       if (r.kernels != "sparse" || r.density != base.density) {
         continue;
       }
-      std::fprintf(f, "%s    \"sparse_%ut_vs_dense_1t_density_%.2f\": %.2f",
-                   first ? "" : ",\n", r.threads, r.density,
-                   r.examples_per_sec / base.examples_per_sec);
-      first = false;
+      char key[96];
+      std::snprintf(key, sizeof(key), "sparse_%ut_vs_dense_1t_density_%.2f", r.threads,
+                    r.density);
+      w.Key(key).Value(r.examples_per_sec / base.examples_per_sec, 3);
     }
   }
-  std::fprintf(f, "\n  }\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path.c_str());
+  w.EndObject();
+  w.EndObject();
+  benchutil::WriteBenchJson(path, w);
 }
 
 }  // namespace

@@ -9,9 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/core/mlp_model.h"
 #include "src/core/neuroc_model.h"
 #include "src/data/synth.h"
+#include "src/obs/json_writer.h"
 #include "src/runtime/deployed_model.h"
 #include "src/runtime/platform.h"
 #include "src/train/trainer.h"
@@ -87,6 +89,30 @@ inline ModelResult EvaluateNeuroC(const std::string& name, const Dataset& train,
 
 inline void PrintHeader(const char* title) {
   std::printf("\n=== %s ===\n", title);
+}
+
+// Writes a finished JsonWriter document to `path` and prints the conventional
+// "wrote <path>" line every bench ends with. All BENCH_*.json emission goes through this
+// (and JsonWriter) so output stays consistently escaped and formatted across benches.
+inline void WriteBenchJson(const std::string& path, const JsonWriter& w) {
+  NEUROC_CHECK(w.done());
+  if (WriteStringToFile(path, w.str())) {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+// Appends `r` as one JSON object — shared shape for benches that tabulate ModelResults.
+inline void WriteModelResultJson(JsonWriter& w, const ModelResult& r) {
+  w.BeginObject();
+  w.Key("model").Value(r.name);
+  w.Key("float_accuracy").Value(static_cast<double>(r.float_accuracy), 4);
+  w.Key("quant_accuracy").Value(static_cast<double>(r.quant_accuracy), 4);
+  w.Key("deployed_params").Value(static_cast<uint64_t>(r.deployed_params));
+  w.Key("program_bytes").Value(static_cast<uint64_t>(r.program_bytes));
+  w.Key("latency_ms").Value(r.latency_ms, 4);
+  w.Key("deployable").Value(r.deployable);
+  w.Key("converged").Value(r.converged);
+  w.EndObject();
 }
 
 inline void PrintModelResultHeader() {

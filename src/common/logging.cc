@@ -1,10 +1,45 @@
 #include "src/common/logging.h"
 
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
 namespace neuroc {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+LogLevel LevelFromEnv() {
+  LogLevel level = LogLevel::kInfo;
+  ParseLogLevel(std::getenv("NEUROC_LOG_LEVEL"), &level);
+  return level;
+}
+
+LogLevel g_level = LevelFromEnv();
+
 }  // namespace
+
+bool ParseLogLevel(const char* name, LogLevel* out) {
+  if (name == nullptr || *name == '\0') {
+    return false;
+  }
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }

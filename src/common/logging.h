@@ -10,9 +10,15 @@ namespace neuroc {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Process-wide minimum level; messages below it are dropped.
+// Process-wide minimum level; messages below it are dropped. The initial level comes from
+// the NEUROC_LOG_LEVEL environment variable (debug|info|warn|error, case-insensitive),
+// defaulting to info; SetLogLevel overrides it for the rest of the process.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Parses a level name ("debug", "info", "warn"/"warning", "error"). Returns false (and
+// leaves `out` untouched) for anything else, including nullptr.
+bool ParseLogLevel(const char* name, LogLevel* out);
 
 namespace log_internal {
 const char* LevelTag(LogLevel level);

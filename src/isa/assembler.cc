@@ -16,6 +16,34 @@ uint32_t AssembledProgram::SymbolAddr(const std::string& name) const {
   return it->second;
 }
 
+SymbolTable::SymbolTable(const std::map<std::string, uint32_t>& symbols) {
+  std::vector<Entry> sorted;
+  sorted.reserve(symbols.size());
+  for (const auto& [name, addr] : symbols) {
+    sorted.push_back({addr, name});
+  }
+  // Address order; ties broken by name (map order) so the joined form is deterministic.
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Entry& a, const Entry& b) { return a.addr < b.addr; });
+  for (Entry& e : sorted) {
+    if (!entries_.empty() && entries_.back().addr == e.addr) {
+      entries_.back().name += "/" + e.name;
+    } else {
+      entries_.push_back(std::move(e));
+    }
+  }
+}
+
+const SymbolTable::Entry* SymbolTable::Resolve(uint32_t addr) const {
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), addr,
+      [](uint32_t a, const Entry& e) { return a < e.addr; });
+  if (it == entries_.begin()) {
+    return nullptr;
+  }
+  return &*std::prev(it);
+}
+
 namespace {
 
 struct Token {

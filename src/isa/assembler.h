@@ -30,6 +30,32 @@ struct AssembledProgram {
   size_t size() const { return bytes.size(); }
 };
 
+// Address-ordered view of a symbol table for resolving instruction addresses back to the
+// enclosing label — the attribution step of the cycle profiler (src/obs/sim_profiler.h).
+// Every assembler label is a symbol, so kernel-internal loop labels resolve too.
+class SymbolTable {
+ public:
+  struct Entry {
+    uint32_t addr = 0;
+    std::string name;
+  };
+
+  SymbolTable() = default;
+  explicit SymbolTable(const std::map<std::string, uint32_t>& symbols);
+
+  // The entry with the greatest address <= `addr` (i.e. the label whose span covers it),
+  // or nullptr when `addr` precedes every symbol. Labels sharing an address collapse to
+  // one entry (names joined with '/'), so spans are non-empty and attribution is unique.
+  const Entry* Resolve(uint32_t addr) const;
+
+  // Ascending by address.
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 // Assembles `source` for load address `base_addr` (must be 4-aligned).
 AssembledProgram Assemble(const std::string& source, uint32_t base_addr);
 

@@ -1,0 +1,172 @@
+#include "src/obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace neuroc {
+
+void JsonWriter::NewlineIndent() {
+  if (indent_ <= 0) {
+    return;
+  }
+  out_.push_back('\n');
+  out_.append(stack_.size() * static_cast<size_t>(indent_), ' ');
+}
+
+void JsonWriter::BeforeItem() {
+  if (after_key_) {
+    // Value completing a `"key": ` — separator already emitted by Key().
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    NEUROC_CHECK_MSG(!has_top_value_, "JsonWriter: second top-level value");
+    has_top_value_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  NEUROC_CHECK_MSG(top.scope == Scope::kArray, "JsonWriter: value in object without Key");
+  if (top.count > 0) {
+    out_.push_back(',');
+  }
+  ++top.count;
+  NewlineIndent();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeItem();
+  out_.push_back('{');
+  stack_.push_back({Scope::kObject});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  NEUROC_CHECK_MSG(!stack_.empty() && stack_.back().scope == Scope::kObject && !after_key_,
+                   "JsonWriter: mismatched EndObject");
+  const bool had_members = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_members) {
+    NewlineIndent();
+  }
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeItem();
+  out_.push_back('[');
+  stack_.push_back({Scope::kArray});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  NEUROC_CHECK_MSG(!stack_.empty() && stack_.back().scope == Scope::kArray && !after_key_,
+                   "JsonWriter: mismatched EndArray");
+  const bool had_elements = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_elements) {
+    NewlineIndent();
+  }
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  NEUROC_CHECK_MSG(!stack_.empty() && stack_.back().scope == Scope::kObject && !after_key_,
+                   "JsonWriter: Key outside object");
+  Frame& top = stack_.back();
+  if (top.count > 0) {
+    out_.push_back(',');
+  }
+  ++top.count;
+  NewlineIndent();
+  out_.push_back('"');
+  Append(Escape(name));
+  Append(indent_ > 0 ? "\": " : "\":");
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  BeforeItem();
+  out_.push_back('"');
+  Append(Escape(v));
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeItem();
+  Append(v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  BeforeItem();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  Append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  BeforeItem();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  Append(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v, int precision) {
+  BeforeItem();
+  if (!std::isfinite(v)) {
+    Append("null");
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  Append(buf);
+  return *this;
+}
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool WriteStringToFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    NEUROC_LOG_ERROR("cannot write %s", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  if (!ok) {
+    NEUROC_LOG_ERROR("short write to %s", path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace neuroc

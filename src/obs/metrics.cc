@@ -1,0 +1,55 @@
+#include "src/obs/metrics.h"
+
+#include "src/common/logging.h"
+#include "src/obs/json_writer.h"
+
+namespace neuroc {
+
+MetricsLogger::MetricsLogger(const std::string& path) : path_(path) {
+  if (path_.empty()) {
+    return;
+  }
+  file_ = std::fopen(path_.c_str(), "a");
+  if (file_ == nullptr) {
+    NEUROC_LOG_ERROR("metrics: cannot open %s", path_.c_str());
+  }
+}
+
+MetricsLogger::~MetricsLogger() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void MetricsLogger::Log(std::initializer_list<Field> fields) {
+  WriteRecord(fields.begin(), fields.size());
+}
+
+void MetricsLogger::Log(const std::vector<Field>& fields) {
+  WriteRecord(fields.data(), fields.size());
+}
+
+void MetricsLogger::WriteRecord(const Field* fields, size_t count) {
+  if (file_ == nullptr) {
+    return;
+  }
+  JsonWriter w(/*indent=*/0);
+  w.BeginObject();
+  for (size_t i = 0; i < count; ++i) {
+    const Field& f = fields[i];
+    w.Key(f.key);
+    if (f.is_text) {
+      w.Value(std::string_view(f.text));
+    } else if (f.is_int) {
+      w.Value(static_cast<int64_t>(f.number));
+    } else {
+      w.Value(f.number, /*precision=*/9);
+    }
+  }
+  w.EndObject();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(file_, "%s\n", w.str().c_str());
+  std::fflush(file_);
+}
+
+}  // namespace neuroc

@@ -1,0 +1,59 @@
+// Structured metrics stream: one compact JSON object per record, newline-delimited
+// (JSONL), append-ordered. The trainer emits one record per epoch (loss, accuracies,
+// examples/sec, ternarization density); benches and the CLI can append their own records
+// to the same stream. Field order is insertion order, so records are deterministic for
+// deterministic inputs.
+
+#ifndef NEUROC_SRC_OBS_METRICS_H_
+#define NEUROC_SRC_OBS_METRICS_H_
+
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace neuroc {
+
+class MetricsLogger {
+ public:
+  // A single named value; exact integers keep integer formatting in the output.
+  struct Field {
+    Field(std::string_view k, double v) : key(k), number(v) {}
+    Field(std::string_view k, int v) : key(k), number(v), is_int(true) {}
+    Field(std::string_view k, size_t v)
+        : key(k), number(static_cast<double>(v)), is_int(true) {}
+    Field(std::string_view k, std::string_view v) : key(k), text(v), is_text(true) {}
+
+    std::string key;
+    double number = 0.0;
+    std::string text;
+    bool is_int = false;
+    bool is_text = false;
+  };
+
+  // Opens `path` for appending ("" keeps the logger closed; Log becomes a no-op).
+  explicit MetricsLogger(const std::string& path);
+  ~MetricsLogger();
+  MetricsLogger(const MetricsLogger&) = delete;
+  MetricsLogger& operator=(const MetricsLogger&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  // Appends one JSONL record and flushes (streams should survive a crash). Thread-safe.
+  void Log(std::initializer_list<Field> fields);
+  void Log(const std::vector<Field>& fields);
+
+ private:
+  void WriteRecord(const Field* fields, size_t count);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_OBS_METRICS_H_

@@ -1,0 +1,150 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/obs/json_writer.h"
+
+namespace neuroc {
+
+TraceRecorder::TraceRecorder() { Start(); }
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder();
+    const char* env = std::getenv("NEUROC_TRACE");
+    if (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+      r->set_enabled(true);
+    }
+    return r;
+  }();
+  return *recorder;
+}
+
+void TraceRecorder::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  thread_ids_.clear();
+  origin_ = std::chrono::steady_clock::now();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+double TraceRecorder::NowUs() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   origin_)
+      .count();
+}
+
+uint32_t TraceRecorder::ThreadId() const {
+  // Callers hold mutex_.
+  const std::thread::id self = std::this_thread::get_id();
+  const auto it = std::find(thread_ids_.begin(), thread_ids_.end(), self);
+  if (it != thread_ids_.end()) {
+    return static_cast<uint32_t>(it - thread_ids_.begin());
+  }
+  thread_ids_.push_back(self);
+  return static_cast<uint32_t>(thread_ids_.size() - 1);
+}
+
+void TraceRecorder::AddCompleteEvent(const std::string& name, const std::string& track,
+                                     double ts_us, double dur_us) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({'X', name, track, ts_us, dur_us, 0.0, ThreadId()});
+}
+
+void TraceRecorder::AddCounterEvent(const std::string& name, const std::string& track,
+                                    double ts_us, double value) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back({'C', name, track, ts_us, 0.0, value, ThreadId()});
+}
+
+void TraceRecorder::Counter(const std::string& name, double value) {
+  AddCounterEvent(name, "host", NowUs(), value);
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Tracks render as processes: assign pids in first-appearance order and name them with
+  // process_name metadata events (pid/tid must be integers for Perfetto).
+  std::vector<std::string> tracks;
+  auto pid_of = [&tracks](const std::string& track) -> uint64_t {
+    const auto it = std::find(tracks.begin(), tracks.end(), track);
+    if (it != tracks.end()) {
+      return static_cast<uint64_t>(it - tracks.begin());
+    }
+    tracks.push_back(track);
+    return tracks.size() - 1;
+  };
+  for (const Event& e : events_) {
+    pid_of(e.track);
+  }
+  JsonWriter w(/*indent=*/0);
+  w.BeginObject();
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("traceEvents").BeginArray();
+  for (size_t pid = 0; pid < tracks.size(); ++pid) {
+    w.BeginObject();
+    w.Key("name").Value("process_name");
+    w.Key("ph").Value("M");
+    w.Key("pid").Value(static_cast<uint64_t>(pid));
+    w.Key("tid").Value(0);
+    w.Key("args").BeginObject();
+    w.Key("name").Value(tracks[pid]);
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const Event& e : events_) {
+    w.BeginObject();
+    w.Key("name").Value(e.name);
+    w.Key("ph").Value(std::string_view(&e.phase, 1));
+    w.Key("pid").Value(pid_of(e.track));
+    w.Key("tid").Value(static_cast<uint64_t>(e.tid));
+    w.Key("ts").Value(e.ts_us, /*precision=*/12);
+    if (e.phase == 'X') {
+      w.Key("dur").Value(e.dur_us, /*precision=*/12);
+    } else {
+      w.Key("args").BeginObject();
+      w.Key("value").Value(e.value, /*precision=*/12);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  return WriteStringToFile(path, ToChromeTraceJson());
+}
+
+TraceRecorder::Span::Span(TraceRecorder& recorder, const char* name)
+    : recorder_(recorder.enabled() ? &recorder : nullptr) {
+  if (recorder_ != nullptr) {
+    name_ = name;
+    start_us_ = recorder_->NowUs();
+  }
+}
+
+TraceRecorder::Span::~Span() {
+  if (recorder_ != nullptr) {
+    recorder_->AddCompleteEvent(name_, "host", start_us_, recorder_->NowUs() - start_us_);
+  }
+}
+
+}  // namespace neuroc

@@ -1,0 +1,108 @@
+// Dependency-free trace-event recorder for the host side (trainer, benches, CLI).
+//
+// Records scoped spans and named counters into an in-memory buffer and exports Chrome
+// trace_event JSON (the array-of-events "traceEvents" format), loadable in Perfetto /
+// chrome://tracing. Recording is thread-safe: spans measure wall time lock-free and take
+// the buffer mutex only once at destruction, so instrumenting code that runs inside the
+// ThreadPool's parallel chunks is safe and cheap.
+//
+// Two timestamp sources coexist:
+//   - host spans/counters stamp std::chrono::steady_clock microseconds since Start();
+//   - simulator events use AddCompleteEvent with explicit timestamps (cycles converted to
+//     microseconds at the simulated clock), giving cycle-exact timelines on track "sim".
+//
+// The global recorder is disabled by default; `NEUROC_TRACE=1` in the environment or
+// TraceRecorder::Global().set_enabled(true) turns it on. Disabled recording is a no-op
+// (one relaxed atomic load per span).
+
+#ifndef NEUROC_SRC_OBS_TRACE_H_
+#define NEUROC_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace neuroc {
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  // Process-wide recorder (enabled at startup iff NEUROC_TRACE is set to a non-"0" value).
+  static TraceRecorder& Global();
+
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Resets the clock origin and clears buffered events.
+  void Start();
+  void Clear();
+  size_t event_count() const;
+
+  // Microseconds since Start() on the host steady clock.
+  double NowUs() const;
+
+  // Complete event ("ph":"X") with explicit timing; `track` names the pid/tid lane
+  // ("host", "sim", ...). Thread-safe.
+  void AddCompleteEvent(const std::string& name, const std::string& track, double ts_us,
+                        double dur_us);
+  // Counter event ("ph":"C") with explicit timestamp, or stamped now.
+  void AddCounterEvent(const std::string& name, const std::string& track, double ts_us,
+                       double value);
+  void Counter(const std::string& name, double value);
+
+  // Chrome trace_event JSON ({"traceEvents": [...]}). Events keep insertion order;
+  // viewers sort by timestamp themselves.
+  std::string ToChromeTraceJson() const;
+  bool WriteChromeTrace(const std::string& path) const;
+
+  // RAII span: records a complete event on the calling thread's lane from construction to
+  // destruction. No-op when the recorder is disabled at construction time.
+  class Span {
+   public:
+    Span(TraceRecorder& recorder, const char* name);
+    explicit Span(const char* name) : Span(Global(), name) {}
+    ~Span();
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    TraceRecorder* recorder_;  // nullptr when disabled
+    std::string name_;
+    double start_us_ = 0.0;
+  };
+
+ private:
+  struct Event {
+    char phase;  // 'X' complete, 'C' counter
+    std::string name;
+    std::string track;
+    double ts_us;
+    double dur_us;   // 'X' only
+    double value;    // 'C' only
+    uint32_t tid;
+  };
+
+  // Small stable id for the calling thread (0 = the thread that called Start() first).
+  uint32_t ThreadId() const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::vector<std::thread::id> thread_ids_;  // index = assigned tid
+};
+
+// Scoped host span on the global recorder; name must be a literal or outlive the scope.
+#define NEUROC_TRACE_CONCAT_INNER(a, b) a##b
+#define NEUROC_TRACE_CONCAT(a, b) NEUROC_TRACE_CONCAT_INNER(a, b)
+#define NEUROC_TRACE_SCOPE(name) \
+  ::neuroc::TraceRecorder::Span NEUROC_TRACE_CONCAT(neuroc_trace_span_, __LINE__)(name)
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_OBS_TRACE_H_

@@ -73,14 +73,21 @@ DeployedModel DeployedModel::Deploy(const MlpModel& model, const MachineConfig& 
   return DeployImage(std::move(image), std::move(probe), config, image_base);
 }
 
+uint32_t DeployedModel::activation_top_addr() const {
+  return machine_->config().ram_base + static_cast<uint32_t>(image_.ram_bytes_used);
+}
+
 int DeployedModel::Predict(std::span<const int8_t> input) {
   NEUROC_CHECK(input.size() == image_.input_dim);
   machine_->LoadBytes(image_.input_addr,
                       std::span<const uint8_t>(
                           reinterpret_cast<const uint8_t*>(input.data()), input.size()));
   uint64_t cycles = 0;
+  report_.layer_cycles.assign(image_.num_layers(), 0);
   for (size_t k = 0; k < image_.num_layers(); ++k) {
-    cycles += machine_->CallFunction(layer_entries_[k], {image_.descriptor_addrs[k]});
+    report_.layer_cycles[k] =
+        machine_->CallFunction(layer_entries_[k], {image_.descriptor_addrs[k]});
+    cycles += report_.layer_cycles[k];
   }
   report_.cycles_per_inference = cycles;
   report_.latency_ms = machine_->CyclesToMs(cycles);

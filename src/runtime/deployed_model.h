@@ -27,6 +27,7 @@ struct DeploymentReport {
   size_t ram_bytes = 0;        // activation buffers + scratch
   uint64_t cycles_per_inference = 0;  // from the most recent Predict/MeasureLatency
   double latency_ms = 0.0;
+  std::vector<uint64_t> layer_cycles;  // per-layer split of the most recent inference
 };
 
 class DeployedModel {
@@ -54,8 +55,18 @@ class DeployedModel {
 
   const DeploymentReport& report() const { return report_; }
   Machine& machine() { return *machine_; }
+  const Machine& machine() const { return *machine_; }
   size_t input_dim() const { return image_.input_dim; }
   size_t output_dim() const { return image_.output_dim; }
+  size_t num_layers() const { return image_.num_layers(); }
+
+  // Assembled kernel section, including its symbol table (kernel entry points and inner
+  // loop labels) — the resolution substrate for the cycle profiler (src/obs/).
+  const AssembledProgram& kernel_program() const { return kernels_.program(); }
+
+  // First SRAM address above the planned activation buffers/scratch — everything at or
+  // above this is stack territory for the simulated kernels.
+  uint32_t activation_top_addr() const;
 
  private:
   DeployedModel() = default;

@@ -1,13 +1,18 @@
-// Execution profiling of deployed models on the simulated MCU: instruction mix, memory
-// traffic by region, and per-category cycle attribution. This is the quantitative backing
-// for the paper's Sec. 4.1 discussion — on a cache-less in-order core, the memory-access
-// pattern and control path *are* the performance model.
+// Execution profiling of deployed models on the simulated MCU. Since the obs PR this is
+// built on the cycle-exact flat profiler (src/obs/sim_profiler.h): instruction mix and
+// per-category cycle attribution come from per-PC/per-opcode data gathered by the CPU
+// probe, and the detailed profile adds per-symbol hotspots, per-layer cycles, memory
+// heatmaps and the SRAM stack high-water mark. This is the quantitative backing for the
+// paper's Sec. 4.1 discussion — on a cache-less in-order core, the memory-access pattern
+// and control path *are* the performance model.
 
 #ifndef NEUROC_SRC_RUNTIME_PROFILE_H_
 #define NEUROC_SRC_RUNTIME_PROFILE_H_
 
 #include <string>
 
+#include "src/obs/json_writer.h"
+#include "src/obs/sim_profiler.h"
 #include "src/runtime/deployed_model.h"
 
 namespace neuroc {
@@ -22,6 +27,14 @@ struct ExecutionProfile {
   uint64_t multiplies = 0;
   uint64_t branches = 0;   // B/B<cond>/BL/BX + PC writes
   uint64_t stack_ops = 0;  // PUSH/POP
+  // Cycle attribution by the same categories (sums to `cycles` exactly; includes each
+  // instruction's fetch wait states, memory-access costs and branch penalties).
+  uint64_t load_cycles = 0;
+  uint64_t store_cycles = 0;
+  uint64_t alu_cycles = 0;
+  uint64_t multiply_cycles = 0;
+  uint64_t branch_cycles = 0;
+  uint64_t stack_cycles = 0;
   // Memory traffic (accesses, not bytes).
   uint64_t flash_reads = 0;
   uint64_t sram_reads = 0;
@@ -33,11 +46,38 @@ struct ExecutionProfile {
   }
 };
 
+// Full attribution package for one inference.
+struct InferenceProfile {
+  ExecutionProfile summary;
+  SimProfiler profiler;             // raw per-PC/per-opcode attribution
+  HotspotReport hotspots;           // per-symbol/per-loop-label cycle attribution
+  std::vector<uint64_t> layer_cycles;
+  MemHeatmap heatmap;               // per-region access histograms
+  uint32_t stack_bytes_used = 0;    // SRAM stack high-water mark
+  uint32_t stack_headroom_bytes = 0;  // gap between deepest stack and activation top
+};
+
 // Runs one inference on `model` (zero input) and returns the profile of exactly that run.
 ExecutionProfile ProfileInference(DeployedModel& model);
 
+// As above, plus symbol-resolved hotspots, memory heatmap (`heatmap_bucket_bytes`-sized
+// buckets) and stack tracking. Warns via NEUROC_LOG_WARN when the measured stack high
+// water comes within 256 bytes of the activation buffers.
+InferenceProfile ProfileInferenceDetailed(DeployedModel& model,
+                                          uint32_t heatmap_bucket_bytes = 64);
+
 // Multi-line human-readable report.
 std::string FormatProfile(const ExecutionProfile& profile);
+
+// FormatProfile + hotspot table + per-layer cycles + stack/heatmap summary. Set
+// `annotated_disassembly` to append the per-instruction listing.
+std::string FormatInferenceProfile(const InferenceProfile& profile,
+                                   const DeployedModel& model,
+                                   bool annotated_disassembly = false);
+
+// Machine-readable form of the full profile (one JSON object at the writer's position).
+void WriteInferenceProfileJson(JsonWriter& w, const InferenceProfile& profile,
+                               const DeployedModel& model);
 
 }  // namespace neuroc
 

@@ -94,6 +94,7 @@ void Cpu::ChargeMemAccess(uint32_t addr, bool is_store) {
 void Cpu::Step() {
   NEUROC_CHECK(!halted());
   const uint32_t addr = pc_;
+  const uint64_t cycles_at_entry = cycles_;
   const uint16_t hw1 = mem_->Read16(addr);
   // Peek the second halfword only for 32-bit encodings (BL prefix).
   const bool wide = (hw1 & 0xF800) == 0xF000;
@@ -620,6 +621,9 @@ void Cpu::Step() {
     case Op::kInvalid:
       NEUROC_CHECK(false);
       break;
+  }
+  if (probe_ != nullptr) {
+    probe_->OnRetire(addr, in.op, static_cast<uint32_t>(cycles_ - cycles_at_entry));
   }
 }
 

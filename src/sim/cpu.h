@@ -26,6 +26,18 @@ struct CpuFlags {
   bool v = false;
 };
 
+// Opt-in per-instruction observer (see src/obs/sim_profiler.h for the flat profiler built
+// on it). The hook fires after each retired instruction with the instruction address, the
+// opcode, and the exact cycle cost charged for it — including flash wait states on the
+// fetch, memory-access costs, and branch penalties, so per-PC cycles sum to Cpu::cycles().
+// With no probe attached the only cost on the Step hot path is one null check, and the
+// simulated cycle/instruction counts are identical either way.
+class CpuProbe {
+ public:
+  virtual ~CpuProbe() = default;
+  virtual void OnRetire(uint32_t addr, Op op, uint32_t cycles) = 0;
+};
+
 class Cpu {
  public:
   static constexpr uint32_t kStopAddress = 0xFFFFFFFE;
@@ -56,6 +68,11 @@ class Cpu {
   void EnableTrace(size_t depth);
   // Most-recent-last disassembled listing of the buffered instructions.
   std::string DumpTrace() const;
+
+  // Attaches (or with nullptr detaches) the per-instruction probe. The probe must outlive
+  // the attachment.
+  void set_probe(CpuProbe* probe) { probe_ = probe; }
+  CpuProbe* probe() const { return probe_; }
 
   const CycleModel& cycle_model() const { return model_; }
   MemoryMap& memory() { return *mem_; }
@@ -93,6 +110,7 @@ class Cpu {
   std::vector<TraceEntry> trace_;  // ring buffer; empty when tracing is disabled
   size_t trace_pos_ = 0;
   uint64_t trace_count_ = 0;
+  CpuProbe* probe_ = nullptr;
 };
 
 }  // namespace neuroc

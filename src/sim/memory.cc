@@ -21,6 +21,44 @@ MemoryMap::MemoryMap(uint32_t flash_base, uint32_t flash_size, uint32_t ram_base
                      uint32_t ram_size)
     : flash_base_(flash_base), ram_base_(ram_base), flash_(flash_size, 0), ram_(ram_size, 0) {}
 
+void MemoryMap::EnableHeatmap(uint32_t bucket_bytes) {
+  NEUROC_CHECK(bucket_bytes != 0 && (bucket_bytes & (bucket_bytes - 1)) == 0);
+  heatmap_ = MemHeatmap{};
+  heatmap_.bucket_bytes = bucket_bytes;
+  heatmap_.flash_reads.assign((flash_.size() + bucket_bytes - 1) / bucket_bytes, 0);
+  heatmap_.sram_reads.assign((ram_.size() + bucket_bytes - 1) / bucket_bytes, 0);
+  heatmap_.sram_writes.assign((ram_.size() + bucket_bytes - 1) / bucket_bytes, 0);
+}
+
+void MemoryMap::DisableHeatmap() { heatmap_ = MemHeatmap{}; }
+
+void MemoryMap::EnableStackWatch(uint32_t floor_addr) {
+  stack_watch_ = true;
+  stack_floor_ = floor_addr;
+  stack_low_water_ = 0xFFFFFFFFu;
+}
+
+void MemoryMap::Observe(uint32_t addr, MemRegion region, bool is_write) {
+  if (heatmap_.bucket_bytes != 0) {
+    if (region == MemRegion::kFlash) {
+      const size_t b = (addr - flash_base_) / heatmap_.bucket_bytes;
+      if (b < heatmap_.flash_reads.size()) {
+        ++heatmap_.flash_reads[b];
+      }
+    } else if (region == MemRegion::kSram) {
+      const size_t b = (addr - ram_base_) / heatmap_.bucket_bytes;
+      std::vector<uint64_t>& counts = is_write ? heatmap_.sram_writes : heatmap_.sram_reads;
+      if (b < counts.size()) {
+        ++counts[b];
+      }
+    }
+  }
+  if (stack_watch_ && region == MemRegion::kSram && addr >= stack_floor_ &&
+      addr < stack_low_water_) {
+    stack_low_water_ = addr;
+  }
+}
+
 MemRegion MemoryMap::RegionOf(uint32_t addr) const {
   if (addr >= flash_base_ && addr < flash_base_ + flash_.size()) {
     return MemRegion::kFlash;
@@ -73,6 +111,9 @@ const uint8_t* MemoryMap::HostPtrConst(uint32_t addr, uint32_t size) const {
 uint8_t MemoryMap::Read8(uint32_t addr) {
   const MemRegion region = RegionOf(addr);
   (region == MemRegion::kFlash ? stats_.flash_reads : stats_.sram_reads) += 1;
+  if (observing()) {
+    Observe(addr, region, /*is_write=*/false);
+  }
   return *HostPtrConst(addr, 1);
 }
 
@@ -82,6 +123,9 @@ uint16_t MemoryMap::Read16(uint32_t addr) {
   }
   const MemRegion region = RegionOf(addr);
   (region == MemRegion::kFlash ? stats_.flash_reads : stats_.sram_reads) += 1;
+  if (observing()) {
+    Observe(addr, region, /*is_write=*/false);
+  }
   const uint8_t* p = HostPtrConst(addr, 2);
   return static_cast<uint16_t>(p[0] | (p[1] << 8));
 }
@@ -92,6 +136,9 @@ uint32_t MemoryMap::Read32(uint32_t addr) {
   }
   const MemRegion region = RegionOf(addr);
   (region == MemRegion::kFlash ? stats_.flash_reads : stats_.sram_reads) += 1;
+  if (observing()) {
+    Observe(addr, region, /*is_write=*/false);
+  }
   const uint8_t* p = HostPtrConst(addr, 4);
   return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
          (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
@@ -99,6 +146,9 @@ uint32_t MemoryMap::Read32(uint32_t addr) {
 
 void MemoryMap::Write8(uint32_t addr, uint8_t value) {
   ++stats_.sram_writes;
+  if (observing()) {
+    Observe(addr, RegionOf(addr), /*is_write=*/true);
+  }
   *HostPtr(addr, 1, /*allow_flash_write=*/false) = value;
 }
 
@@ -107,6 +157,9 @@ void MemoryMap::Write16(uint32_t addr, uint16_t value) {
     MemFault("unaligned halfword write", addr);
   }
   ++stats_.sram_writes;
+  if (observing()) {
+    Observe(addr, RegionOf(addr), /*is_write=*/true);
+  }
   uint8_t* p = HostPtr(addr, 2, false);
   p[0] = static_cast<uint8_t>(value & 0xFF);
   p[1] = static_cast<uint8_t>(value >> 8);
@@ -117,6 +170,9 @@ void MemoryMap::Write32(uint32_t addr, uint32_t value) {
     MemFault("unaligned word write", addr);
   }
   ++stats_.sram_writes;
+  if (observing()) {
+    Observe(addr, RegionOf(addr), /*is_write=*/true);
+  }
   uint8_t* p = HostPtr(addr, 4, false);
   p[0] = static_cast<uint8_t>(value & 0xFF);
   p[1] = static_cast<uint8_t>((value >> 8) & 0xFF);

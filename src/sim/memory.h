@@ -20,6 +20,16 @@ struct MemAccessStats {
   uint64_t sram_writes = 0;
 };
 
+// Opt-in per-region access histogram: counts of CPU accesses per `bucket_bytes`-sized
+// address bucket (instruction fetches included — on a cache-less core they are flash
+// traffic like any other). Feeds the profiler's memory heatmaps.
+struct MemHeatmap {
+  uint32_t bucket_bytes = 0;  // 0 = disabled
+  std::vector<uint64_t> flash_reads;
+  std::vector<uint64_t> sram_reads;
+  std::vector<uint64_t> sram_writes;
+};
+
 class MemoryMap {
  public:
   MemoryMap(uint32_t flash_base, uint32_t flash_size, uint32_t ram_base, uint32_t ram_size);
@@ -46,15 +56,39 @@ class MemoryMap {
   const MemAccessStats& stats() const { return stats_; }
   void ResetStats() { stats_ = MemAccessStats{}; }
 
+  // Heatmap recording (opt-in; the plain counters above always run). Enabling clears any
+  // previous histogram. `bucket_bytes` must be a power of two.
+  void EnableHeatmap(uint32_t bucket_bytes);
+  void DisableHeatmap();
+  const MemHeatmap& heatmap() const { return heatmap_; }
+
+  // Stack high-water tracking (opt-in): every CPU access at or above `floor_addr` in SRAM
+  // is treated as a stack access (the runtime places activation buffers below the floor
+  // and the stack grows down from the top of SRAM, so the two never interleave). The
+  // low-water mark is the smallest such address seen — i.e. the deepest stack extent.
+  void EnableStackWatch(uint32_t floor_addr);
+  void DisableStackWatch() { stack_watch_ = false; }
+  // Smallest stack address observed since EnableStackWatch; UINT32_MAX if none yet.
+  uint32_t stack_low_water() const { return stack_low_water_; }
+
  private:
   uint8_t* HostPtr(uint32_t addr, uint32_t size, bool allow_flash_write);
   const uint8_t* HostPtrConst(uint32_t addr, uint32_t size) const;
+  void Observe(uint32_t addr, MemRegion region, bool is_write);
+
+  // Single gate for the opt-in observers, so the counted accessors stay one branch when
+  // nothing is attached.
+  bool observing() const { return heatmap_.bucket_bytes != 0 || stack_watch_; }
 
   uint32_t flash_base_;
   uint32_t ram_base_;
   std::vector<uint8_t> flash_;
   std::vector<uint8_t> ram_;
   MemAccessStats stats_;
+  MemHeatmap heatmap_;
+  bool stack_watch_ = false;
+  uint32_t stack_floor_ = 0;
+  uint32_t stack_low_water_ = 0xFFFFFFFFu;
 };
 
 }  // namespace neuroc

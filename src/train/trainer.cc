@@ -1,11 +1,14 @@
 #include "src/train/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/train/loss.h"
 #include "src/train/metrics.h"
 
@@ -16,6 +19,27 @@ namespace {
 // Keep a few KB of row copies per chunk so small batches gather in-line.
 size_t GrainForRowCopy(size_t dim) {
   return std::max<size_t>(8, 16384 / std::max<size_t>(1, dim));
+}
+
+// Mean nonzero fraction of the ternarized weight matrices — the paper's density knob as it
+// actually lands after thresholding. 0 when the network has no Neuro-C layers.
+float MeanTernaryDensity(const Network& net) {
+  double density_sum = 0.0;
+  size_t layers = 0;
+  for (const auto& mod : net.modules()) {
+    const auto* layer = dynamic_cast<const NeuroCLayer*>(mod.get());
+    if (layer == nullptr) {
+      continue;
+    }
+    const size_t weights = layer->in_dim() * layer->out_dim();
+    if (weights == 0) {
+      continue;
+    }
+    density_sum +=
+        static_cast<double>(layer->NonZeroCount()) / static_cast<double>(weights);
+    ++layers;
+  }
+  return layers == 0 ? 0.0f : static_cast<float>(density_sum / static_cast<double>(layers));
 }
 
 }  // namespace
@@ -78,26 +102,41 @@ TrainResult Train(Network& net, const Dataset& train, const Dataset& test,
   std::vector<int> batch_y;
   float lr = cfg.learning_rate;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto epoch_start = std::chrono::steady_clock::now();
     rng.Shuffle(order);
     double loss_sum = 0.0;
     double acc_sum = 0.0;
     size_t batches = 0;
-    for (size_t start = 0; start < order.size(); start += cfg.batch_size) {
-      const size_t end = std::min(start + cfg.batch_size, order.size());
-      GatherBatch(train, std::span<const size_t>(order.data() + start, end - start), batch_x,
-                  batch_y);
-      const Tensor& logits = net.Forward(batch_x, /*training=*/true);
-      const float loss = SoftmaxCrossEntropy(logits, batch_y, &grad);
-      loss_sum += loss;
-      acc_sum += Accuracy(logits, batch_y);
-      ++batches;
-      net.Backward(grad);
-      opt->Step(params);
+    {
+      NEUROC_TRACE_SCOPE("train_epoch");
+      for (size_t start = 0; start < order.size(); start += cfg.batch_size) {
+        const size_t end = std::min(start + cfg.batch_size, order.size());
+        GatherBatch(train, std::span<const size_t>(order.data() + start, end - start),
+                    batch_x, batch_y);
+        const Tensor& logits = net.Forward(batch_x, /*training=*/true);
+        const float loss = SoftmaxCrossEntropy(logits, batch_y, &grad);
+        loss_sum += loss;
+        acc_sum += Accuracy(logits, batch_y);
+        ++batches;
+        net.Backward(grad);
+        opt->Step(params);
+      }
     }
     EpochStats stats;
+    stats.epoch_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_start)
+            .count();
+    stats.examples_per_sec =
+        stats.epoch_seconds > 0.0
+            ? static_cast<double>(order.size()) / stats.epoch_seconds
+            : 0.0;
     stats.train_loss = static_cast<float>(loss_sum / std::max<size_t>(batches, 1));
     stats.train_accuracy = static_cast<float>(acc_sum / std::max<size_t>(batches, 1));
-    stats.test_accuracy = test.num_examples() > 0 ? EvaluateAccuracy(net, test) : 0.0f;
+    {
+      NEUROC_TRACE_SCOPE("evaluate");
+      stats.test_accuracy = test.num_examples() > 0 ? EvaluateAccuracy(net, test) : 0.0f;
+    }
+    stats.ternary_density = MeanTernaryDensity(net);
     result.history.push_back(stats);
     result.best_test_accuracy = std::max(result.best_test_accuracy, stats.test_accuracy);
     if (cfg.verbose) {
@@ -105,6 +144,21 @@ TrainResult Train(Network& net, const Dataset& train, const Dataset& test,
                       cfg.epochs, stats.train_loss, stats.train_accuracy,
                       stats.test_accuracy);
     }
+    if (cfg.metrics != nullptr) {
+      cfg.metrics->Log({
+          {"epoch", epoch + 1},
+          {"train_loss", static_cast<double>(stats.train_loss)},
+          {"train_accuracy", static_cast<double>(stats.train_accuracy)},
+          {"test_accuracy", static_cast<double>(stats.test_accuracy)},
+          {"examples_per_sec", stats.examples_per_sec},
+          {"epoch_ms", stats.epoch_seconds * 1000.0},
+          {"ternary_density", static_cast<double>(stats.ternary_density)},
+          {"learning_rate", static_cast<double>(lr)},
+      });
+    }
+    TraceRecorder::Global().Counter("train_loss", static_cast<double>(stats.train_loss));
+    TraceRecorder::Global().Counter("test_accuracy",
+                                    static_cast<double>(stats.test_accuracy));
     lr *= cfg.lr_decay;
     opt->set_learning_rate(lr);
   }

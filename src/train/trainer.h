@@ -15,6 +15,8 @@
 
 namespace neuroc {
 
+class MetricsLogger;  // src/obs/metrics.h
+
 struct TrainConfig {
   int epochs = 10;
   size_t batch_size = 64;
@@ -25,12 +27,20 @@ struct TrainConfig {
   float momentum = 0.9f;        // when use_adam == false
   uint64_t shuffle_seed = 1234;
   bool verbose = false;
+  // Optional structured observability: when set, one JSONL record per epoch (loss,
+  // accuracies, examples/sec, ternarization density) is appended to the stream. Trace
+  // spans additionally land on TraceRecorder::Global() when tracing is enabled
+  // (NEUROC_TRACE=1). Neither affects the training computation.
+  MetricsLogger* metrics = nullptr;
 };
 
 struct EpochStats {
   float train_loss = 0.0f;
   float train_accuracy = 0.0f;
   float test_accuracy = 0.0f;
+  double epoch_seconds = 0.0;       // wall time of the epoch's optimization loop
+  double examples_per_sec = 0.0;
+  float ternary_density = 0.0f;     // mean nonzero fraction over NeuroCLayers (0 if none)
 };
 
 struct TrainResult {

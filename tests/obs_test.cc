@@ -1,0 +1,520 @@
+// Observability subsystem tests (ctest -L obs): the cycle-exact sim profiler and its
+// acceptance invariants (exact attribution, determinism, zero overhead when disabled), the
+// host trace/metrics layer, and the shared JSON writer.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/thread_pool.h"
+#include "src/core/synthetic.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/sim_profiler.h"
+#include "src/obs/trace.h"
+#include "src/runtime/deployed_model.h"
+#include "src/runtime/platform.h"
+#include "src/runtime/profile.h"
+
+namespace neuroc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax checker (no parsing, just well-formedness) for validating the
+// writer/trace output without adding a JSON dependency.
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(std::string_view lit) {
+    if (s_.compare(pos_, lit.size(), lit) != 0) {
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < s_.size() && (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                                s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        return false;
+      }
+      ++pos_;
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= s_.size() || s_[pos_] != '}') {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= s_.size() || s_[pos_] != ']') {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+NeuroCModel MakeSmallModel(uint64_t seed) {
+  Rng rng(seed);
+  SyntheticNeuroCLayerSpec l0;
+  l0.in_dim = 64;
+  l0.out_dim = 24;
+  l0.density = 0.2;
+  SyntheticNeuroCLayerSpec l1 = l0;
+  l1.in_dim = 24;
+  l1.out_dim = 10;
+  l1.relu = false;
+  std::vector<QuantNeuroCLayer> layers;
+  layers.push_back(MakeSyntheticNeuroCLayer(l0, rng));
+  layers.push_back(MakeSyntheticNeuroCLayer(l1, rng));
+  return NeuroCModel::FromLayers(std::move(layers));
+}
+
+std::string ProfileJsonFor(uint64_t seed) {
+  NeuroCModel model = MakeSmallModel(seed);
+  DeployedModel deployed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+  const InferenceProfile profile = ProfileInferenceDetailed(deployed);
+  JsonWriter w;
+  WriteInferenceProfileJson(w, profile, deployed);
+  return w.str();
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriterTest, NestedDocumentIsWellFormed) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("bench \"quoted\"\n");
+  w.Key("count").Value(static_cast<uint64_t>(42));
+  w.Key("negative").Value(static_cast<int64_t>(-7));
+  w.Key("ratio").Value(0.25);
+  w.Key("flag").Value(true);
+  w.Key("items").BeginArray();
+  w.Value(1).Value(2).Value(3);
+  w.BeginObject().Key("inner").Value("x").EndObject();
+  w.EndArray();
+  w.EndObject();
+  ASSERT_TRUE(w.done());
+  EXPECT_TRUE(JsonChecker(w.str()).Valid()) << w.str();
+  EXPECT_NE(w.str().find("\"bench \\\"quoted\\\"\\n\""), std::string::npos);
+}
+
+TEST(JsonWriterTest, CompactModeHasNoNewlines) {
+  JsonWriter w(0);
+  w.BeginObject();
+  w.Key("a").Value(1);
+  w.Key("b").BeginArray().Value(2).Value(3).EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str().find('\n'), std::string::npos);
+  EXPECT_TRUE(JsonChecker(w.str()).Valid()) << w.str();
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w(0);
+  w.BeginArray();
+  w.Value(std::numeric_limits<double>::infinity());
+  w.Value(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, EscapeHandlesControlChars) {
+  EXPECT_EQ(JsonWriter::Escape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonWriter::Escape("back\\slash"), "back\\\\slash");
+}
+
+// ---------------------------------------------------------------------------
+// SymbolTable
+// ---------------------------------------------------------------------------
+
+TEST(SymbolTableTest, ResolveFindsGreatestEntryAtOrBelow) {
+  std::map<std::string, uint32_t> symbols = {
+      {"kern_a", 0x100}, {"loop_a", 0x120}, {"kern_b", 0x200}};
+  SymbolTable table(symbols);
+  EXPECT_EQ(table.Resolve(0x0FF), nullptr);
+  ASSERT_NE(table.Resolve(0x100), nullptr);
+  EXPECT_EQ(table.Resolve(0x100)->name, "kern_a");
+  EXPECT_EQ(table.Resolve(0x11F)->name, "kern_a");
+  EXPECT_EQ(table.Resolve(0x120)->name, "loop_a");
+  EXPECT_EQ(table.Resolve(0x5000)->name, "kern_b");
+}
+
+TEST(SymbolTableTest, SameAddressLabelsJoin) {
+  std::map<std::string, uint32_t> symbols = {
+      {"alias_z", 0x100}, {"entry_a", 0x100}, {"other", 0x80}};
+  SymbolTable table(symbols);
+  ASSERT_EQ(table.entries().size(), 2u);
+  EXPECT_EQ(table.Resolve(0x100)->name, "alias_z/entry_a");
+}
+
+// ---------------------------------------------------------------------------
+// Profiler acceptance invariants
+// ---------------------------------------------------------------------------
+
+TEST(SimProfilerTest, PerPcCyclesSumToCpuCycles) {
+  NeuroCModel model = MakeSmallModel(3);
+  DeployedModel deployed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+  deployed.machine().cpu().ResetCounters();
+  SimProfiler profiler;
+  std::vector<int8_t> input(deployed.input_dim(), 5);
+  {
+    ScopedCpuProbe attach(deployed.machine().cpu(), &profiler);
+    deployed.Predict(input);
+  }
+  EXPECT_EQ(profiler.total_cycles(), deployed.machine().cpu().cycles());
+  EXPECT_EQ(profiler.total_instructions(), deployed.machine().cpu().instructions());
+
+  uint64_t pc_cycle_sum = 0;
+  for (const auto& [pc, stat] : profiler.pc_stats()) {
+    pc_cycle_sum += stat.cycles;
+  }
+  EXPECT_EQ(pc_cycle_sum, profiler.total_cycles());
+}
+
+TEST(SimProfilerTest, HotspotCyclesSumToTotalExactly) {
+  NeuroCModel model = MakeSmallModel(4);
+  DeployedModel deployed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+  const InferenceProfile profile = ProfileInferenceDetailed(deployed);
+
+  EXPECT_EQ(profile.hotspots.total_cycles, profile.summary.cycles);
+  uint64_t symbol_cycles = 0;
+  uint64_t symbol_instructions = 0;
+  for (const SymbolHotspot& s : profile.hotspots.symbols) {
+    symbol_cycles += s.cycles;
+    symbol_instructions += s.instructions;
+  }
+  EXPECT_EQ(symbol_cycles, profile.summary.cycles);
+  EXPECT_EQ(symbol_instructions, profile.summary.instructions);
+  EXPECT_FALSE(profile.hotspots.symbols.empty());
+  // Real kernels ran, so named symbols (not just "(unattributed)") must appear.
+  bool named = false;
+  for (const SymbolHotspot& s : profile.hotspots.symbols) {
+    named |= s.name != "(unattributed)";
+  }
+  EXPECT_TRUE(named);
+}
+
+TEST(SimProfilerTest, CategoryCyclesSumToTotal) {
+  NeuroCModel model = MakeSmallModel(5);
+  DeployedModel deployed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+  const ExecutionProfile p = ProfileInference(deployed);
+  EXPECT_GT(p.cycles, 0u);
+  EXPECT_EQ(p.load_cycles + p.store_cycles + p.alu_cycles + p.multiply_cycles +
+                p.branch_cycles + p.stack_cycles,
+            p.cycles);
+  EXPECT_EQ(p.loads + p.stores + p.alu + p.multiplies + p.branches + p.stack_ops,
+            p.instructions);
+}
+
+TEST(SimProfilerTest, AttachingProbeDoesNotChangeSimulatedCounts) {
+  NeuroCModel model = MakeSmallModel(6);
+  std::vector<int8_t> input(64, 3);
+
+  DeployedModel plain = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+  plain.machine().cpu().ResetCounters();
+  plain.Predict(input);
+  const uint64_t cycles_plain = plain.machine().cpu().cycles();
+  const uint64_t instructions_plain = plain.machine().cpu().instructions();
+
+  DeployedModel probed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+  probed.machine().cpu().ResetCounters();
+  SimProfiler profiler;
+  {
+    ScopedCpuProbe attach(probed.machine().cpu(), &profiler);
+    probed.Predict(input);
+  }
+  EXPECT_EQ(probed.machine().cpu().cycles(), cycles_plain);
+  EXPECT_EQ(probed.machine().cpu().instructions(), instructions_plain);
+  EXPECT_EQ(profiler.total_cycles(), cycles_plain);
+}
+
+TEST(SimProfilerTest, ProfileJsonIsDeterministic) {
+  const std::string a = ProfileJsonFor(11);
+  const std::string b = ProfileJsonFor(11);
+  EXPECT_EQ(a, b);  // byte-identical
+  EXPECT_TRUE(JsonChecker(a).Valid());
+  EXPECT_NE(a.find("\"schema\""), std::string::npos);
+  EXPECT_NE(a.find("\"hotspots\""), std::string::npos);
+}
+
+TEST(SimProfilerTest, FormattedReportMentionsSymbolsAndStack) {
+  NeuroCModel model = MakeSmallModel(12);
+  DeployedModel deployed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+  const InferenceProfile profile = ProfileInferenceDetailed(deployed);
+  const std::string text = FormatInferenceProfile(profile, deployed);
+  EXPECT_NE(text.find("hotspots"), std::string::npos);
+  EXPECT_NE(text.find("stack high water"), std::string::npos);
+  EXPECT_NE(text.find("per-layer cycles"), std::string::npos);
+
+  const std::string annotated =
+      FormatInferenceProfile(profile, deployed, /*annotated_disassembly=*/true);
+  EXPECT_GT(annotated.size(), text.size());
+}
+
+// ---------------------------------------------------------------------------
+// Memory observability
+// ---------------------------------------------------------------------------
+
+TEST(MemObservabilityTest, HeatmapTotalsMatchAccessStats) {
+  NeuroCModel model = MakeSmallModel(13);
+  DeployedModel deployed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+  MemoryMap& mem = deployed.machine().memory();
+  mem.ResetStats();
+  mem.EnableHeatmap(64);
+  std::vector<int8_t> input(deployed.input_dim(), 1);
+  deployed.Predict(input);
+  const MemHeatmap& hm = mem.heatmap();
+  const auto sum = [](const std::vector<uint64_t>& v) {
+    uint64_t s = 0;
+    for (uint64_t x : v) {
+      s += x;
+    }
+    return s;
+  };
+  EXPECT_EQ(sum(hm.flash_reads), mem.stats().flash_reads);
+  EXPECT_EQ(sum(hm.sram_reads), mem.stats().sram_reads);
+  EXPECT_EQ(sum(hm.sram_writes), mem.stats().sram_writes);
+  mem.DisableHeatmap();
+  EXPECT_EQ(mem.heatmap().bucket_bytes, 0u);
+}
+
+TEST(MemObservabilityTest, StackWatchSeesStackButNotActivations) {
+  NeuroCModel model = MakeSmallModel(14);
+  DeployedModel deployed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+  const InferenceProfile profile = ProfileInferenceDetailed(deployed);
+  const MachineConfig& cfg = deployed.machine().config();
+  // Kernels push/pop, so some stack is used; and it must fit inside SRAM above the
+  // activation buffers.
+  EXPECT_GT(profile.stack_bytes_used, 0u);
+  EXPECT_LT(profile.stack_bytes_used, cfg.ram_size);
+  EXPECT_EQ(profile.stack_bytes_used + profile.stack_headroom_bytes +
+                (deployed.activation_top_addr() - cfg.ram_base),
+            cfg.ram_size);
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, ChromeTraceJsonIsWellFormed) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.Start();
+  {
+    TraceRecorder::Span outer(rec, "outer \"span\"");
+    TraceRecorder::Span inner(rec, "inner");
+  }
+  rec.Counter("loss", 0.5);
+  rec.AddCompleteEvent("layer_0", "sim", 0.0, 125.0);
+  const std::string json = rec.ToChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_EQ(rec.event_count(), 4u);
+}
+
+TEST(TraceTest, SpansFromPoolThreadsAreRecorded) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.Start();
+  ParallelFor(0, 64, 1, [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      TraceRecorder::Span span(rec, "chunk");
+    }
+  });
+  EXPECT_EQ(rec.event_count(), 64u);
+  EXPECT_TRUE(JsonChecker(rec.ToChromeTraceJson()).Valid());
+}
+
+TEST(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder rec;
+  ASSERT_FALSE(rec.enabled());
+  {
+    TraceRecorder::Span span(rec, "ignored");
+  }
+  rec.Counter("ignored", 1.0);
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics logger
+// ---------------------------------------------------------------------------
+
+TEST(MetricsLoggerTest, WritesOneWellFormedJsonObjectPerLine) {
+  const std::string path = ::testing::TempDir() + "/neuroc_metrics_test.jsonl";
+  std::remove(path.c_str());
+  {
+    MetricsLogger logger(path);
+    ASSERT_TRUE(logger.ok());
+    logger.Log({{"epoch", 1}, {"loss", 0.75}, {"note", std::string_view("first")}});
+    logger.Log({{"epoch", 2}, {"loss", 0.5}});
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(JsonChecker(line).Valid()) << line;
+    EXPECT_EQ(line.front(), '{');
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsLoggerTest, EmptyPathIsNoOp) {
+  MetricsLogger logger("");
+  EXPECT_FALSE(logger.ok());
+  logger.Log({{"epoch", 1}});  // must not crash
+}
+
+// ---------------------------------------------------------------------------
+// Log-level env parsing
+// ---------------------------------------------------------------------------
+
+TEST(LoggingTest, ParseLogLevelAcceptsKnownNames) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("WARN", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("Error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+
+  level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel(nullptr, &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kError);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace neuroc

@@ -1,10 +1,12 @@
 // `neuroc` — command-line front end for the library. Subcommands:
 //
 //   neuroc train   --dataset <name> [--hidden 128,64] [--density 0.12] [--epochs 8]
-//                  [--tnn] [--seed N] --out model.ncm
+//                  [--tnn] [--seed N] [--metrics out.jsonl] --out model.ncm
 //   neuroc eval    --model model.ncm --dataset <name> [--seed N]
 //   neuroc inspect --model model.ncm
 //   neuroc bench   --model model.ncm [--platform STM32F072RB]
+//   neuroc profile --model model.ncm [--platform STM32F072RB] [--json out.json]
+//                  [--trace out.trace] [--asm]
 //   neuroc deploy  --model model.ncm --format c|hex --out <path> [--prefix name]
 //
 // Datasets: digits, mnist, fashion, cifar5, events (procedural; see src/data/synth.h).
@@ -20,6 +22,9 @@
 #include "src/core/adjacency_stats.h"
 #include "src/core/model_serde.h"
 #include "src/data/synth.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/c_emitter.h"
 #include "src/runtime/deployed_model.h"
 #include "src/runtime/firmware_image.h"
@@ -44,12 +49,15 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: neuroc <train|eval|inspect|bench|deploy> [options]\n"
+               "usage: neuroc <train|eval|inspect|bench|profile|deploy> [options]\n"
                "  train   --dataset <digits|mnist|fashion|cifar5|events> --out model.ncm\n"
                "          [--hidden 128,64] [--density 0.12] [--epochs 8] [--tnn] [--seed N]\n"
+               "          [--metrics out.jsonl]\n"
                "  eval    --model model.ncm --dataset <name> [--seed N]\n"
                "  inspect --model model.ncm\n"
                "  bench   --model model.ncm [--platform STM32F072RB]\n"
+               "  profile --model model.ncm [--platform STM32F072RB] [--json out.json]\n"
+               "          [--trace out.trace] [--asm]\n"
                "  deploy  --model model.ncm --format <c|hex> --out <path> [--prefix name]\n");
   return 2;
 }
@@ -110,6 +118,15 @@ int CmdTrain(const Args& args) {
   cfg.learning_rate = 2e-3f;
   cfg.lr_decay = 0.9f;
   cfg.verbose = true;
+  MetricsLogger metrics(args.Get("metrics", ""));
+  if (metrics.ok()) {
+    cfg.metrics = &metrics;
+    std::printf("streaming per-epoch metrics to %s\n", metrics.path().c_str());
+  }
+  if (args.Has("trace")) {
+    TraceRecorder::Global().set_enabled(true);
+    TraceRecorder::Global().Start();
+  }
 
   Rng rng(seed + 2);
   Network net =
@@ -117,6 +134,10 @@ int CmdTrain(const Args& args) {
   std::printf("training %s on %s (%zu train / %zu test)\n", net.Summary().c_str(),
               all.name.c_str(), train.num_examples(), test.num_examples());
   const TrainResult result = Train(net, train, test, cfg);
+  if (args.Has("trace") &&
+      TraceRecorder::Global().WriteChromeTrace(args.Get("trace"))) {
+    std::printf("wrote %s\n", args.Get("trace"));
+  }
   NeuroCModel model = NeuroCModel::FromTrained(net, train);
   const float q_acc = model.EvaluateAccuracy(QuantizeInputs(test));
   std::printf("float accuracy %.4f | int8 accuracy %.4f\n", result.final_test_accuracy,
@@ -206,6 +227,59 @@ int CmdBench(const Args& args) {
   return 0;
 }
 
+int CmdProfile(const Args& args) {
+  auto model = LoadOrComplain(args);
+  if (!model) {
+    return 1;
+  }
+  const PlatformSpec& platform = PlatformByName(args.Get("platform", "STM32F072RB"));
+  const size_t bytes = DeployedModel::EstimateProgramBytes(*model);
+  std::printf("platform: %s (%s @ %.0f MHz, %u KB flash)\n", platform.name.c_str(),
+              platform.core.c_str(), platform.clock_hz / 1e6, platform.flash_bytes / 1024);
+  if (bytes > platform.flash_bytes) {
+    std::printf("NOT DEPLOYABLE: needs %zu B of %u B flash\n", bytes, platform.flash_bytes);
+    return 1;
+  }
+  DeployedModel deployed = DeployedModel::Deploy(*model, platform.ToMachineConfig());
+  const InferenceProfile profile = ProfileInferenceDetailed(deployed);
+  std::printf("latency: %.3f ms (%llu cycles)\n", deployed.report().latency_ms,
+              static_cast<unsigned long long>(deployed.report().cycles_per_inference));
+  std::printf("%s", FormatInferenceProfile(profile, deployed, args.Has("asm")).c_str());
+
+  if (args.Has("json")) {
+    JsonWriter w;
+    WriteInferenceProfileJson(w, profile, deployed);
+    if (WriteStringToFile(args.Get("json"), w.str() + "\n")) {
+      std::printf("wrote %s\n", args.Get("json"));
+    }
+  }
+  if (args.Has("trace")) {
+    // Cycle-exact per-layer timeline on track "sim": simulated cycles scaled to
+    // microseconds at the platform clock, loadable in Perfetto / chrome://tracing.
+    TraceRecorder rec;
+    rec.set_enabled(true);
+    rec.Start();
+    const double us_per_cycle = 1e6 / platform.clock_hz;
+    double ts_us = 0.0;
+    double total_us = 0.0;
+    for (const uint64_t c : profile.layer_cycles) {
+      total_us += static_cast<double>(c) * us_per_cycle;
+    }
+    rec.AddCompleteEvent("inference", "sim", 0.0, total_us);
+    for (size_t k = 0; k < profile.layer_cycles.size(); ++k) {
+      const double dur_us = static_cast<double>(profile.layer_cycles[k]) * us_per_cycle;
+      char name[32];
+      std::snprintf(name, sizeof(name), "layer_%zu", k);
+      rec.AddCompleteEvent(name, "sim", ts_us, dur_us);
+      ts_us += dur_us;
+    }
+    if (rec.WriteChromeTrace(args.Get("trace"))) {
+      std::printf("wrote %s\n", args.Get("trace"));
+    }
+  }
+  return 0;
+}
+
 int CmdDeploy(const Args& args) {
   auto model = LoadOrComplain(args);
   if (!model || !args.Has("format") || !args.Has("out")) {
@@ -262,6 +336,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "bench") {
     return CmdBench(args);
+  }
+  if (args.command == "profile") {
+    return CmdProfile(args);
   }
   if (args.command == "deploy") {
     return CmdDeploy(args);
