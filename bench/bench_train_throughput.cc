@@ -64,38 +64,44 @@ struct RunResult {
 
 // Best of kRepeats timed runs — the standard throughput-bench protocol, since a shared host
 // can slow any single run arbitrarily but cannot make one faster than the machine allows.
+// The thread counts under comparison are timed in alternating runs (1t, Nt, 1t, Nt, ...)
+// so a noisy window on a shared host penalizes both sides instead of skewing the ratio.
 constexpr int kRepeats = 3;
 
-RunResult RunConfig(const Dataset& train, const Dataset& test, bool sparse, unsigned threads,
-                    float density) {
-  ThreadPool::SetGlobalThreads(threads);
+std::vector<RunResult> RunConfig(const Dataset& train, const Dataset& test, bool sparse,
+                                 const std::vector<unsigned>& thread_counts, float density) {
   NeuroCSpec spec;
   spec.hidden = {128, 64};
   spec.layer.ternary.target_density = density;
   spec.layer.use_sparse_kernels = sparse;
-  RunResult r;
-  r.kernels = sparse ? "sparse" : "dense";
-  r.threads = threads;
-  r.density = density;
-  for (int rep = 0; rep < kRepeats; ++rep) {
-    Rng rng(7);
-    Network net = BuildNeuroC(kInputDim, 10, spec, rng);
-    TrainConfig cfg;
-    cfg.epochs = kEpochs;
-    cfg.batch_size = kBatchSize;
-    cfg.learning_rate = 2e-3f;
-    const auto t0 = std::chrono::steady_clock::now();
-    const TrainResult tr = Train(net, train, test, cfg);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double seconds = std::chrono::duration<double>(t1 - t0).count();
-    const double eps = static_cast<double>(train.num_examples()) * kEpochs / seconds;
-    if (eps > r.examples_per_sec) {
-      r.examples_per_sec = eps;
-      r.epoch_ms = seconds * 1000.0 / kEpochs;
-    }
-    r.final_loss = tr.history.back().train_loss;  // deterministic: identical across reps
+  std::vector<RunResult> out(thread_counts.size());
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    out[i].kernels = sparse ? "sparse" : "dense";
+    out[i].threads = thread_counts[i];
+    out[i].density = density;
   }
-  return r;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      ThreadPool::SetGlobalThreads(thread_counts[i]);
+      Rng rng(7);
+      Network net = BuildNeuroC(kInputDim, 10, spec, rng);
+      TrainConfig cfg;
+      cfg.epochs = kEpochs;
+      cfg.batch_size = kBatchSize;
+      cfg.learning_rate = 2e-3f;
+      const auto t0 = std::chrono::steady_clock::now();
+      const TrainResult tr = Train(net, train, test, cfg);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double seconds = std::chrono::duration<double>(t1 - t0).count();
+      const double eps = static_cast<double>(train.num_examples()) * kEpochs / seconds;
+      if (eps > out[i].examples_per_sec) {
+        out[i].examples_per_sec = eps;
+        out[i].epoch_ms = seconds * 1000.0 / kEpochs;
+      }
+      out[i].final_loss = tr.history.back().train_loss;  // deterministic across reps
+    }
+  }
+  return out;
 }
 
 void WriteJson(const std::vector<RunResult>& results, const std::string& path) {
@@ -159,8 +165,7 @@ int main(int argc, char** argv) {
   std::vector<RunResult> results;
   for (float density : {0.05f, 0.1f, 0.3f}) {
     for (bool sparse : {false, true}) {
-      for (unsigned threads : {1u, n_threads}) {
-        const RunResult r = RunConfig(train, test, sparse, threads, density);
+      for (const RunResult& r : RunConfig(train, test, sparse, {1u, n_threads}, density)) {
         std::printf("%-8s %8u %8.2f %14.1f %10.1f %10.4f\n", r.kernels.c_str(), r.threads,
                     r.density, r.examples_per_sec, r.epoch_ms, r.final_loss);
         results.push_back(r);

@@ -75,7 +75,14 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   task_.next = begin;
   task_.in_flight = 0;
   has_task_ = true;
-  wake_workers_.notify_all();
+  // Wake only as many workers as there are chunks beyond the one the caller runs itself:
+  // a worker woken with nothing left to claim costs a futex round trip — and, on an
+  // oversubscribed host, a preemption of the very thread doing the work — for nothing.
+  const size_t chunks = (n + chunk - 1) / chunk;
+  const size_t helpers = std::min<size_t>(workers_.size(), chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    wake_workers_.notify_one();
+  }
   DrainTask(lock);
   task_done_.wait(lock, [this] { return task_.next >= task_.end && task_.in_flight == 0; });
   has_task_ = false;

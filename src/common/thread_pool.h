@@ -83,6 +83,21 @@ class ThreadPool {
 // otherwise std::thread::hardware_concurrency() (at least 1).
 unsigned DefaultThreadCount();
 
+// Cost-based grain: minimum indices per chunk so that each chunk carries at least
+// kParallelMinChunkOps elementary operations (one multiply-add, one float copy — same
+// order of magnitude either way). Dispatching a chunk costs a mutex round trip plus
+// condition-variable wakeups for sleeping workers, tens of microseconds end to end; a
+// chunk below roughly half a million ops loses more to that dispatch than the extra cores
+// return. The original fixed "32768 ops per chunk" grains produced exactly such chunks,
+// which is why 4 threads trained *slower* than 1 at every density in
+// BENCH_train_throughput.json. Loops whose whole iteration space carries fewer ops than
+// one chunk run in-line (the ParallelFor wrapper short-circuits on `n <= grain`).
+inline constexpr size_t kParallelMinChunkOps = size_t{1} << 19;
+
+inline size_t GrainForOps(size_t ops_per_index) {
+  return std::max<size_t>(1, kParallelMinChunkOps / std::max<size_t>(1, ops_per_index));
+}
+
 // Convenience wrapper over ThreadPool::Global().ParallelFor. A template so that loops which
 // will run in-line anyway (single-threaded pool, fewer than `grain` indices, or nested
 // inside another chunk body) call `fn` directly without type-erasing it into a

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <set>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/runtime/deployed_model.h"
 
 namespace neuroc {
@@ -24,6 +26,17 @@ std::string Describe(const NeuroCSpec& spec) {
   return s + buf;
 }
 
+// SplitMix64 finalizer over (seed, trial): every trial gets its own statistically
+// independent RNG stream derived from the one user-visible seed, with no dependence on
+// which trials ran before it — the prerequisite for evaluating trials in parallel while
+// returning results byte-identical to the sequential search.
+uint64_t TrialSeed(uint64_t seed, uint64_t t) {
+  uint64_t z = seed + (t + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 SearchResult RandomSearch(const Dataset& train, const Dataset& validation,
@@ -33,52 +46,73 @@ SearchResult RandomSearch(const Dataset& train, const Dataset& validation,
   NEUROC_CHECK(!space.width_choices.empty() && !space.density_choices.empty());
   NEUROC_CHECK(space.min_hidden_layers >= 1 &&
                space.min_hidden_layers <= space.max_hidden_layers);
-  Rng rng(seed);
   SearchResult result;
-  std::set<std::string> seen;
   const QuantizedDataset qval = QuantizeInputs(validation);
 
-  for (int t = 0; t < trials; ++t) {
-    // Sample a distinct configuration (bounded retries to stay deterministic and finite).
+  // Phase 1 — sample every trial's configuration up front, sequentially. Sampling costs
+  // microseconds per trial, so doing it serially keeps the dedup set trivially correct,
+  // while the per-trial RNG streams make each draw independent of execution order.
+  struct TrialPlan {
     NeuroCSpec spec;
     std::string key;
+    uint64_t train_seed = 0;
+  };
+  std::vector<TrialPlan> plan(static_cast<size_t>(trials));
+  std::set<std::string> seen;
+  for (int t = 0; t < trials; ++t) {
+    TrialPlan& p = plan[static_cast<size_t>(t)];
+    Rng rng(TrialSeed(seed, static_cast<uint64_t>(t)));
+    // Sample a distinct configuration (bounded retries to stay deterministic and finite).
     for (int attempt = 0; attempt < 50; ++attempt) {
-      spec.hidden.clear();
+      p.spec.hidden.clear();
       const int layers = static_cast<int>(
           rng.NextInt(space.min_hidden_layers, space.max_hidden_layers));
       for (int l = 0; l < layers; ++l) {
-        spec.hidden.push_back(
+        p.spec.hidden.push_back(
             space.width_choices[rng.NextBounded(space.width_choices.size())]);
       }
-      spec.layer.ternary.target_density =
+      p.spec.layer.ternary.target_density =
           space.density_choices[rng.NextBounded(space.density_choices.size())];
-      key = Describe(spec);
-      if (seen.insert(key).second) {
+      p.key = Describe(p.spec);
+      if (seen.insert(p.key).second) {
         break;
       }
     }
-
-    SearchCandidate cand;
-    cand.spec = spec;
-    cand.description = key;
-    Rng train_rng(rng.NextU64());
-    Network net = BuildNeuroC(train.input_dim(), static_cast<size_t>(train.num_classes),
-                              spec, train_rng);
-    Train(net, train, validation, train_cfg);
-    NeuroCModel model = NeuroCModel::FromTrained(net, train);
-    cand.accuracy = model.EvaluateAccuracy(qval);
-    cand.program_bytes = DeployedModel::EstimateProgramBytes(model);
-    if (cand.program_bytes <= constraints.max_program_bytes &&
-        cand.program_bytes <= platform.flash_bytes) {
-      DeployedModel deployed = DeployedModel::Deploy(model, platform.ToMachineConfig());
-      cand.latency_ms = deployed.MeasureLatencyMs();
-      cand.feasible = cand.latency_ms <= constraints.max_latency_ms;
-    }
-    NEUROC_LOG_DEBUG("search %d/%d %s acc=%.4f bytes=%zu lat=%.2f feasible=%d", t + 1,
-                     trials, cand.description.c_str(), cand.accuracy, cand.program_bytes,
-                     cand.latency_ms, cand.feasible ? 1 : 0);
-    result.candidates.push_back(std::move(cand));
+    p.train_seed = rng.NextU64();
   }
+
+  // Phase 2 — train and simulate the candidates on the shared pool. Every trial owns the
+  // pre-sized slot candidates[t] and builds its own Network/Machine/DeployedModel; the
+  // training kernels are bit-identical for any worker count (nested ParallelFor runs
+  // in-line on a worker), so the result vector is byte-identical to a sequential search
+  // at any NEUROC_NUM_THREADS. Grain 1: a trial is seconds of training, so each chunk
+  // should hold exactly one.
+  result.candidates.assign(static_cast<size_t>(trials), SearchCandidate{});
+  ParallelFor(0, static_cast<size_t>(trials), 1, [&](size_t t0, size_t t1) {
+    for (size_t t = t0; t < t1; ++t) {
+      const TrialPlan& p = plan[t];
+      SearchCandidate cand;
+      cand.spec = p.spec;
+      cand.description = p.key;
+      Rng train_rng(p.train_seed);
+      Network net = BuildNeuroC(train.input_dim(), static_cast<size_t>(train.num_classes),
+                                p.spec, train_rng);
+      Train(net, train, validation, train_cfg);
+      NeuroCModel model = NeuroCModel::FromTrained(net, train);
+      cand.accuracy = model.EvaluateAccuracy(qval);
+      cand.program_bytes = DeployedModel::EstimateProgramBytes(model);
+      if (cand.program_bytes <= constraints.max_program_bytes &&
+          cand.program_bytes <= platform.flash_bytes) {
+        DeployedModel deployed = DeployedModel::Deploy(model, platform.ToMachineConfig());
+        cand.latency_ms = deployed.MeasureLatencyMs();
+        cand.feasible = cand.latency_ms <= constraints.max_latency_ms;
+      }
+      NEUROC_LOG_DEBUG("search %zu/%d %s acc=%.4f bytes=%zu lat=%.2f feasible=%d", t + 1,
+                       trials, cand.description.c_str(), cand.accuracy, cand.program_bytes,
+                       cand.latency_ms, cand.feasible ? 1 : 0);
+      result.candidates[t] = std::move(cand);
+    }
+  });
 
   // Pareto front over feasible candidates: ascending program bytes, strictly increasing
   // accuracy.

@@ -1,7 +1,9 @@
 #include "src/sim/cpu.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <span>
 
 #include "src/common/check.h"
 #include "src/isa/decoder.h"
@@ -9,7 +11,42 @@
 
 namespace neuroc {
 
-Cpu::Cpu(MemoryMap* memory, CycleModel model) : mem_(memory), model_(model) {}
+Cpu::Cpu(MemoryMap* memory, CycleModel model) : mem_(memory), model_(model) {
+  mem_->RegisterFlashWriteListener(&icache_valid_);
+}
+
+Cpu::~Cpu() { mem_->UnregisterFlashWriteListener(&icache_valid_); }
+
+void Cpu::EnableDecodeCache(bool enabled) {
+  icache_enabled_ = enabled;
+  if (!enabled) {
+    icache_ = std::vector<Predecoded>();  // release memory, not just clear
+    icache_valid_ = false;
+  }
+}
+
+void Cpu::RebuildDecodeCache() {
+  const std::span<const uint8_t> flash = mem_->flash_bytes();
+  // Only decode up to the load high-water mark: images occupy a few KB of the 128 KB
+  // flash, and slots past it hold the erase pattern the CPU normally never reaches (if it
+  // does, Step falls back to the interpreter path below, which behaves identically).
+  const size_t covered = std::min<size_t>(flash.size(), mem_->flash_high_water());
+  const size_t slots = covered / 2;
+  icache_.resize(slots);
+  for (size_t s = 0; s < slots; ++s) {
+    const uint16_t hw1 = static_cast<uint16_t>(flash[2 * s] | (flash[2 * s + 1] << 8));
+    // Same peek rule as the interpreter: hw2 is read only for a wide (BL-prefix)
+    // encoding, and reads as 0 when the prefix sits on the last mapped halfword.
+    uint16_t hw2 = 0;
+    uint8_t flash_reads = 1;
+    if ((hw1 & 0xF800) == 0xF000 && 2 * s + 3 < flash.size()) {
+      hw2 = static_cast<uint16_t>(flash[2 * s + 2] | (flash[2 * s + 3] << 8));
+      flash_reads = 2;
+    }
+    icache_[s] = Predecoded{DecodeInstr(hw1, hw2), hw1, hw2, flash_reads};
+  }
+  icache_valid_ = true;
+}
 
 void Cpu::ResetCounters() {
   cycles_ = 0;
@@ -86,8 +123,19 @@ void Cpu::Branch(uint32_t target, int cost) {
 
 void Cpu::ChargeMemAccess(uint32_t addr, bool is_store) {
   cycles_ += static_cast<uint64_t>(is_store ? model_.store : model_.load);
-  if (mem_->RegionOf(addr) == MemRegion::kFlash) {
+  if (mem_->InFlash(addr)) {
     cycles_ += static_cast<uint64_t>(model_.flash_wait_states);
+  }
+}
+
+void Cpu::Run(uint64_t max_instructions) {
+  const uint64_t start = instructions_;
+  while (!halted()) {
+    Step();
+    if (instructions_ - start > max_instructions) {
+      std::fprintf(stderr, "simulator: instruction budget exceeded (pc=0x%08x)\n", pc_);
+      std::abort();
+    }
   }
 }
 
@@ -95,11 +143,37 @@ void Cpu::Step() {
   NEUROC_CHECK(!halted());
   const uint32_t addr = pc_;
   const uint64_t cycles_at_entry = cycles_;
-  const uint16_t hw1 = mem_->Read16(addr);
-  // Peek the second halfword only for 32-bit encodings (BL prefix).
-  const bool wide = (hw1 & 0xF800) == 0xF000;
-  const uint16_t hw2 = wide ? mem_->Read16(addr + 2) : 0;
-  const Instr in = DecodeInstr(hw1, hw2);
+  const bool fetch_from_flash = mem_->InFlash(addr);
+  uint16_t hw1;
+  uint16_t hw2;
+  Instr in;
+  size_t slot = 0;
+  bool cached = false;
+  if (icache_enabled_ && fetch_from_flash) {
+    if (!icache_valid_) {
+      RebuildDecodeCache();
+    }
+    slot = static_cast<size_t>(addr - mem_->flash_base()) >> 1;
+    cached = slot < icache_.size();
+  }
+  if (cached) {
+    const Predecoded& pd = icache_[slot];
+    hw1 = pd.hw1;
+    hw2 = pd.hw2;
+    in = pd.instr;
+    // Fetch accounting identical to the interpreter path: one counted flash read per
+    // halfword fetched (the per-slot count already encodes the wide/mapped rule).
+    mem_->CountFlashFetches(addr, pd.flash_reads);
+  } else {
+    hw1 = mem_->Read16(addr);
+    // Peek the second halfword only for 32-bit encodings (BL prefix). A wide prefix on
+    // the last mapped halfword is an undefined instruction (hw2 reads as 0), not a
+    // memory fault mid-fetch — the trace dump below must still show it.
+    const bool wide = (hw1 & 0xF800) == 0xF000;
+    hw2 = (wide && mem_->RegionOf(addr + 2) != MemRegion::kNone) ? mem_->Read16(addr + 2)
+                                                                 : 0;
+    in = DecodeInstr(hw1, hw2);
+  }
   if (!trace_.empty()) {
     trace_[trace_pos_] = {addr, hw1, hw2};
     trace_pos_ = (trace_pos_ + 1) % trace_.size();
@@ -114,15 +188,17 @@ void Cpu::Step() {
   }
   ++instructions_;
   ++op_histogram_[static_cast<size_t>(in.op)];
-  if (mem_->RegionOf(addr) == MemRegion::kFlash) {
+  if (fetch_from_flash) {
     cycles_ += static_cast<uint64_t>(model_.flash_wait_states);
   }
   pc_ = addr + 2u * in.length;  // default fall-through; branches overwrite
 
-  // Register read helper honoring the PC-read rule.
-  auto rr = [&](uint8_t r) -> uint32_t {
-    return r == kRegPc ? addr + 4 : regs_[r];
-  };
+  // PC-read rule: reads of r15 observe the current instruction's address + 4.
+  // Materializing that into the register file once per step makes every operand read a
+  // plain array load instead of a compare-and-select per read. Nothing outside Step
+  // reads slot 15 (the architectural PC lives in pc_).
+  regs_[kRegPc] = addr + 4;
+  auto rr = [&](uint8_t r) -> uint32_t { return regs_[r]; };
 
   switch (in.op) {
     case Op::kLslImm: {

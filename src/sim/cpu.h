@@ -43,6 +43,11 @@ class Cpu {
   static constexpr uint32_t kStopAddress = 0xFFFFFFFE;
 
   Cpu(MemoryMap* memory, CycleModel model);
+  ~Cpu();
+  // The CPU parks its decode-cache validity flag inside the MemoryMap (flash-write
+  // listener), so its address must stay stable for its lifetime.
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
 
   uint32_t reg(int index) const { return regs_[static_cast<size_t>(index)]; }
   void set_reg(int index, uint32_t value) { regs_[static_cast<size_t>(index)] = value; }
@@ -55,6 +60,11 @@ class Cpu {
 
   // Executes one instruction; updates cycle and instruction counters.
   void Step();
+
+  // Steps until halted, aborting (with the same diagnostic the Machine run loop always
+  // printed) once more than `max_instructions` retire. Keeping the loop in the CPU's own
+  // translation unit lets the per-instruction dispatch stay call-free and hot.
+  void Run(uint64_t max_instructions);
 
   uint64_t cycles() const { return cycles_; }
   uint64_t instructions() const { return instructions_; }
@@ -74,6 +84,14 @@ class Cpu {
   void set_probe(CpuProbe* probe) { probe_ = probe; }
   CpuProbe* probe() const { return probe_; }
 
+  // Predecoded-instruction cache: each halfword-aligned flash slot is decoded once (on the
+  // first Step after any host write into flash) so the fetch path becomes a table lookup.
+  // Cycle/instruction counters, memory-access stats, heatmaps, traces and probe callbacks
+  // are bit-identical with the cache on or off; the toggle exists so benchmarks can
+  // measure the legacy decode-every-step path.
+  void EnableDecodeCache(bool enabled);
+  bool decode_cache_enabled() const { return icache_enabled_; }
+
   const CycleModel& cycle_model() const { return model_; }
   MemoryMap& memory() { return *mem_; }
 
@@ -83,6 +101,18 @@ class Cpu {
     uint16_t hw1 = 0;
     uint16_t hw2 = 0;
   };
+
+  // One decoded flash slot, keyed by (addr - flash_base) >> 1. The raw halfwords ride
+  // along so trace entries and fault reports match the interpreter byte for byte;
+  // flash_reads is the number of counted halfword fetches (2 for a wide encoding whose
+  // second halfword is mapped, else 1), precomputed so the fetch path is branch-free.
+  struct Predecoded {
+    Instr instr;
+    uint16_t hw1 = 0;
+    uint16_t hw2 = 0;
+    uint8_t flash_reads = 1;
+  };
+  void RebuildDecodeCache();
 
   struct AddResult {
     uint32_t value;
@@ -111,6 +141,9 @@ class Cpu {
   size_t trace_pos_ = 0;
   uint64_t trace_count_ = 0;
   CpuProbe* probe_ = nullptr;
+  std::vector<Predecoded> icache_;  // covers flash up to the load high-water mark
+  bool icache_enabled_ = true;
+  bool icache_valid_ = false;  // cleared by the MemoryMap on any host write into flash
 };
 
 }  // namespace neuroc

@@ -27,14 +27,7 @@ uint64_t Machine::CallFunction(uint32_t addr, std::initializer_list<uint32_t> ar
   cpu_.set_reg(kRegLr, Cpu::kStopAddress | 1u);
   cpu_.set_pc(addr);
   const uint64_t start_cycles = cpu_.cycles();
-  const uint64_t start_instr = cpu_.instructions();
-  while (!cpu_.halted()) {
-    cpu_.Step();
-    if (cpu_.instructions() - start_instr > config_.max_instructions) {
-      std::fprintf(stderr, "simulator: instruction budget exceeded (pc=0x%08x)\n", cpu_.pc());
-      std::abort();
-    }
-  }
+  cpu_.Run(config_.max_instructions);
   return cpu_.cycles() - start_cycles;
 }
 

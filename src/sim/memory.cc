@@ -8,18 +8,19 @@
 
 namespace neuroc {
 
-namespace {
-
-[[noreturn]] void MemFault(const char* what, uint32_t addr) {
+void MemoryMap::Fault(const char* what, uint32_t addr) {
   std::fprintf(stderr, "simulated memory fault: %s at 0x%08x\n", what, addr);
   std::abort();
 }
 
-}  // namespace
-
 MemoryMap::MemoryMap(uint32_t flash_base, uint32_t flash_size, uint32_t ram_base,
                      uint32_t ram_size)
-    : flash_base_(flash_base), ram_base_(ram_base), flash_(flash_size, 0), ram_(ram_size, 0) {}
+    : flash_base_(flash_base),
+      ram_base_(ram_base),
+      flash_size_(flash_size),
+      ram_size_(ram_size),
+      flash_(flash_size, 0),
+      ram_(ram_size, 0) {}
 
 void MemoryMap::EnableHeatmap(uint32_t bucket_bytes) {
   NEUROC_CHECK(bucket_bytes != 0 && (bucket_bytes & (bucket_bytes - 1)) == 0);
@@ -28,14 +29,19 @@ void MemoryMap::EnableHeatmap(uint32_t bucket_bytes) {
   heatmap_.flash_reads.assign((flash_.size() + bucket_bytes - 1) / bucket_bytes, 0);
   heatmap_.sram_reads.assign((ram_.size() + bucket_bytes - 1) / bucket_bytes, 0);
   heatmap_.sram_writes.assign((ram_.size() + bucket_bytes - 1) / bucket_bytes, 0);
+  UpdateObserving();
 }
 
-void MemoryMap::DisableHeatmap() { heatmap_ = MemHeatmap{}; }
+void MemoryMap::DisableHeatmap() {
+  heatmap_ = MemHeatmap{};
+  UpdateObserving();
+}
 
 void MemoryMap::EnableStackWatch(uint32_t floor_addr) {
   stack_watch_ = true;
   stack_floor_ = floor_addr;
   stack_low_water_ = 0xFFFFFFFFu;
+  UpdateObserving();
 }
 
 void MemoryMap::Observe(uint32_t addr, MemRegion region, bool is_write) {
@@ -59,130 +65,58 @@ void MemoryMap::Observe(uint32_t addr, MemRegion region, bool is_write) {
   }
 }
 
-MemRegion MemoryMap::RegionOf(uint32_t addr) const {
-  if (addr >= flash_base_ && addr < flash_base_ + flash_.size()) {
-    return MemRegion::kFlash;
-  }
-  if (addr >= ram_base_ && addr < ram_base_ + ram_.size()) {
-    return MemRegion::kSram;
-  }
-  return MemRegion::kNone;
-}
-
 uint8_t* MemoryMap::HostPtr(uint32_t addr, uint32_t size, bool allow_flash_write) {
   switch (RegionOf(addr)) {
     case MemRegion::kFlash:
       if (!allow_flash_write) {
-        MemFault("write to flash", addr);
+        Fault("write to flash", addr);
       }
       if (addr + size > flash_base_ + flash_.size()) {
-        MemFault("flash access past end", addr);
+        Fault("flash access past end", addr);
       }
       return flash_.data() + (addr - flash_base_);
     case MemRegion::kSram:
       if (addr + size > ram_base_ + ram_.size()) {
-        MemFault("sram access past end", addr);
+        Fault("sram access past end", addr);
       }
       return ram_.data() + (addr - ram_base_);
     case MemRegion::kNone:
       break;
   }
-  MemFault("access to unmapped address", addr);
+  Fault("access to unmapped address", addr);
 }
 
 const uint8_t* MemoryMap::HostPtrConst(uint32_t addr, uint32_t size) const {
   switch (RegionOf(addr)) {
     case MemRegion::kFlash:
       if (addr + size > flash_base_ + flash_.size()) {
-        MemFault("flash access past end", addr);
+        Fault("flash access past end", addr);
       }
       return flash_.data() + (addr - flash_base_);
     case MemRegion::kSram:
       if (addr + size > ram_base_ + ram_.size()) {
-        MemFault("sram access past end", addr);
+        Fault("sram access past end", addr);
       }
       return ram_.data() + (addr - ram_base_);
     case MemRegion::kNone:
       break;
   }
-  MemFault("access to unmapped address", addr);
-}
-
-uint8_t MemoryMap::Read8(uint32_t addr) {
-  const MemRegion region = RegionOf(addr);
-  (region == MemRegion::kFlash ? stats_.flash_reads : stats_.sram_reads) += 1;
-  if (observing()) {
-    Observe(addr, region, /*is_write=*/false);
-  }
-  return *HostPtrConst(addr, 1);
-}
-
-uint16_t MemoryMap::Read16(uint32_t addr) {
-  if (addr % 2 != 0) {
-    MemFault("unaligned halfword read", addr);
-  }
-  const MemRegion region = RegionOf(addr);
-  (region == MemRegion::kFlash ? stats_.flash_reads : stats_.sram_reads) += 1;
-  if (observing()) {
-    Observe(addr, region, /*is_write=*/false);
-  }
-  const uint8_t* p = HostPtrConst(addr, 2);
-  return static_cast<uint16_t>(p[0] | (p[1] << 8));
-}
-
-uint32_t MemoryMap::Read32(uint32_t addr) {
-  if (addr % 4 != 0) {
-    MemFault("unaligned word read", addr);
-  }
-  const MemRegion region = RegionOf(addr);
-  (region == MemRegion::kFlash ? stats_.flash_reads : stats_.sram_reads) += 1;
-  if (observing()) {
-    Observe(addr, region, /*is_write=*/false);
-  }
-  const uint8_t* p = HostPtrConst(addr, 4);
-  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
-         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
-}
-
-void MemoryMap::Write8(uint32_t addr, uint8_t value) {
-  ++stats_.sram_writes;
-  if (observing()) {
-    Observe(addr, RegionOf(addr), /*is_write=*/true);
-  }
-  *HostPtr(addr, 1, /*allow_flash_write=*/false) = value;
-}
-
-void MemoryMap::Write16(uint32_t addr, uint16_t value) {
-  if (addr % 2 != 0) {
-    MemFault("unaligned halfword write", addr);
-  }
-  ++stats_.sram_writes;
-  if (observing()) {
-    Observe(addr, RegionOf(addr), /*is_write=*/true);
-  }
-  uint8_t* p = HostPtr(addr, 2, false);
-  p[0] = static_cast<uint8_t>(value & 0xFF);
-  p[1] = static_cast<uint8_t>(value >> 8);
-}
-
-void MemoryMap::Write32(uint32_t addr, uint32_t value) {
-  if (addr % 4 != 0) {
-    MemFault("unaligned word write", addr);
-  }
-  ++stats_.sram_writes;
-  if (observing()) {
-    Observe(addr, RegionOf(addr), /*is_write=*/true);
-  }
-  uint8_t* p = HostPtr(addr, 4, false);
-  p[0] = static_cast<uint8_t>(value & 0xFF);
-  p[1] = static_cast<uint8_t>((value >> 8) & 0xFF);
-  p[2] = static_cast<uint8_t>((value >> 16) & 0xFF);
-  p[3] = static_cast<uint8_t>((value >> 24) & 0xFF);
+  Fault("access to unmapped address", addr);
 }
 
 void MemoryMap::HostWrite(uint32_t addr, std::span<const uint8_t> bytes) {
   uint8_t* p = HostPtr(addr, static_cast<uint32_t>(bytes.size()), /*allow_flash_write=*/true);
   std::memcpy(p, bytes.data(), bytes.size());
+  if (InFlash(addr)) {
+    ++flash_generation_;
+    if (flash_listener_ != nullptr) {
+      *flash_listener_ = false;
+    }
+    const uint32_t end = addr + static_cast<uint32_t>(bytes.size()) - flash_base_;
+    if (end > flash_high_water_) {
+      flash_high_water_ = end;
+    }
+  }
 }
 
 void MemoryMap::HostRead(uint32_t addr, std::span<uint8_t> bytes) const {

@@ -35,23 +35,108 @@ class MemoryMap {
   MemoryMap(uint32_t flash_base, uint32_t flash_size, uint32_t ram_base, uint32_t ram_size);
 
   uint32_t flash_base() const { return flash_base_; }
-  uint32_t flash_size() const { return static_cast<uint32_t>(flash_.size()); }
+  uint32_t flash_size() const { return flash_size_; }
   uint32_t ram_base() const { return ram_base_; }
-  uint32_t ram_size() const { return static_cast<uint32_t>(ram_.size()); }
+  uint32_t ram_size() const { return ram_size_; }
 
-  MemRegion RegionOf(uint32_t addr) const;
+  // Region classification over precomputed bounds. The unsigned wrap-around form compiles
+  // to a single subtract+compare per region, which matters because the CPU consults this
+  // on every fetch and data access for flash-wait-state accounting.
+  MemRegion RegionOf(uint32_t addr) const {
+    if (addr - flash_base_ < flash_size_) {
+      return MemRegion::kFlash;
+    }
+    if (addr - ram_base_ < ram_size_) {
+      return MemRegion::kSram;
+    }
+    return MemRegion::kNone;
+  }
+  bool InFlash(uint32_t addr) const { return addr - flash_base_ < flash_size_; }
 
-  // CPU-side accessors (counted, flash writes fault).
-  uint8_t Read8(uint32_t addr);
-  uint16_t Read16(uint32_t addr);
-  uint32_t Read32(uint32_t addr);
-  void Write8(uint32_t addr, uint8_t value);
-  void Write16(uint32_t addr, uint16_t value);
-  void Write32(uint32_t addr, uint32_t value);
+  // CPU-side accessors (counted, flash writes fault). Inline over the precomputed region
+  // bounds: the simulator performs one of these per fetched halfword and per load/store,
+  // so the classify-count-observe-access sequence must compile to straight-line code
+  // instead of two out-of-line region switches per access.
+  uint8_t Read8(uint32_t addr) {
+    const MemRegion region = CountRead(addr);
+    return *ReadPtr(addr, 1, region);
+  }
+  uint16_t Read16(uint32_t addr) {
+    if (addr % 2 != 0) {
+      Fault("unaligned halfword read", addr);
+    }
+    const MemRegion region = CountRead(addr);
+    const uint8_t* p = ReadPtr(addr, 2, region);
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+  }
+  uint32_t Read32(uint32_t addr) {
+    if (addr % 4 != 0) {
+      Fault("unaligned word read", addr);
+    }
+    const MemRegion region = CountRead(addr);
+    const uint8_t* p = ReadPtr(addr, 4, region);
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  }
+  void Write8(uint32_t addr, uint8_t value) {
+    *WritePtr(addr, 1) = value;
+  }
+  void Write16(uint32_t addr, uint16_t value) {
+    if (addr % 2 != 0) {
+      Fault("unaligned halfword write", addr);
+    }
+    uint8_t* p = WritePtr(addr, 2);
+    p[0] = static_cast<uint8_t>(value & 0xFF);
+    p[1] = static_cast<uint8_t>(value >> 8);
+  }
+  void Write32(uint32_t addr, uint32_t value) {
+    if (addr % 4 != 0) {
+      Fault("unaligned word write", addr);
+    }
+    uint8_t* p = WritePtr(addr, 4);
+    p[0] = static_cast<uint8_t>(value & 0xFF);
+    p[1] = static_cast<uint8_t>((value >> 8) & 0xFF);
+    p[2] = static_cast<uint8_t>((value >> 16) & 0xFF);
+    p[3] = static_cast<uint8_t>((value >> 24) & 0xFF);
+  }
 
   // Host-side loading/inspection (uncounted; may write flash).
   void HostWrite(uint32_t addr, std::span<const uint8_t> bytes);
   void HostRead(uint32_t addr, std::span<uint8_t> bytes) const;
+
+  // Bumped on every HostWrite that lands in flash. Consumers that cache decoded flash
+  // contents (the CPU's predecoded-instruction cache) compare against this to invalidate.
+  uint64_t flash_generation() const { return flash_generation_; }
+  // Highest flash offset (exclusive) ever touched by a HostWrite; bounds how much of
+  // flash a decode-cache rebuild needs to cover. Never shrinks.
+  uint32_t flash_high_water() const { return flash_high_water_; }
+  // Raw flash contents for host-side decoding. Fetches routed through this must be
+  // recorded via CountFlashFetch to keep the access counters identical to Read16.
+  std::span<const uint8_t> flash_bytes() const { return flash_; }
+
+  // Records exactly what Read16 records for `reads` consecutive halfword instruction
+  // fetches from flash starting at `addr`: one counted flash read per halfword plus the
+  // opt-in heatmap/stack observations, in fetch order. The predecoded fetch path calls
+  // this instead of Read16 so stats and heatmaps stay bit-identical to the interpreter
+  // that re-reads flash every step.
+  void CountFlashFetches(uint32_t addr, uint32_t reads) {
+    stats_.flash_reads += reads;
+    if (observing()) {
+      for (uint32_t i = 0; i < reads; ++i) {
+        Observe(addr + 2 * i, MemRegion::kFlash, /*is_write=*/false);
+      }
+    }
+  }
+
+  // At most one decoded-flash consumer (the owning CPU) parks its cache-validity flag
+  // here; every HostWrite into flash clears it. This replaces a per-step generation
+  // compare through the MemoryMap pointer with a test of the consumer's own flag.
+  void RegisterFlashWriteListener(bool* valid_flag) { flash_listener_ = valid_flag; }
+  void UnregisterFlashWriteListener(bool* valid_flag) {
+    if (flash_listener_ == valid_flag) {
+      flash_listener_ = nullptr;
+    }
+  }
 
   const MemAccessStats& stats() const { return stats_; }
   void ResetStats() { stats_ = MemAccessStats{}; }
@@ -67,7 +152,10 @@ class MemoryMap {
   // and the stack grows down from the top of SRAM, so the two never interleave). The
   // low-water mark is the smallest such address seen — i.e. the deepest stack extent.
   void EnableStackWatch(uint32_t floor_addr);
-  void DisableStackWatch() { stack_watch_ = false; }
+  void DisableStackWatch() {
+    stack_watch_ = false;
+    UpdateObserving();
+  }
   // Smallest stack address observed since EnableStackWatch; UINT32_MAX if none yet.
   uint32_t stack_low_water() const { return stack_low_water_; }
 
@@ -75,17 +163,72 @@ class MemoryMap {
   uint8_t* HostPtr(uint32_t addr, uint32_t size, bool allow_flash_write);
   const uint8_t* HostPtrConst(uint32_t addr, uint32_t size) const;
   void Observe(uint32_t addr, MemRegion region, bool is_write);
+  [[noreturn]] static void Fault(const char* what, uint32_t addr);
 
-  // Single gate for the opt-in observers, so the counted accessors stay one branch when
-  // nothing is attached.
-  bool observing() const { return heatmap_.bucket_bytes != 0 || stack_watch_; }
+  // Classify + count + observe for a CPU read. Unmapped addresses still count as an SRAM
+  // read here (matching the historical accounting) and then fault in ReadPtr.
+  MemRegion CountRead(uint32_t addr) {
+    const MemRegion region = RegionOf(addr);
+    (region == MemRegion::kFlash ? stats_.flash_reads : stats_.sram_reads) += 1;
+    if (observing()) {
+      Observe(addr, region, /*is_write=*/false);
+    }
+    return region;
+  }
+
+  const uint8_t* ReadPtr(uint32_t addr, uint32_t size, MemRegion region) const {
+    if (region == MemRegion::kFlash) {
+      if (addr + size > flash_base_ + flash_size_) {
+        Fault("flash access past end", addr);
+      }
+      return flash_.data() + (addr - flash_base_);
+    }
+    if (region == MemRegion::kSram) {
+      if (addr + size > ram_base_ + ram_size_) {
+        Fault("sram access past end", addr);
+      }
+      return ram_.data() + (addr - ram_base_);
+    }
+    Fault("access to unmapped address", addr);
+  }
+
+  // Count + observe + bounds-check for a CPU write. The write counter ticks before the
+  // region check (as the out-of-line version always did); flash writes fault.
+  uint8_t* WritePtr(uint32_t addr, uint32_t size) {
+    ++stats_.sram_writes;
+    const MemRegion region = RegionOf(addr);
+    if (observing()) {
+      Observe(addr, region, /*is_write=*/true);
+    }
+    if (region == MemRegion::kSram) {
+      if (addr + size > ram_base_ + ram_size_) {
+        Fault("sram access past end", addr);
+      }
+      return ram_.data() + (addr - ram_base_);
+    }
+    if (region == MemRegion::kFlash) {
+      Fault("write to flash", addr);
+    }
+    Fault("access to unmapped address", addr);
+  }
+
+  // Single gate for the opt-in observers, cached as one flag so the counted accessors
+  // stay one load-and-branch when nothing is attached.
+  bool observing() const { return observing_; }
+  void UpdateObserving() { observing_ = heatmap_.bucket_bytes != 0 || stack_watch_; }
 
   uint32_t flash_base_;
   uint32_t ram_base_;
+  uint32_t flash_size_;
+  uint32_t ram_size_;
   std::vector<uint8_t> flash_;
   std::vector<uint8_t> ram_;
+  uint64_t flash_generation_ = 0;
+  uint32_t flash_high_water_ = 0;
+  bool* flash_listener_ = nullptr;
   MemAccessStats stats_;
   MemHeatmap heatmap_;
+  bool observing_ = false;
   bool stack_watch_ = false;
   uint32_t stack_floor_ = 0;
   uint32_t stack_low_water_ = 0xFFFFFFFFu;

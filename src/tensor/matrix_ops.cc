@@ -15,12 +15,6 @@ void EnsureShape(Tensor& t, size_t rows, size_t cols) {
   }
 }
 
-// ParallelFor grain targeting ~32k inner-loop operations per chunk, so small matrices run
-// in-line and large ones split without scheduling overhead dominating.
-size_t GrainFor(size_t ops_per_row) {
-  return std::max<size_t>(1, 32768 / std::max<size_t>(1, ops_per_row));
-}
-
 }  // namespace
 
 void MatMul(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -34,7 +28,7 @@ void MatMul(const Tensor& a, const Tensor& b, Tensor& out) {
   // Row-blocked over the batch dimension: each output row is owned by exactly one chunk and
   // accumulated in the same i-k-j order regardless of worker count (the inner loop streams
   // over contiguous rows of b and out).
-  ParallelFor(0, m, GrainFor(k * n), [&](size_t i0, size_t i1) {
+  ParallelFor(0, m, GrainForOps(k * n), [&](size_t i0, size_t i1) {
     for (size_t i = i0; i < i1; ++i) {
       const float* arow = a.data() + i * k;
       float* orow = out.data() + i * n;
@@ -62,7 +56,7 @@ void MatMulTransposeA(const Tensor& a, const Tensor& b, Tensor& out) {
   out.Fill(0.0f);
   // Parallel over output rows (not the shared reduction dimension k): chunks write disjoint
   // rows of out, and each element still accumulates over p ascending.
-  ParallelFor(0, m, GrainFor(k * n), [&](size_t i0, size_t i1) {
+  ParallelFor(0, m, GrainForOps(k * n), [&](size_t i0, size_t i1) {
     for (size_t i = i0; i < i1; ++i) {
       float* orow = out.data() + i * n;
       for (size_t p = 0; p < k; ++p) {
@@ -86,7 +80,7 @@ void MatMulTransposeB(const Tensor& a, const Tensor& b, Tensor& out) {
   const size_t k = a.cols();
   const size_t n = b.rows();
   EnsureShape(out, m, n);
-  ParallelFor(0, m, GrainFor(k * n), [&](size_t i0, size_t i1) {
+  ParallelFor(0, m, GrainForOps(k * n), [&](size_t i0, size_t i1) {
     for (size_t i = i0; i < i1; ++i) {
       const float* arow = a.data() + i * k;
       float* orow = out.data() + i * n;
@@ -104,58 +98,80 @@ void MatMulTransposeB(const Tensor& a, const Tensor& b, Tensor& out) {
 
 void AddRowBias(Tensor& out, std::span<const float> bias) {
   NEUROC_CHECK(out.rank() == 2 && out.cols() == bias.size());
-  for (size_t r = 0; r < out.rows(); ++r) {
-    float* row = out.data() + r * out.cols();
-    for (size_t c = 0; c < out.cols(); ++c) {
-      row[c] += bias[c];
+  const size_t cols = out.cols();
+  // Elementwise per row, so row partitioning is bit-exact for any worker count.
+  ParallelFor(0, out.rows(), GrainForOps(cols), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      float* row = out.data() + r * cols;
+      for (size_t c = 0; c < cols; ++c) {
+        row[c] += bias[c];
+      }
     }
-  }
+  });
 }
 
 void ColumnSums(const Tensor& m, std::span<float> column_sums) {
   NEUROC_CHECK(m.rank() == 2 && m.cols() == column_sums.size());
   std::fill(column_sums.begin(), column_sums.end(), 0.0f);
-  for (size_t r = 0; r < m.rows(); ++r) {
-    const float* row = m.data() + r * m.cols();
-    for (size_t c = 0; c < m.cols(); ++c) {
-      column_sums[c] += row[c];
+  const size_t rows = m.rows();
+  const size_t cols = m.cols();
+  // The reduction runs over rows, so partition over *columns*: each chunk owns a disjoint
+  // column range and still accumulates rows in ascending order, keeping the float sums
+  // bit-identical to the serial loop for any worker count.
+  ParallelFor(0, cols, GrainForOps(rows), [&](size_t c0, size_t c1) {
+    for (size_t r = 0; r < rows; ++r) {
+      const float* row = m.data() + r * cols;
+      for (size_t c = c0; c < c1; ++c) {
+        column_sums[c] += row[c];
+      }
     }
-  }
+  });
 }
 
 void Scale(Tensor& out, float scale) {
-  for (float& v : out.flat()) {
-    v *= scale;
-  }
+  float* data = out.data();
+  ParallelFor(0, out.size(), GrainForOps(1), [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      data[i] *= scale;
+    }
+  });
 }
 
 void Axpy(float scale, const Tensor& value, Tensor& accum) {
   NEUROC_CHECK(value.SameShape(accum));
   const float* src = value.data();
   float* dst = accum.data();
-  for (size_t i = 0; i < value.size(); ++i) {
-    dst[i] += scale * src[i];
-  }
+  ParallelFor(0, value.size(), GrainForOps(2), [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      dst[i] += scale * src[i];
+    }
+  });
 }
 
 void SoftmaxRows(Tensor& m) {
   NEUROC_CHECK(m.rank() == 2);
-  for (size_t r = 0; r < m.rows(); ++r) {
-    float* row = m.data() + r * m.cols();
-    float max_v = row[0];
-    for (size_t c = 1; c < m.cols(); ++c) {
-      max_v = std::max(max_v, row[c]);
+  const size_t cols = m.cols();
+  // Each row normalizes independently (max, exp, sum, scale), so row partitioning keeps
+  // every float op in the same order as the serial loop. exp costs dominate; count a row
+  // as ~8 ops per element for grain purposes.
+  ParallelFor(0, m.rows(), GrainForOps(8 * cols), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      float* row = m.data() + r * cols;
+      float max_v = row[0];
+      for (size_t c = 1; c < cols; ++c) {
+        max_v = std::max(max_v, row[c]);
+      }
+      float sum = 0.0f;
+      for (size_t c = 0; c < cols; ++c) {
+        row[c] = std::exp(row[c] - max_v);
+        sum += row[c];
+      }
+      const float inv = 1.0f / sum;
+      for (size_t c = 0; c < cols; ++c) {
+        row[c] *= inv;
+      }
     }
-    float sum = 0.0f;
-    for (size_t c = 0; c < m.cols(); ++c) {
-      row[c] = std::exp(row[c] - max_v);
-      sum += row[c];
-    }
-    const float inv = 1.0f / sum;
-    for (size_t c = 0; c < m.cols(); ++c) {
-      row[c] *= inv;
-    }
-  }
+  });
 }
 
 size_t ArgMax(std::span<const float> row) {

@@ -4,26 +4,50 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/common/thread_pool.h"
 #include "src/tensor/matrix_ops.h"
 
 namespace neuroc {
 
 namespace {
 
-// Broadcast-multiply each row of m by `col` (length m.cols()).
+// Broadcast-multiply each row of m by `col` (length m.cols()). Elementwise per row, so
+// row partitioning is bit-exact for any worker count.
 void ScaleColumns(const Tensor& m, const Tensor& col, Tensor& out) {
   if (!out.SameShape(m)) {
     out = Tensor(m.shape());
   }
   const size_t n = m.rows();
   const size_t d = m.cols();
-  for (size_t r = 0; r < n; ++r) {
-    const float* src = m.data() + r * d;
-    float* dst = out.data() + r * d;
-    for (size_t c = 0; c < d; ++c) {
-      dst[c] = src[c] * col[c];
+  ParallelFor(0, n, GrainForOps(d), [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const float* src = m.data() + r * d;
+      float* dst = out.data() + r * d;
+      for (size_t c = 0; c < d; ++c) {
+        dst[c] = src[c] * col[c];
+      }
     }
-  }
+  });
+}
+
+// Scale gradient dL/ds_j = sum_r g[r,j] * z[r,j]. The reduction runs over batch rows, so
+// chunks own disjoint *column* ranges and every column still sums rows in ascending order —
+// bit-identical to the serial loop for any worker count.
+void GradScale(const Tensor& grad_output, const Tensor& presum, Tensor& grad_scale) {
+  const size_t n = grad_output.rows();
+  const size_t d = grad_output.cols();
+  ParallelFor(0, d, GrainForOps(2 * n), [&](size_t c0, size_t c1) {
+    for (size_t c = c0; c < c1; ++c) {
+      grad_scale[c] = 0.0f;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const float* g = grad_output.data() + r * d;
+      const float* z = presum.data() + r * d;
+      for (size_t c = c0; c < c1; ++c) {
+        grad_scale[c] += g[c] * z[c];
+      }
+    }
+  });
 }
 
 }  // namespace
@@ -126,22 +150,10 @@ const Tensor& NeuroCLayer::Backward(const Tensor& grad_output) {
   NEUROC_CHECK(grad_output.SameShape(output_));
   // Backward requires a preceding training-mode Forward on the same batch.
   NEUROC_CHECK(input_cache_.rank() == 2 && input_cache_.rows() == grad_output.rows());
-  const size_t n = grad_output.rows();
-  const size_t d = grad_output.cols();
   // Bias gradient.
   ColumnSums(grad_output, grad_bias_.flat());
-  // Scale gradient: dL/ds_j = sum_r g[r,j] * z[r,j].
   if (cfg_.use_per_neuron_scale) {
-    for (size_t c = 0; c < d; ++c) {
-      grad_scale_[c] = 0.0f;
-    }
-    for (size_t r = 0; r < n; ++r) {
-      const float* g = grad_output.data() + r * d;
-      const float* z = presum_.data() + r * d;
-      for (size_t c = 0; c < d; ++c) {
-        grad_scale_[c] += g[c] * z[c];
-      }
-    }
+    GradScale(grad_output, presum_, grad_scale_);
   }
   // Gradient reaching the pre-sum z: gz = g * s (or g if no scale). gz_ is a member
   // scratch so the per-step allocation disappears after the first batch.
@@ -267,19 +279,8 @@ const Tensor& FixedAdjacencyLayer::Forward(const Tensor& input, bool training) {
 
 const Tensor& FixedAdjacencyLayer::Backward(const Tensor& grad_output) {
   NEUROC_CHECK(grad_output.SameShape(output_));
-  const size_t n = grad_output.rows();
-  const size_t d = grad_output.cols();
   ColumnSums(grad_output, grad_bias_.flat());
-  for (size_t c = 0; c < d; ++c) {
-    grad_scale_[c] = 0.0f;
-  }
-  for (size_t r = 0; r < n; ++r) {
-    const float* g = grad_output.data() + r * d;
-    const float* z = presum_.data() + r * d;
-    for (size_t c = 0; c < d; ++c) {
-      grad_scale_[c] += g[c] * z[c];
-    }
-  }
+  GradScale(grad_output, presum_, grad_scale_);
   Tensor gz;
   ScaleColumns(grad_output, scale_, gz);
   MatMulTransposeB(gz, adjacency_, grad_input_);

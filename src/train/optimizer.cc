@@ -13,7 +13,9 @@ namespace {
 // count. The chunk bodies live in free functions so the __restrict qualifiers reach the
 // compiler (qualifiers on locals captured by a lambda do not survive into the closure);
 // with them the sqrt/div chain vectorizes, and sqrtps/divps are correctly-rounded IEEE ops,
-// so vectorization does not change results either.
+// so vectorization does not change results either. Grains count ~4 flops per SGD element
+// and ~10 per Adam element (the sqrt/div chain); typical layer tensors then update in-line
+// and only genuinely large ones split.
 
 void SgdChunk(float* __restrict wp, const float* __restrict gp, float* __restrict vp,
               float learning_rate, float momentum, float weight_decay, size_t k0, size_t k1) {
@@ -55,7 +57,7 @@ void SgdOptimizer::Step(std::span<ParamRef> params) {
     float* wp = w.data();
     const float* gp = g.data();
     float* vp = vel.data();
-    ParallelFor(0, w.size(), 8192, [&](size_t k0, size_t k1) {
+    ParallelFor(0, w.size(), GrainForOps(4), [&](size_t k0, size_t k1) {
       SgdChunk(wp, gp, vp, learning_rate_, momentum_, weight_decay_, k0, k1);
     });
   }
@@ -82,7 +84,7 @@ void AdamOptimizer::Step(std::span<ParamRef> params) {
     const float* gp = g.data();
     float* mp = m_[i].data();
     float* vp = v_[i].data();
-    ParallelFor(0, w.size(), 8192, [&](size_t k0, size_t k1) {
+    ParallelFor(0, w.size(), GrainForOps(10), [&](size_t k0, size_t k1) {
       AdamChunk(wp, gp, mp, vp, learning_rate_, beta1_, beta2_, epsilon_, weight_decay_, bc1,
                 bc2, k0, k1);
     });

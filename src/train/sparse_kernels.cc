@@ -19,11 +19,6 @@ void EnsureShape(Tensor& t, size_t rows, size_t cols) {
 // feeds several rows (the stream is the memory-bound part at low density).
 constexpr size_t kRowBlock = 8;
 
-// ParallelFor grain targeting ~32k accumulations per chunk.
-size_t GrainFor(size_t ops_per_index) {
-  return std::max<size_t>(1, 32768 / std::max<size_t>(1, ops_per_index));
-}
-
 // Fills `m` in place; all buffers are assign()/resize()d so repeated rebuilds into the same
 // object reuse capacity instead of reallocating.
 template <typename Classify>
@@ -138,7 +133,7 @@ void SparseForward(const Tensor& x, const SparseTernaryMatrix& a, Tensor& out) {
   EnsureShape(out, n, cols);
   const float* xd = x.data();
   float* od = out.data();
-  ParallelFor(0, n, GrainFor(a.idx.size()), [&](size_t rb0, size_t rb1) {
+  ParallelFor(0, n, GrainForOps(a.idx.size()), [&](size_t rb0, size_t rb1) {
     for (size_t rb = rb0; rb < rb1; rb += kRowBlock) {
       const size_t nb = std::min(kRowBlock, rb1 - rb);
       for (size_t j = 0; j < cols; ++j) {
@@ -166,7 +161,7 @@ void SparseGradInput(const Tensor& gz, const SparseTernaryMatrix& a, Tensor& out
   EnsureShape(out, n, in);
   const float* gd = gz.data();
   float* od = out.data();
-  ParallelFor(0, n, GrainFor(a.row_idx.size()), [&](size_t rb0, size_t rb1) {
+  ParallelFor(0, n, GrainForOps(a.row_idx.size()), [&](size_t rb0, size_t rb1) {
     for (size_t rb = rb0; rb < rb1; rb += kRowBlock) {
       const size_t nb = std::min(kRowBlock, rb1 - rb);
       // Gather along the row-major view: out[r, i] accumulates its contributions in
@@ -198,7 +193,7 @@ void SparseGradLatent(const Tensor& x, const Tensor& gz, Tensor& out) {
   const float* xd = x.data();
   const float* gd = gz.data();
   float* od = out.data();
-  ParallelFor(0, in, GrainFor(n * cols), [&](size_t ib0, size_t ib1) {
+  ParallelFor(0, in, GrainForOps(n * cols), [&](size_t ib0, size_t ib1) {
     for (size_t ib = ib0; ib < ib1; ib += kRowBlock) {
       const size_t nb = std::min(kRowBlock, ib1 - ib);
       std::fill(od + ib * cols, od + (ib + nb) * cols, 0.0f);

@@ -16,10 +16,11 @@ namespace neuroc {
 
 namespace {
 
-// Keep a few KB of row copies per chunk so small batches gather in-line.
-size_t GrainForRowCopy(size_t dim) {
-  return std::max<size_t>(8, 16384 / std::max<size_t>(1, dim));
-}
+// A row copy costs about one op per float, so the gather grain comes straight from the
+// shared cost-based heuristic. Typical batches (64 rows x 256 floats = 16k ops) land far
+// under one chunk and gather in-line — parallel gathers only pay off for the huge
+// evaluation batches.
+size_t GrainForRowCopy(size_t dim) { return GrainForOps(dim); }
 
 // Mean nonzero fraction of the ternarized weight matrices — the paper's density knob as it
 // actually lands after thresholding. 0 when the network has no Neuro-C layers.

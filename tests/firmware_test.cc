@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/common/thread_pool.h"
 #include "src/core/synthetic.h"
 #include "src/runtime/firmware_image.h"
 #include "src/runtime/profile.h"
@@ -217,6 +218,44 @@ TEST(SearchTest, LatencyConstraintFiltersCandidates) {
   EXPECT_EQ(result.best, -1);
   EXPECT_TRUE(result.pareto.empty());
   EXPECT_FALSE(result.candidates[0].feasible);
+}
+
+// Trials run on the shared pool with per-trial RNG streams and slot-addressed results, so
+// the full SearchResult must be byte-identical no matter how many workers execute it.
+TEST(SearchTest, ResultsByteIdenticalAcrossThreadCounts) {
+  Dataset all = MakeDigits8x8(500, 11);
+  Rng rng(12);
+  auto [train, test] = all.Split(0.25, rng);
+  SearchSpace space;
+  space.width_choices = {16, 32};
+  space.max_hidden_layers = 1;
+  space.density_choices = {0.1f, 0.2f};
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 32;
+  cfg.learning_rate = 3e-3f;
+
+  auto run = [&](unsigned threads) {
+    ThreadPool::SetGlobalThreads(threads);
+    return RandomSearch(train, test, space, {}, 4, cfg, 123);
+  };
+  const SearchResult seq = run(1);
+  const SearchResult par = run(4);
+  ThreadPool::SetGlobalThreads(DefaultThreadCount());
+
+  ASSERT_EQ(seq.candidates.size(), par.candidates.size());
+  for (size_t i = 0; i < seq.candidates.size(); ++i) {
+    const SearchCandidate& a = seq.candidates[i];
+    const SearchCandidate& b = par.candidates[i];
+    EXPECT_EQ(a.description, b.description) << i;
+    EXPECT_EQ(a.spec.hidden, b.spec.hidden) << i;
+    EXPECT_EQ(a.accuracy, b.accuracy) << i;  // bitwise: training is thread-invariant
+    EXPECT_EQ(a.program_bytes, b.program_bytes) << i;
+    EXPECT_EQ(a.latency_ms, b.latency_ms) << i;
+    EXPECT_EQ(a.feasible, b.feasible) << i;
+  }
+  EXPECT_EQ(seq.pareto, par.pareto);
+  EXPECT_EQ(seq.best, par.best);
 }
 
 }  // namespace
