@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected) used for model-image and
+// serialized-blob section digests. A 16 KB-weights image digests in microseconds on the
+// host, so verification can run at every deploy/load without touching simulated cycle
+// accounting (all reads go through host-side, uncounted accessors).
+
+#ifndef NEUROC_SRC_COMMON_CRC32_H_
+#define NEUROC_SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace neuroc {
+
+// Incremental form: pass the previous return value as `seed` to continue a digest.
+// Crc32(bytes) == Crc32(bytes[0..k), then Crc32(bytes[k..n), seed=that).
+uint32_t Crc32(std::span<const uint8_t> bytes, uint32_t seed = 0);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_COMMON_CRC32_H_

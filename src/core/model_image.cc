@@ -1,8 +1,10 @@
 #include "src/core/model_image.h"
 
 #include <algorithm>
+#include <span>
 
 #include "src/common/check.h"
+#include "src/common/crc32.h"
 
 namespace neuroc {
 
@@ -70,6 +72,29 @@ RamPlan PlanRam(uint32_t ram_base, size_t max_act_dim, size_t max_out_dim) {
   return plan;
 }
 
+// Records a digestable span; CRCs are filled in once the blob stops mutating (descriptor
+// words are patched throughout the packing loop).
+void AddSection(DeviceModelImage& image, std::string name, size_t offset, size_t end) {
+  ImageSection s;
+  s.name = std::move(name);
+  s.offset = static_cast<uint32_t>(offset);
+  s.size = static_cast<uint32_t>(end - offset);
+  image.sections.push_back(std::move(s));
+}
+
+void FinalizeSections(DeviceModelImage& image) {
+  // Whole-image digest first: covers alignment padding between arrays, so any flash bit
+  // flip inside the packed image is detectable even if it misses every named section.
+  ImageSection whole;
+  whole.name = "image";
+  whole.offset = 0;
+  whole.size = static_cast<uint32_t>(image.flash.size());
+  image.sections.insert(image.sections.begin(), std::move(whole));
+  for (ImageSection& s : image.sections) {
+    s.crc32 = Crc32(std::span<const uint8_t>(image.flash.data() + s.offset, s.size));
+  }
+}
+
 }  // namespace
 
 DeviceModelImage PackNeuroCModel(const NeuroCModel& model, uint32_t flash_data_base,
@@ -91,15 +116,25 @@ DeviceModelImage PackNeuroCModel(const NeuroCModel& model, uint32_t flash_data_b
   const size_t n = model.layers().size();
   std::vector<uint8_t>& blob = image.flash;
   blob.assign(n * kDescriptorBytes, 0);
+  AddSection(image, "descriptors", 0, blob.size());
 
   for (size_t k = 0; k < n; ++k) {
     const QuantNeuroCLayer& l = model.layers()[k];
+    const std::string prefix = "layer" + std::to_string(k);
+    const size_t enc_begin = blob.size();
     const EncodingDeviceLayout enc = l.encoding->Pack(blob);
+    AddSection(image, prefix + ".weights", enc_begin, blob.size());
     // Pack() appended arrays with offsets relative to blob start; they already include the
     // descriptor preamble because the descriptors were reserved first.
-    const uint32_t scale_addr =
-        l.has_scale() ? flash_data_base + AppendInt8(blob, l.scale_q) : 0;
-    const uint32_t bias_addr = flash_data_base + AppendInt32(blob, l.bias_q);
+    uint32_t scale_addr = 0;
+    if (l.has_scale()) {
+      const uint32_t scale_off = AppendInt8(blob, l.scale_q);
+      scale_addr = flash_data_base + scale_off;
+      AddSection(image, prefix + ".scales", scale_off, blob.size());
+    }
+    const uint32_t bias_off = AppendInt32(blob, l.bias_q);
+    const uint32_t bias_addr = flash_data_base + bias_off;
+    AddSection(image, prefix + ".bias", bias_off, blob.size());
 
     const size_t d = k * kDescriptorBytes;
     auto word = [&](DescWord w, uint32_t v) { WriteWord(blob, d + w * 4, v); };
@@ -141,6 +176,7 @@ DeviceModelImage PackNeuroCModel(const NeuroCModel& model, uint32_t flash_data_b
       image.output_addr = ram.buf[(k + 1) % 2];
     }
   }
+  FinalizeSections(image);
   return image;
 }
 
@@ -163,11 +199,17 @@ DeviceModelImage PackMlpModel(const MlpModel& model, uint32_t flash_data_base,
   const size_t n = model.layers().size();
   std::vector<uint8_t>& blob = image.flash;
   blob.assign(n * kDescriptorBytes, 0);
+  AddSection(image, "descriptors", 0, blob.size());
 
   for (size_t k = 0; k < n; ++k) {
     const QuantDenseLayer& l = model.layers()[k];
-    const uint32_t weights_addr = flash_data_base + AppendInt8(blob, l.weights);
-    const uint32_t bias_addr = flash_data_base + AppendInt32(blob, l.bias_q);
+    const std::string prefix = "layer" + std::to_string(k);
+    const uint32_t weights_off = AppendInt8(blob, l.weights);
+    const uint32_t weights_addr = flash_data_base + weights_off;
+    AddSection(image, prefix + ".weights", weights_off, blob.size());
+    const uint32_t bias_off = AppendInt32(blob, l.bias_q);
+    const uint32_t bias_addr = flash_data_base + bias_off;
+    AddSection(image, prefix + ".bias", bias_off, blob.size());
 
     const size_t d = k * kDescriptorBytes;
     auto word = [&](DescWord w, uint32_t v) { WriteWord(blob, d + w * 4, v); };
@@ -190,6 +232,7 @@ DeviceModelImage PackMlpModel(const MlpModel& model, uint32_t flash_data_base,
       image.output_addr = ram.buf[(k + 1) % 2];
     }
   }
+  FinalizeSections(image);
   return image;
 }
 

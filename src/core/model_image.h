@@ -12,6 +12,7 @@
 #define NEUROC_SRC_CORE_MODEL_IMAGE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/core/mlp_model.h"
@@ -56,11 +57,22 @@ struct KernelVariant {
   bool operator==(const KernelVariant&) const = default;
 };
 
+// Integrity-checked span of the packed image, digested at pack time (pristine content).
+// `offset` is relative to DeviceModelImage::flash; DeployedModel resolves it to a device
+// address and re-verifies the digest on demand (deploy, load, detected faults).
+struct ImageSection {
+  std::string name;     // "descriptors", "layer0.weights", "layer0.scales", ...
+  uint32_t offset = 0;
+  uint32_t size = 0;
+  uint32_t crc32 = 0;
+};
+
 struct DeviceModelImage {
   uint32_t flash_data_base = 0;
   std::vector<uint8_t> flash;              // contents at flash_data_base
   std::vector<uint32_t> descriptor_addrs;  // absolute, one per layer
   std::vector<KernelVariant> variants;     // one per layer
+  std::vector<ImageSection> sections;      // CRC-32 digests of the pristine image
   uint32_t input_addr = 0;    // SRAM buffer the caller fills with int8 input
   uint32_t output_addr = 0;   // SRAM buffer holding the final int8 activations
   uint32_t output_dim = 0;

@@ -5,14 +5,59 @@
 #include <memory>
 
 #include "src/common/check.h"
+#include "src/common/crc32.h"
 #include "src/core/block_encoding.h"
 
 namespace neuroc {
 
 namespace {
 
-constexpr uint32_t kMagicNeuroC = 0x314D434Eu;  // "NCM1"
-constexpr uint32_t kMagicMlp = 0x314D4C4Du;     // "MLM1"
+constexpr uint32_t kMagicNeuroC = 0x314D434Eu;   // "NCM1" — legacy, no CRC trailer
+constexpr uint32_t kMagicMlp = 0x314D4C4Du;      // "MLM1"
+constexpr uint32_t kMagicNeuroC2 = 0x324D434Eu;  // "NCM2" — trailing CRC-32
+constexpr uint32_t kMagicMlp2 = 0x324D4C4Du;     // "MLM2"
+
+Status Malformed(const char* what) {
+  return Status(ErrorCode::kMalformedImage, what);
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+// Validates the v2 trailer (when present) and strips it, leaving the v1-shaped body.
+// Returns a non-OK status for a wrong magic or a digest mismatch.
+Status StripIntegrityTrailer(std::span<const uint8_t>& bytes, uint32_t magic_v1,
+                             uint32_t magic_v2) {
+  if (bytes.size() < 4) {
+    return Malformed("truncated model blob (no magic)");
+  }
+  const uint32_t magic = LoadU32(bytes.data());
+  if (magic == magic_v1) {
+    return Status::Ok();  // legacy file, nothing to verify
+  }
+  if (magic != magic_v2) {
+    return Malformed("bad magic (not a model file of the expected type)");
+  }
+  if (bytes.size() < 8) {
+    return Malformed("truncated model blob (no CRC trailer)");
+  }
+  const uint32_t stored = LoadU32(bytes.data() + bytes.size() - 4);
+  const uint32_t computed = Crc32(bytes.first(bytes.size() - 4));
+  if (stored != computed) {
+    return Status(ErrorCode::kIntegrityFailure, "model file CRC-32 mismatch");
+  }
+  bytes = bytes.first(bytes.size() - 4);
+  return Status::Ok();
+}
+
+void AppendIntegrityTrailer(std::vector<uint8_t>& bytes) {
+  const uint32_t crc = Crc32(std::span<const uint8_t>(bytes));
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xFF));
+  }
+}
 
 class ByteWriter {
  public:
@@ -144,7 +189,7 @@ std::optional<std::vector<uint8_t>> ReadFile(const std::string& path) {
 
 std::vector<uint8_t> SerializeModel(const NeuroCModel& model) {
   ByteWriter w;
-  w.U32(kMagicNeuroC);
+  w.U32(kMagicNeuroC2);
   w.U32(static_cast<uint32_t>(model.layers().size()));
   for (const QuantNeuroCLayer& l : model.layers()) {
     w.U32(l.in_dim);
@@ -169,17 +214,21 @@ std::vector<uint8_t> SerializeModel(const NeuroCModel& model) {
     }
     PackTernary(l.encoding->Decode(), w);
   }
-  return w.Take();
+  std::vector<uint8_t> bytes = w.Take();
+  AppendIntegrityTrailer(bytes);
+  return bytes;
 }
 
-std::optional<NeuroCModel> DeserializeNeuroCModel(std::span<const uint8_t> bytes) {
-  ByteReader r(bytes);
-  if (r.U32() != kMagicNeuroC) {
-    return std::nullopt;
+StatusOr<NeuroCModel> DeserializeNeuroCModel(std::span<const uint8_t> bytes) {
+  Status trailer = StripIntegrityTrailer(bytes, kMagicNeuroC, kMagicNeuroC2);
+  if (!trailer.ok()) {
+    return trailer;
   }
+  ByteReader r(bytes);
+  r.U32();  // magic, validated above
   const uint32_t n = r.U32();
   if (!r.ok() || n == 0 || n > 64) {
-    return std::nullopt;
+    return Malformed("bad layer count");
   }
   std::vector<QuantNeuroCLayer> layers;
   for (uint32_t k = 0; k < n; ++k) {
@@ -198,12 +247,12 @@ std::optional<NeuroCModel> DeserializeNeuroCModel(std::span<const uint8_t> bytes
         l.in_dim > (1u << 20) || l.out_dim > (1u << 20) || l.requant_shift < 0 ||
         l.requant_shift > 31 || block_size > 256 ||
         (static_cast<EncodingKind>(kind_raw) == EncodingKind::kBlock && block_size == 0)) {
-      return std::nullopt;
+      return Malformed("bad layer header");
     }
     if (has_scale) {
       l.scale_q.resize(l.out_dim);
       if (!r.Bytes(reinterpret_cast<uint8_t*>(l.scale_q.data()), l.scale_q.size())) {
-        return std::nullopt;
+        return Malformed("truncated scale array");
       }
     }
     l.bias_q.resize(l.out_dim);
@@ -212,7 +261,7 @@ std::optional<NeuroCModel> DeserializeNeuroCModel(std::span<const uint8_t> bytes
     }
     TernaryMatrix m(l.in_dim, l.out_dim);
     if (!r.ok() || !UnpackTernary(r, m)) {
-      return std::nullopt;
+      return Malformed("truncated or invalid ternary adjacency");
     }
     EncodingOptions opt;
     if (block_size > 0) {
@@ -222,12 +271,12 @@ std::optional<NeuroCModel> DeserializeNeuroCModel(std::span<const uint8_t> bytes
     layers.push_back(std::move(l));
   }
   if (!r.ok() || !r.AtEnd()) {
-    return std::nullopt;
+    return Malformed("trailing bytes after the last layer");
   }
   // Validate dimension chaining without aborting.
   for (size_t k = 0; k + 1 < layers.size(); ++k) {
     if (layers[k].out_dim != layers[k + 1].in_dim) {
-      return std::nullopt;
+      return Malformed("layer dimension chain mismatch");
     }
   }
   return NeuroCModel::FromLayers(std::move(layers));
@@ -235,7 +284,7 @@ std::optional<NeuroCModel> DeserializeNeuroCModel(std::span<const uint8_t> bytes
 
 std::vector<uint8_t> SerializeModel(const MlpModel& model) {
   ByteWriter w;
-  w.U32(kMagicMlp);
+  w.U32(kMagicMlp2);
   w.U32(static_cast<uint32_t>(model.layers().size()));
   for (const QuantDenseLayer& l : model.layers()) {
     w.U32(l.in_dim);
@@ -250,17 +299,21 @@ std::vector<uint8_t> SerializeModel(const MlpModel& model) {
       w.I32(b);
     }
   }
-  return w.Take();
+  std::vector<uint8_t> bytes = w.Take();
+  AppendIntegrityTrailer(bytes);
+  return bytes;
 }
 
-std::optional<MlpModel> DeserializeMlpModel(std::span<const uint8_t> bytes) {
-  ByteReader r(bytes);
-  if (r.U32() != kMagicMlp) {
-    return std::nullopt;
+StatusOr<MlpModel> DeserializeMlpModel(std::span<const uint8_t> bytes) {
+  Status trailer = StripIntegrityTrailer(bytes, kMagicMlp, kMagicMlp2);
+  if (!trailer.ok()) {
+    return trailer;
   }
+  ByteReader r(bytes);
+  r.U32();  // magic, validated above
   const uint32_t n = r.U32();
   if (!r.ok() || n == 0 || n > 64) {
-    return std::nullopt;
+    return Malformed("bad layer count");
   }
   std::vector<QuantDenseLayer> layers;
   for (uint32_t k = 0; k < n; ++k) {
@@ -274,11 +327,11 @@ std::optional<MlpModel> DeserializeMlpModel(std::span<const uint8_t> bytes) {
     l.relu = r.U8() != 0;
     if (!r.ok() || l.in_dim == 0 || l.out_dim == 0 || l.in_dim > (1u << 20) ||
         l.out_dim > (1u << 20) || l.requant_shift < 0 || l.requant_shift > 31) {
-      return std::nullopt;
+      return Malformed("bad layer header");
     }
     l.weights.resize(static_cast<size_t>(l.in_dim) * l.out_dim);
     if (!r.Bytes(reinterpret_cast<uint8_t*>(l.weights.data()), l.weights.size())) {
-      return std::nullopt;
+      return Malformed("truncated weight matrix");
     }
     l.bias_q.resize(l.out_dim);
     for (uint32_t j = 0; j < l.out_dim; ++j) {
@@ -287,11 +340,11 @@ std::optional<MlpModel> DeserializeMlpModel(std::span<const uint8_t> bytes) {
     layers.push_back(std::move(l));
   }
   if (!r.ok() || !r.AtEnd()) {
-    return std::nullopt;
+    return Malformed("trailing bytes after the last layer");
   }
   for (size_t k = 0; k + 1 < layers.size(); ++k) {
     if (layers[k].out_dim != layers[k + 1].in_dim) {
-      return std::nullopt;
+      return Malformed("layer dimension chain mismatch");
     }
   }
   return MlpModel::FromLayers(std::move(layers));
@@ -305,18 +358,18 @@ bool SaveModel(const MlpModel& model, const std::string& path) {
   return WriteFile(path, SerializeModel(model));
 }
 
-std::optional<NeuroCModel> LoadNeuroCModel(const std::string& path) {
+StatusOr<NeuroCModel> LoadNeuroCModel(const std::string& path) {
   const auto bytes = ReadFile(path);
   if (!bytes) {
-    return std::nullopt;
+    return Status(ErrorCode::kIoError, "cannot read model file: " + path);
   }
   return DeserializeNeuroCModel(*bytes);
 }
 
-std::optional<MlpModel> LoadMlpModel(const std::string& path) {
+StatusOr<MlpModel> LoadMlpModel(const std::string& path) {
   const auto bytes = ReadFile(path);
   if (!bytes) {
-    return std::nullopt;
+    return Status(ErrorCode::kIoError, "cannot read model file: " + path);
   }
   return DeserializeMlpModel(*bytes);
 }

@@ -1,14 +1,18 @@
 // Binary (de)serialization of quantized models: the artifact format that decouples training
 // (expensive, host-side) from deployment/benchmarking runs. Little-endian, versioned, with
 // the ternary adjacency stored 2-bit-packed so files stay close to device size.
+//
+// Format v2 ("NCM2"/"MLM2") appends a CRC-32 of all preceding bytes, so on-disk bit rot is
+// distinguished from structural corruption (kIntegrityFailure vs kMalformedImage). v1
+// files ("NCM1"/"MLM1", no trailer) still load. Serialization always writes v2.
 
 #ifndef NEUROC_SRC_CORE_MODEL_SERDE_H_
 #define NEUROC_SRC_CORE_MODEL_SERDE_H_
 
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/mlp_model.h"
 #include "src/core/neuroc_model.h"
 
@@ -18,15 +22,18 @@ namespace neuroc {
 std::vector<uint8_t> SerializeModel(const NeuroCModel& model);
 std::vector<uint8_t> SerializeModel(const MlpModel& model);
 
-// Returns nullopt on malformed/truncated input (never aborts on bad bytes).
-std::optional<NeuroCModel> DeserializeNeuroCModel(std::span<const uint8_t> bytes);
-std::optional<MlpModel> DeserializeMlpModel(std::span<const uint8_t> bytes);
+// Structured error on malformed/truncated/corrupted input (never aborts on bad bytes):
+// kMalformedImage for structural problems (bad magic, truncation, impossible dimensions,
+// broken dimension chain, trailing garbage), kIntegrityFailure for a v2 CRC mismatch.
+StatusOr<NeuroCModel> DeserializeNeuroCModel(std::span<const uint8_t> bytes);
+StatusOr<MlpModel> DeserializeMlpModel(std::span<const uint8_t> bytes);
 
-// File convenience wrappers. Save returns false on I/O failure.
+// File convenience wrappers. Save returns false on I/O failure; Load adds kIoError for
+// unreadable files on top of the Deserialize statuses.
 bool SaveModel(const NeuroCModel& model, const std::string& path);
 bool SaveModel(const MlpModel& model, const std::string& path);
-std::optional<NeuroCModel> LoadNeuroCModel(const std::string& path);
-std::optional<MlpModel> LoadMlpModel(const std::string& path);
+StatusOr<NeuroCModel> LoadNeuroCModel(const std::string& path);
+StatusOr<MlpModel> LoadMlpModel(const std::string& path);
 
 }  // namespace neuroc
 

@@ -53,6 +53,18 @@ std::optional<Dataset> LoadIdxDataset(const std::string& images_path,
                     images_path.c_str(), img_magic, lab_magic, n_img, n_lab);
     return std::nullopt;
   }
+  // Bounds-check the header before sizing any allocation: a corrupted dimension field must
+  // produce a structured failure, not a multi-gigabyte allocation or a zero-dim tensor.
+  constexpr uint32_t kMaxSide = 4096;       // far above any IDX image set we consume
+  constexpr uint32_t kMaxExamples = 1u << 24;
+  constexpr uint64_t kMaxTotalPixels = 1ull << 32;
+  if (rows == 0 || cols == 0 || rows > kMaxSide || cols > kMaxSide || n_img == 0 ||
+      n_img > kMaxExamples ||
+      static_cast<uint64_t>(rows) * cols * n_img > kMaxTotalPixels) {
+    NEUROC_LOG_WARN("IDX header out of bounds for %s (n=%u rows=%u cols=%u)",
+                    images_path.c_str(), n_img, rows, cols);
+    return std::nullopt;
+  }
   Dataset ds;
   ds.name = name;
   ds.width = static_cast<int>(cols);
@@ -75,6 +87,12 @@ std::optional<Dataset> LoadIdxDataset(const std::string& images_path,
     int ch = std::fgetc(lab.get());
     if (ch == EOF) {
       NEUROC_LOG_WARN("IDX label payload truncated at example %u", i);
+      return std::nullopt;
+    }
+    // Range-check here: Validate() treats an out-of-range label as a host programming
+    // error and aborts, but a corrupted file is an expected input.
+    if (ch < 0 || ch >= num_classes) {
+      NEUROC_LOG_WARN("IDX label %d out of range [0, %d) at example %u", ch, num_classes, i);
       return std::nullopt;
     }
     ds.labels[i] = ch;

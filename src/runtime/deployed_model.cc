@@ -1,6 +1,10 @@
 #include "src/runtime/deployed_model.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "src/common/check.h"
+#include "src/common/crc32.h"
 #include "src/kernels/kernel_sources.h"
 
 namespace neuroc {
@@ -29,30 +33,38 @@ size_t DeployedModel::EstimateProgramBytes(const MlpModel& model) {
   return EstimateFromParts(kernels.code_bytes(), image.flash.size());
 }
 
-DeployedModel DeployedModel::DeployImage(DeviceModelImage image, KernelSet kernels,
-                                         const MachineConfig& config, uint32_t image_base) {
+StatusOr<DeployedModel> DeployedModel::DeployImage(DeviceModelImage image, KernelSet kernels,
+                                                   const MachineConfig& config,
+                                                   uint32_t image_base) {
   DeployedModel dm;
   dm.machine_ = std::make_unique<Machine>(config);
   dm.report_.code_bytes = kernels.code_bytes();
   dm.report_.image_bytes = image.flash.size();
   dm.report_.program_bytes = EstimateFromParts(kernels.code_bytes(), image.flash.size());
   dm.report_.ram_bytes = image.ram_bytes_used;
-  NEUROC_CHECK_MSG(
-      dm.report_.program_bytes <= config.flash_size,
-      "model does not fit program memory; check EstimateProgramBytes before deploying");
-  NEUROC_CHECK_MSG(image.ram_bytes_used <= config.ram_size - 512,
-                   "activation plan leaves no room for the stack");
+  if (dm.report_.program_bytes > config.flash_size) {
+    return Status(ErrorCode::kResourceExhausted,
+                  "model does not fit program memory; check EstimateProgramBytes before "
+                  "deploying");
+  }
+  if (image.ram_bytes_used > config.ram_size - 512) {
+    return Status(ErrorCode::kResourceExhausted,
+                  "activation plan leaves no room for the stack");
+  }
   dm.machine_->LoadBytes(kernels.program().base_addr, kernels.program().bytes);
   dm.machine_->LoadBytes(image_base, image.flash);
   for (size_t k = 0; k < image.num_layers(); ++k) {
     dm.layer_entries_.push_back(kernels.EntryFor(image.variants[k]));
   }
+  dm.image_base_ = image_base;
+  dm.kernel_crc_ = Crc32(std::span<const uint8_t>(kernels.program().bytes));
   dm.image_ = std::move(image);
   dm.kernels_ = std::move(kernels);
   return dm;
 }
 
-DeployedModel DeployedModel::Deploy(const NeuroCModel& model, const MachineConfig& config) {
+StatusOr<DeployedModel> DeployedModel::TryDeploy(const NeuroCModel& model,
+                                                 const MachineConfig& config) {
   // Kernels first (at the reset address, like a real linker script), image after.
   KernelSet probe = KernelSet::Build(
       PackNeuroCModel(model, kScratchFlashBase, config.ram_base).variants, config.flash_base);
@@ -63,7 +75,8 @@ DeployedModel DeployedModel::Deploy(const NeuroCModel& model, const MachineConfi
   return DeployImage(std::move(image), std::move(probe), config, image_base);
 }
 
-DeployedModel DeployedModel::Deploy(const MlpModel& model, const MachineConfig& config) {
+StatusOr<DeployedModel> DeployedModel::TryDeploy(const MlpModel& model,
+                                                 const MachineConfig& config) {
   KernelSet probe = KernelSet::Build(
       PackMlpModel(model, kScratchFlashBase, config.ram_base).variants, config.flash_base);
   const uint32_t image_base = AlignUp4(config.flash_base +
@@ -73,11 +86,36 @@ DeployedModel DeployedModel::Deploy(const MlpModel& model, const MachineConfig& 
   return DeployImage(std::move(image), std::move(probe), config, image_base);
 }
 
+namespace {
+
+[[noreturn]] void AbortOnStatus(const Status& status) {
+  if (status.fault() != nullptr) {
+    std::fprintf(stderr, "%s\n", status.fault()->Describe().c_str());
+  } else {
+    std::fprintf(stderr, "deploy failed: %s\n", status.ToString().c_str());
+  }
+  std::abort();
+}
+
+}  // namespace
+
+DeployedModel DeployedModel::Deploy(const NeuroCModel& model, const MachineConfig& config) {
+  StatusOr<DeployedModel> dm = TryDeploy(model, config);
+  if (!dm.ok()) AbortOnStatus(dm.status());
+  return std::move(*dm);
+}
+
+DeployedModel DeployedModel::Deploy(const MlpModel& model, const MachineConfig& config) {
+  StatusOr<DeployedModel> dm = TryDeploy(model, config);
+  if (!dm.ok()) AbortOnStatus(dm.status());
+  return std::move(*dm);
+}
+
 uint32_t DeployedModel::activation_top_addr() const {
   return machine_->config().ram_base + static_cast<uint32_t>(image_.ram_bytes_used);
 }
 
-int DeployedModel::Predict(std::span<const int8_t> input) {
+StatusOr<int> DeployedModel::TryPredict(std::span<const int8_t> input) {
   NEUROC_CHECK(input.size() == image_.input_dim);
   machine_->LoadBytes(image_.input_addr,
                       std::span<const uint8_t>(
@@ -85,8 +123,12 @@ int DeployedModel::Predict(std::span<const int8_t> input) {
   uint64_t cycles = 0;
   report_.layer_cycles.assign(image_.num_layers(), 0);
   for (size_t k = 0; k < image_.num_layers(); ++k) {
-    report_.layer_cycles[k] =
-        machine_->CallFunction(layer_entries_[k], {image_.descriptor_addrs[k]});
+    StatusOr<uint64_t> layer_cycles =
+        machine_->TryCallFunction(layer_entries_[k], {image_.descriptor_addrs[k]});
+    if (!layer_cycles.ok()) {
+      return layer_cycles.status();
+    }
+    report_.layer_cycles[k] = *layer_cycles;
     cycles += report_.layer_cycles[k];
   }
   report_.cycles_per_inference = cycles;
@@ -101,6 +143,72 @@ int DeployedModel::Predict(std::span<const int8_t> input) {
   return best;
 }
 
+int DeployedModel::Predict(std::span<const int8_t> input) {
+  StatusOr<int> best = TryPredict(input);
+  if (!best.ok()) AbortOnStatus(best.status());
+  return *best;
+}
+
+RecoveryReport DeployedModel::PredictWithRecovery(std::span<const int8_t> input) {
+  RecoveryReport rr;
+  StatusOr<int> first = TryPredict(input);
+  if (first.ok()) {
+    rr.prediction = *first;
+    return rr;
+  }
+  rr.faulted = true;
+  rr.fault = first.status().fault() != nullptr ? *first.status().fault() : FaultReport{};
+  // Attribute the damage before scrubbing destroys the evidence; SRAM/transient faults
+  // leave every flash section intact and the list empty.
+  rr.corrupted_sections = CorruptedSections();
+  Scrub();
+  StatusOr<int> retry = TryPredict(input);
+  if (retry.ok()) {
+    rr.recovered = true;
+    rr.prediction = *retry;
+  }
+  return rr;
+}
+
+Status DeployedModel::VerifyIntegrity() const {
+  std::vector<std::string> bad = CorruptedSections();
+  if (bad.empty()) {
+    return Status::Ok();
+  }
+  std::string names;
+  for (const std::string& name : bad) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  return Status(ErrorCode::kIntegrityFailure,
+                "integrity check failed: CRC mismatch in " + names);
+}
+
+std::vector<std::string> DeployedModel::CorruptedSections() const {
+  std::vector<std::string> bad;
+  std::vector<uint8_t> buf;
+  auto check = [&](const std::string& name, uint32_t addr, uint32_t size, uint32_t want) {
+    buf.resize(size);
+    machine_->memory().HostRead(addr, std::span<uint8_t>(buf));
+    if (Crc32(std::span<const uint8_t>(buf)) != want) {
+      bad.push_back(name);
+    }
+  };
+  check("kernel_code", kernels_.program().base_addr,
+        static_cast<uint32_t>(kernels_.program().bytes.size()), kernel_crc_);
+  for (const ImageSection& s : image_.sections) {
+    check(s.name, image_base_ + s.offset, s.size, s.crc32);
+  }
+  return bad;
+}
+
+void DeployedModel::Scrub() {
+  machine_->LoadBytes(kernels_.program().base_addr, kernels_.program().bytes);
+  machine_->LoadBytes(image_base_, image_.flash);
+  const std::vector<uint8_t> zeros(machine_->config().ram_size, 0);
+  machine_->LoadBytes(machine_->config().ram_base, zeros);
+}
+
 std::vector<int8_t> DeployedModel::LastOutput() {
   std::vector<int8_t> out(image_.output_dim);
   machine_->memory().HostRead(
@@ -112,6 +220,15 @@ std::vector<int8_t> DeployedModel::LastOutput() {
 double DeployedModel::MeasureLatencyMs() {
   std::vector<int8_t> zeros(image_.input_dim, 0);
   Predict(zeros);
+  return report_.latency_ms;
+}
+
+StatusOr<double> DeployedModel::TryMeasureLatencyMs() {
+  std::vector<int8_t> zeros(image_.input_dim, 0);
+  StatusOr<int> best = TryPredict(zeros);
+  if (!best.ok()) {
+    return best.status();
+  }
   return report_.latency_ms;
 }
 

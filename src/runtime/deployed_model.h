@@ -10,8 +10,10 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/core/mlp_model.h"
 #include "src/core/model_image.h"
 #include "src/core/neuroc_model.h"
@@ -30,6 +32,17 @@ struct DeploymentReport {
   std::vector<uint64_t> layer_cycles;  // per-layer split of the most recent inference
 };
 
+// Outcome of a PredictWithRecovery call: whether the inference faulted, which integrity
+// sections the fault corrupted (attributed by CRC before scrubbing), and whether the
+// scrub-and-retry pass produced a clean prediction.
+struct RecoveryReport {
+  bool faulted = false;
+  bool recovered = false;  // retry after scrub succeeded (only meaningful when faulted)
+  int prediction = -1;     // valid when !faulted or recovered
+  FaultReport fault;       // first fault (only meaningful when faulted)
+  std::vector<std::string> corrupted_sections;  // CRC-mismatching sections at fault time
+};
+
 class DeployedModel {
  public:
   // Computes the program-memory footprint without requiring the model to fit the device
@@ -37,14 +50,44 @@ class DeployedModel {
   static size_t EstimateProgramBytes(const NeuroCModel& model);
   static size_t EstimateProgramBytes(const MlpModel& model);
 
-  // Places the model on a simulated machine. Aborts if it does not fit flash/RAM; check
-  // EstimateProgramBytes against the platform budget first.
+  // Places the model on a simulated machine. Returns kResourceExhausted when the model does
+  // not fit flash/RAM instead of aborting, so callers (architecture search, campaigns) can
+  // skip infeasible configurations.
+  static StatusOr<DeployedModel> TryDeploy(const NeuroCModel& model,
+                                           const MachineConfig& config = {});
+  static StatusOr<DeployedModel> TryDeploy(const MlpModel& model,
+                                           const MachineConfig& config = {});
+
+  // Legacy abort-on-failure wrappers around TryDeploy; check EstimateProgramBytes against
+  // the platform budget first.
   static DeployedModel Deploy(const NeuroCModel& model, const MachineConfig& config = {});
   static DeployedModel Deploy(const MlpModel& model, const MachineConfig& config = {});
 
-  // Runs one inference on the simulator and returns the arg-max class. Updates the report's
-  // cycle/latency fields.
+  // Runs one inference on the simulator and returns the arg-max class, or the FaultReport
+  // Status when the guest faults mid-inference (corrupted kernel/descriptor/weights, budget
+  // overrun). Updates the report's cycle/latency fields on success.
+  StatusOr<int> TryPredict(std::span<const int8_t> input);
+
+  // Legacy abort-on-fault wrapper: prints the FaultReport diagnostic and aborts if the
+  // inference faults.
   int Predict(std::span<const int8_t> input);
+
+  // Fault-tolerant inference: on a detected guest fault, attributes flash corruption via
+  // the per-section CRCs, scrubs (re-deploys the pristine code + image, zeroes SRAM) and
+  // retries exactly once. Never aborts on guest faults.
+  RecoveryReport PredictWithRecovery(std::span<const int8_t> input);
+
+  // Re-verifies every integrity section (kernel code + packed image) against the CRC-32
+  // digests captured at pack/deploy time. Returns kIntegrityFailure naming the mismatching
+  // sections, or OK.
+  Status VerifyIntegrity() const;
+  // Names of the sections whose device bytes no longer match their pack-time digest.
+  std::vector<std::string> CorruptedSections() const;
+
+  // Restores pristine state: rewrites kernel code and the packed image into simulated
+  // flash and zeroes all of SRAM. Clean-path behaviour afterwards is bit-identical to a
+  // fresh deployment.
+  void Scrub();
 
   // Final-layer activations after the last Predict.
   std::vector<int8_t> LastOutput();
@@ -52,10 +95,16 @@ class DeployedModel {
   // Runs one inference on a zero input just to measure latency (execution time is
   // input-independent by construction — validated in tests).
   double MeasureLatencyMs();
+  // Fault-aware variant for search trials over possibly-degenerate configurations.
+  StatusOr<double> TryMeasureLatencyMs();
 
   const DeploymentReport& report() const { return report_; }
   Machine& machine() { return *machine_; }
   const Machine& machine() const { return *machine_; }
+  // Pristine packed image (host copy) — sections carry the pack-time CRC-32 digests.
+  const DeviceModelImage& image() const { return image_; }
+  // Device address the packed image is loaded at.
+  uint32_t image_base() const { return image_base_; }
   size_t input_dim() const { return image_.input_dim; }
   size_t output_dim() const { return image_.output_dim; }
   size_t num_layers() const { return image_.num_layers(); }
@@ -70,14 +119,17 @@ class DeployedModel {
 
  private:
   DeployedModel() = default;
-  static DeployedModel DeployImage(DeviceModelImage image, KernelSet kernels,
-                                   const MachineConfig& config, uint32_t image_base);
+  static StatusOr<DeployedModel> DeployImage(DeviceModelImage image, KernelSet kernels,
+                                             const MachineConfig& config,
+                                             uint32_t image_base);
 
   std::unique_ptr<Machine> machine_;  // stable address; KernelSet/image refer to it
   DeviceModelImage image_;
   KernelSet kernels_;
   std::vector<uint32_t> layer_entries_;
   DeploymentReport report_;
+  uint32_t image_base_ = 0;
+  uint32_t kernel_crc_ = 0;  // digest of the assembled kernel section, taken at deploy
 };
 
 }  // namespace neuroc

@@ -103,9 +103,21 @@ SearchResult RandomSearch(const Dataset& train, const Dataset& validation,
       cand.program_bytes = DeployedModel::EstimateProgramBytes(model);
       if (cand.program_bytes <= constraints.max_program_bytes &&
           cand.program_bytes <= platform.flash_bytes) {
-        DeployedModel deployed = DeployedModel::Deploy(model, platform.ToMachineConfig());
-        cand.latency_ms = deployed.MeasureLatencyMs();
-        cand.feasible = cand.latency_ms <= constraints.max_latency_ms;
+        // Fault-isolated: a degenerate candidate that fails to deploy or faults on the
+        // simulator is recorded as infeasible with a reason instead of killing the search.
+        StatusOr<DeployedModel> deployed =
+            DeployedModel::TryDeploy(model, platform.ToMachineConfig());
+        if (deployed.ok()) {
+          StatusOr<double> latency = deployed->TryMeasureLatencyMs();
+          if (latency.ok()) {
+            cand.latency_ms = *latency;
+            cand.feasible = cand.latency_ms <= constraints.max_latency_ms;
+          } else {
+            cand.fault = latency.status().ToString();
+          }
+        } else {
+          cand.fault = deployed.status().ToString();
+        }
       }
       NEUROC_LOG_DEBUG("search %zu/%d %s acc=%.4f bytes=%zu lat=%.2f feasible=%d", t + 1,
                        trials, cand.description.c_str(), cand.accuracy, cand.program_bytes,

@@ -37,6 +37,8 @@ struct SearchCandidate {
   size_t program_bytes = 0;
   double latency_ms = 0.0;
   bool feasible = false;       // satisfies the constraints
+  std::string fault;           // non-empty when the trial's deploy/measure faulted — the
+                               // candidate is infeasible but the search itself survives
 };
 
 struct SearchResult {

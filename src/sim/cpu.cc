@@ -8,6 +8,7 @@
 #include "src/common/check.h"
 #include "src/isa/decoder.h"
 #include "src/isa/disassembler.h"
+#include "src/sim/guest_fault.h"
 
 namespace neuroc {
 
@@ -133,19 +134,33 @@ void Cpu::Run(uint64_t max_instructions) {
   while (!halted()) {
     Step();
     if (instructions_ - start > max_instructions) {
-      std::fprintf(stderr, "simulator: instruction budget exceeded (pc=0x%08x)\n", pc_);
-      std::abort();
+      throw GuestFault{ErrorCode::kInstructionBudgetExceeded, "instruction budget exceeded",
+                       /*addr=*/0, /*pc=*/pc_, /*instruction=*/0};
     }
   }
 }
 
 void Cpu::Step() {
+  // One catch site per retired instruction: a guest fault thrown anywhere inside the
+  // fetch/execute path (memory system or decode) is stamped with the address of the
+  // instruction that caused it before propagating to Machine::TryCallFunction. The
+  // non-faulting path is unaffected (table-based unwinding costs only on throw).
+  const uint32_t fault_pc = pc_;
+  try {
+    StepInner();
+  } catch (GuestFault& gf) {
+    gf.pc = fault_pc;
+    throw;
+  }
+}
+
+void Cpu::StepInner() {
   NEUROC_CHECK(!halted());
   const uint32_t addr = pc_;
   const uint64_t cycles_at_entry = cycles_;
   const bool fetch_from_flash = mem_->InFlash(addr);
-  uint16_t hw1;
-  uint16_t hw2;
+  uint16_t hw1 = 0;
+  uint16_t hw2 = 0;
   Instr in;
   size_t slot = 0;
   bool cached = false;
@@ -180,11 +195,10 @@ void Cpu::Step() {
     ++trace_count_;
   }
   if (in.op == Op::kInvalid || in.op == Op::kUdf) {
-    if (!trace_.empty()) {
-      std::fprintf(stderr, "simulator: recent instructions:\n%s", DumpTrace().c_str());
-    }
-    std::fprintf(stderr, "simulator: undefined instruction 0x%04x at 0x%08x\n", hw1, addr);
-    std::abort();
+    char msg[48];
+    std::snprintf(msg, sizeof(msg), "undefined instruction 0x%04x", hw1);
+    throw GuestFault{ErrorCode::kUndefinedInstruction, msg, /*addr=*/0, /*pc=*/addr,
+                     /*instruction=*/hw1};
   }
   ++instructions_;
   ++op_histogram_[static_cast<size_t>(in.op)];

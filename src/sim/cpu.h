@@ -58,12 +58,15 @@ class Cpu {
 
   bool halted() const { return pc_ == (kStopAddress & ~1u); }
 
-  // Executes one instruction; updates cycle and instruction counters.
+  // Executes one instruction; updates cycle and instruction counters. Guest faults
+  // (undefined instruction, unmapped/unaligned access, store into flash) propagate as
+  // GuestFault exceptions stamped with the faulting instruction's address — recoverable
+  // at the Machine::TryCallFunction boundary, never a host abort.
   void Step();
 
-  // Steps until halted, aborting (with the same diagnostic the Machine run loop always
-  // printed) once more than `max_instructions` retire. Keeping the loop in the CPU's own
-  // translation unit lets the per-instruction dispatch stay call-free and hot.
+  // Steps until halted; throws GuestFault(kInstructionBudgetExceeded) once more than
+  // `max_instructions` retire. Keeping the loop in the CPU's own translation unit lets
+  // the per-instruction dispatch stay call-free and hot.
   void Run(uint64_t max_instructions);
 
   uint64_t cycles() const { return cycles_; }
@@ -113,6 +116,8 @@ class Cpu {
     uint8_t flash_reads = 1;
   };
   void RebuildDecodeCache();
+  // Fetch/decode/execute without the fault-context catch frame (Step wraps it).
+  void StepInner();
 
   struct AddResult {
     uint32_t value;

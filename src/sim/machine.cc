@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "src/common/check.h"
+#include "src/sim/guest_fault.h"
 
 namespace neuroc {
 
@@ -16,7 +17,8 @@ void Machine::LoadBytes(uint32_t addr, std::span<const uint8_t> bytes) {
   memory_.HostWrite(addr, bytes);
 }
 
-uint64_t Machine::CallFunction(uint32_t addr, std::initializer_list<uint32_t> args) {
+StatusOr<uint64_t> Machine::TryCallFunction(uint32_t addr,
+                                            std::initializer_list<uint32_t> args) {
   NEUROC_CHECK(args.size() <= 4);
   int i = 0;
   for (uint32_t a : args) {
@@ -27,8 +29,32 @@ uint64_t Machine::CallFunction(uint32_t addr, std::initializer_list<uint32_t> ar
   cpu_.set_reg(kRegLr, Cpu::kStopAddress | 1u);
   cpu_.set_pc(addr);
   const uint64_t start_cycles = cpu_.cycles();
-  cpu_.Run(config_.max_instructions);
+  try {
+    cpu_.Run(config_.max_instructions);
+  } catch (const GuestFault& gf) {
+    FaultReport report;
+    report.code = gf.code;
+    report.message = gf.message;
+    report.pc = gf.pc;
+    report.addr = gf.addr;
+    report.instruction = gf.instruction;
+    report.cycles = cpu_.cycles();
+    report.instructions = cpu_.instructions();
+    report.trace_tail = cpu_.DumpTrace();
+    last_fault_ = report;
+    return Status::FromFault(std::move(report));
+  }
+  last_fault_ = FaultReport{};
   return cpu_.cycles() - start_cycles;
+}
+
+uint64_t Machine::CallFunction(uint32_t addr, std::initializer_list<uint32_t> args) {
+  StatusOr<uint64_t> cycles = TryCallFunction(addr, args);
+  if (!cycles.ok()) {
+    std::fprintf(stderr, "%s\n", cycles.status().fault()->Describe().c_str());
+    std::abort();
+  }
+  return *cycles;
 }
 
 }  // namespace neuroc

@@ -9,6 +9,7 @@
 #include <initializer_list>
 #include <span>
 
+#include "src/common/status.h"
 #include "src/sim/cpu.h"
 #include "src/sim/memory.h"
 
@@ -37,8 +38,21 @@ class Machine {
 
   // Calls a Thumb function at `addr` with up to four register arguments. The stack pointer
   // is set to the top of SRAM; the function returns through the stop sentinel in LR.
-  // Returns the cycle count consumed by the call.
+  // Returns the cycle count consumed by the call, or — when the *guest* faults (undefined
+  // instruction, unmapped/unaligned access, store to flash, instruction-budget overrun) —
+  // a Status carrying a FaultReport with the faulting PC, address, cycle counters and the
+  // trace-ring tail (when tracing is enabled). This is the single exception→Status
+  // conversion boundary: no GuestFault propagates past it.
+  StatusOr<uint64_t> TryCallFunction(uint32_t addr, std::initializer_list<uint32_t> args);
+
+  // Legacy abort-on-fault wrapper: prints the FaultReport diagnostic and aborts if the
+  // call faults. For measurement code where a guest fault means the experiment itself is
+  // invalid; fault-tolerant paths (search trials, fault campaigns) use TryCallFunction.
   uint64_t CallFunction(uint32_t addr, std::initializer_list<uint32_t> args);
+
+  // FaultReport of the most recent TryCallFunction that faulted (code == kOk if the most
+  // recent call succeeded). Kept for post-mortem inspection after the StatusOr is consumed.
+  const FaultReport& last_fault() const { return last_fault_; }
 
   // r0 after the last call.
   uint32_t ReturnValue() const { return cpu_.reg(0); }
@@ -52,6 +66,7 @@ class Machine {
   MachineConfig config_;
   MemoryMap memory_;
   Cpu cpu_;
+  FaultReport last_fault_;
 };
 
 }  // namespace neuroc

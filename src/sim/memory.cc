@@ -5,11 +5,16 @@
 #include <cstring>
 
 #include "src/common/check.h"
+#include "src/sim/guest_fault.h"
 
 namespace neuroc {
 
-void MemoryMap::Fault(const char* what, uint32_t addr) {
-  std::fprintf(stderr, "simulated memory fault: %s at 0x%08x\n", what, addr);
+void MemoryMap::Fault(ErrorCode code, const char* what, uint32_t addr) {
+  throw GuestFault{code, what, addr};
+}
+
+void MemoryMap::HostFault(const char* what, uint32_t addr) {
+  std::fprintf(stderr, "host memory access error: %s at 0x%08x\n", what, addr);
   std::abort();
 }
 
@@ -69,39 +74,39 @@ uint8_t* MemoryMap::HostPtr(uint32_t addr, uint32_t size, bool allow_flash_write
   switch (RegionOf(addr)) {
     case MemRegion::kFlash:
       if (!allow_flash_write) {
-        Fault("write to flash", addr);
+        HostFault("write to flash", addr);
       }
       if (addr + size > flash_base_ + flash_.size()) {
-        Fault("flash access past end", addr);
+        HostFault("flash access past end", addr);
       }
       return flash_.data() + (addr - flash_base_);
     case MemRegion::kSram:
       if (addr + size > ram_base_ + ram_.size()) {
-        Fault("sram access past end", addr);
+        HostFault("sram access past end", addr);
       }
       return ram_.data() + (addr - ram_base_);
     case MemRegion::kNone:
       break;
   }
-  Fault("access to unmapped address", addr);
+  HostFault("access to unmapped address", addr);
 }
 
 const uint8_t* MemoryMap::HostPtrConst(uint32_t addr, uint32_t size) const {
   switch (RegionOf(addr)) {
     case MemRegion::kFlash:
       if (addr + size > flash_base_ + flash_.size()) {
-        Fault("flash access past end", addr);
+        HostFault("flash access past end", addr);
       }
       return flash_.data() + (addr - flash_base_);
     case MemRegion::kSram:
       if (addr + size > ram_base_ + ram_.size()) {
-        Fault("sram access past end", addr);
+        HostFault("sram access past end", addr);
       }
       return ram_.data() + (addr - ram_base_);
     case MemRegion::kNone:
       break;
   }
-  Fault("access to unmapped address", addr);
+  HostFault("access to unmapped address", addr);
 }
 
 void MemoryMap::HostWrite(uint32_t addr, std::span<const uint8_t> bytes) {

@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace neuroc {
 
 enum class MemRegion : uint8_t { kFlash = 0, kSram = 1, kNone = 2 };
@@ -63,7 +65,7 @@ class MemoryMap {
   }
   uint16_t Read16(uint32_t addr) {
     if (addr % 2 != 0) {
-      Fault("unaligned halfword read", addr);
+      Fault(ErrorCode::kUnalignedAccess, "unaligned halfword read", addr);
     }
     const MemRegion region = CountRead(addr);
     const uint8_t* p = ReadPtr(addr, 2, region);
@@ -71,7 +73,7 @@ class MemoryMap {
   }
   uint32_t Read32(uint32_t addr) {
     if (addr % 4 != 0) {
-      Fault("unaligned word read", addr);
+      Fault(ErrorCode::kUnalignedAccess, "unaligned word read", addr);
     }
     const MemRegion region = CountRead(addr);
     const uint8_t* p = ReadPtr(addr, 4, region);
@@ -83,7 +85,7 @@ class MemoryMap {
   }
   void Write16(uint32_t addr, uint16_t value) {
     if (addr % 2 != 0) {
-      Fault("unaligned halfword write", addr);
+      Fault(ErrorCode::kUnalignedAccess, "unaligned halfword write", addr);
     }
     uint8_t* p = WritePtr(addr, 2);
     p[0] = static_cast<uint8_t>(value & 0xFF);
@@ -91,7 +93,7 @@ class MemoryMap {
   }
   void Write32(uint32_t addr, uint32_t value) {
     if (addr % 4 != 0) {
-      Fault("unaligned word write", addr);
+      Fault(ErrorCode::kUnalignedAccess, "unaligned word write", addr);
     }
     uint8_t* p = WritePtr(addr, 4);
     p[0] = static_cast<uint8_t>(value & 0xFF);
@@ -163,7 +165,10 @@ class MemoryMap {
   uint8_t* HostPtr(uint32_t addr, uint32_t size, bool allow_flash_write);
   const uint8_t* HostPtrConst(uint32_t addr, uint32_t size) const;
   void Observe(uint32_t addr, MemRegion region, bool is_write);
-  [[noreturn]] static void Fault(const char* what, uint32_t addr);
+  // Guest (CPU-side) fault: throws GuestFault, recoverable at the Machine boundary.
+  [[noreturn]] static void Fault(ErrorCode code, const char* what, uint32_t addr);
+  // Host-side misuse (bad LoadBytes/HostRead arguments): a harness bug — aborts.
+  [[noreturn]] static void HostFault(const char* what, uint32_t addr);
 
   // Classify + count + observe for a CPU read. Unmapped addresses still count as an SRAM
   // read here (matching the historical accounting) and then fault in ReadPtr.
@@ -179,17 +184,17 @@ class MemoryMap {
   const uint8_t* ReadPtr(uint32_t addr, uint32_t size, MemRegion region) const {
     if (region == MemRegion::kFlash) {
       if (addr + size > flash_base_ + flash_size_) {
-        Fault("flash access past end", addr);
+        Fault(ErrorCode::kUnmappedAccess, "flash access past end", addr);
       }
       return flash_.data() + (addr - flash_base_);
     }
     if (region == MemRegion::kSram) {
       if (addr + size > ram_base_ + ram_size_) {
-        Fault("sram access past end", addr);
+        Fault(ErrorCode::kUnmappedAccess, "sram access past end", addr);
       }
       return ram_.data() + (addr - ram_base_);
     }
-    Fault("access to unmapped address", addr);
+    Fault(ErrorCode::kUnmappedAccess, "access to unmapped address", addr);
   }
 
   // Count + observe + bounds-check for a CPU write. The write counter ticks before the
@@ -202,14 +207,14 @@ class MemoryMap {
     }
     if (region == MemRegion::kSram) {
       if (addr + size > ram_base_ + ram_size_) {
-        Fault("sram access past end", addr);
+        Fault(ErrorCode::kUnmappedAccess, "sram access past end", addr);
       }
       return ram_.data() + (addr - ram_base_);
     }
     if (region == MemRegion::kFlash) {
-      Fault("write to flash", addr);
+      Fault(ErrorCode::kIllegalStore, "write to flash", addr);
     }
-    Fault("access to unmapped address", addr);
+    Fault(ErrorCode::kUnmappedAccess, "access to unmapped address", addr);
   }
 
   // Single gate for the opt-in observers, cached as one flag so the counted accessors

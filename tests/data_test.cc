@@ -237,6 +237,100 @@ TEST(IdxLoaderTest, LoadsWellFormedFiles) {
   std::remove(lab_path);
 }
 
+// Writes an IDX image/label pair with arbitrary header fields and a payload of
+// `payload_bytes` zero pixels / `label_bytes` labels of value `label`. Returns the paths.
+struct IdxPair {
+  std::string img = "/tmp/neuroc_test_bad_images.idx";
+  std::string lab = "/tmp/neuroc_test_bad_labels.idx";
+
+  ~IdxPair() {
+    std::remove(img.c_str());
+    std::remove(lab.c_str());
+  }
+
+  void Write(uint32_t n_img, uint32_t rows, uint32_t cols, size_t payload_bytes,
+             uint32_t n_lab, size_t label_bytes, unsigned char label = 1) const {
+    auto be32 = [](std::FILE* f, uint32_t v) {
+      const unsigned char b[4] = {static_cast<unsigned char>(v >> 24),
+                                  static_cast<unsigned char>(v >> 16),
+                                  static_cast<unsigned char>(v >> 8),
+                                  static_cast<unsigned char>(v)};
+      std::fwrite(b, 1, 4, f);
+    };
+    std::FILE* f = std::fopen(img.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    be32(f, 0x00000803);
+    be32(f, n_img);
+    be32(f, rows);
+    be32(f, cols);
+    const std::vector<unsigned char> zeros(payload_bytes, 0);
+    std::fwrite(zeros.data(), 1, zeros.size(), f);
+    std::fclose(f);
+    f = std::fopen(lab.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    be32(f, 0x00000801);
+    be32(f, n_lab);
+    const std::vector<unsigned char> labels(label_bytes, label);
+    std::fwrite(labels.data(), 1, labels.size(), f);
+    std::fclose(f);
+  }
+};
+
+TEST(IdxLoaderTest, OversizedDimensionsAreRejectedWithoutAllocating) {
+  // A corrupted header advertising absurd dimensions must fail the bounds check up front —
+  // not attempt a multi-gigabyte allocation, and never abort.
+  IdxPair p;
+  p.Write(/*n_img=*/2, /*rows=*/0xFFFFFFFF, /*cols=*/0xFFFFFFFF, /*payload=*/4,
+          /*n_lab=*/2, /*labels=*/2);
+  EXPECT_FALSE(LoadIdxDataset(p.img, p.lab, "bad").has_value());
+}
+
+TEST(IdxLoaderTest, ZeroDimensionsAreRejected) {
+  IdxPair p;
+  p.Write(2, 0, 3, 4, 2, 2);
+  EXPECT_FALSE(LoadIdxDataset(p.img, p.lab, "bad").has_value());
+  p.Write(2, 3, 0, 4, 2, 2);
+  EXPECT_FALSE(LoadIdxDataset(p.img, p.lab, "bad").has_value());
+  p.Write(0, 3, 3, 4, 0, 0);
+  EXPECT_FALSE(LoadIdxDataset(p.img, p.lab, "bad").has_value());
+}
+
+TEST(IdxLoaderTest, HugeExampleCountIsRejected) {
+  // count × pixel size would overflow naive 32-bit arithmetic; the loader must refuse
+  // before reading any payload.
+  IdxPair p;
+  p.Write(/*n_img=*/0x40000000, /*rows=*/28, /*cols=*/28, /*payload=*/16,
+          /*n_lab=*/0x40000000, /*labels=*/16);
+  EXPECT_FALSE(LoadIdxDataset(p.img, p.lab, "bad").has_value());
+}
+
+TEST(IdxLoaderTest, CountMismatchBetweenImagesAndLabelsIsRejected) {
+  IdxPair p;
+  p.Write(2, 2, 2, 8, 3, 3);
+  EXPECT_FALSE(LoadIdxDataset(p.img, p.lab, "bad").has_value());
+}
+
+TEST(IdxLoaderTest, TruncatedImagePayloadIsRejected) {
+  IdxPair p;
+  p.Write(/*n_img=*/2, /*rows=*/2, /*cols=*/2, /*payload=*/5 /* need 8 */,
+          /*n_lab=*/2, /*labels=*/2);
+  EXPECT_FALSE(LoadIdxDataset(p.img, p.lab, "bad").has_value());
+}
+
+TEST(IdxLoaderTest, TruncatedLabelPayloadIsRejected) {
+  IdxPair p;
+  p.Write(2, 2, 2, 8, 2, /*labels=*/1);
+  EXPECT_FALSE(LoadIdxDataset(p.img, p.lab, "bad").has_value());
+}
+
+TEST(IdxLoaderTest, OutOfRangeLabelIsRejectedNotFatal) {
+  // A label outside [0, num_classes) is expected input corruption: the loader must return
+  // nullopt instead of tripping Dataset::Validate()'s host-invariant abort.
+  IdxPair p;
+  p.Write(2, 2, 2, 8, 2, 2, /*label=*/250);
+  EXPECT_FALSE(LoadIdxDataset(p.img, p.lab, "bad", /*num_classes=*/10).has_value());
+}
+
 TEST(EventDetectionTest, FeaturesSeparateIdleFromRunning) {
   Dataset ds = MakeEventDetection(300, 11);
   // Mean feature-space distance between class centroids should be clearly nonzero.

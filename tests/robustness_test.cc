@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/core/synthetic.h"
 #include "src/isa/assembler.h"
 #include "src/kernels/kernel_set.h"
@@ -25,36 +27,59 @@ NeuroCModel SmallModel(uint64_t seed) {
   return NeuroCModel::FromLayers(std::move(layers));
 }
 
-TEST(FaultInjectionTest, CorruptedKernelCodeAborts) {
+TEST(FaultInjectionTest, CorruptedKernelCodeReturnsStructuredFault) {
   // Overwrite the kernel's first instructions with a value that decodes to UDF: execution
-  // must abort with a diagnostic, not return garbage.
+  // must surface a structured fault report, not return garbage.
   NeuroCModel model = SmallModel(1);
   DeployedModel deployed = DeployedModel::Deploy(model);
   const uint8_t udf[2] = {0x00, 0xDE};  // udf #0
   deployed.machine().LoadBytes(kFlash, udf);
   std::vector<int8_t> input(64, 1);
-  EXPECT_DEATH(deployed.Predict(input), "undefined instruction");
+  StatusOr<int> pred = deployed.TryPredict(input);
+  ASSERT_FALSE(pred.ok());
+  ASSERT_NE(pred.status().fault(), nullptr);
+  const FaultReport& fault = *pred.status().fault();
+  EXPECT_EQ(fault.code, ErrorCode::kUndefinedInstruction);
+  EXPECT_EQ(fault.instruction, 0xDE00u);
+  EXPECT_NE(fault.message.find("undefined instruction"), std::string::npos);
+  // The integrity layer attributes the corruption to the kernel section…
+  const std::vector<std::string> bad = deployed.CorruptedSections();
+  ASSERT_FALSE(bad.empty());
+  EXPECT_EQ(bad[0], "kernel_code");
+  // …and scrub-and-retry produces a clean prediction that matches the host reference.
+  RecoveryReport rec = deployed.PredictWithRecovery(input);
+  EXPECT_TRUE(rec.faulted);  // still corrupted on entry: first attempt faults again
+  EXPECT_TRUE(rec.recovered);
+  std::vector<int8_t> host;
+  model.Forward(input, host);
+  EXPECT_EQ(deployed.LastOutput(), host);
+  EXPECT_TRUE(deployed.VerifyIntegrity().ok());
 }
 
 TEST(FaultInjectionTest, DescriptorPointingOutsideMemoryFaults) {
   NeuroCModel model = SmallModel(2);
   DeployedModel deployed = DeployedModel::Deploy(model);
-  // Patch the first descriptor's input pointer to unmapped space.
-  // Descriptor base = image base; find it by scanning: input addr word is at offset 17*4.
-  // We instead corrupt via the known flash layout: descriptors start at the image base,
-  // which is the first nonzero region after the kernel code. Use the machine's memory to
-  // rewrite the input pointer of layer 0.
-  // The deploy path placed descriptors at image_base; recover it from the report.
-  const uint32_t image_base =
-      kFlash + ((static_cast<uint32_t>(deployed.report().code_bytes) + 768u + 3u) & ~3u);
+  // Patch the first descriptor's input pointer to unmapped peripheral space; the kernel's
+  // first load through it must fault with the bad address in the report.
   const uint32_t bad_addr = 0x40000000;  // peripheral space: unmapped in the simulator
   const uint8_t bytes[4] = {
       static_cast<uint8_t>(bad_addr & 0xFF), static_cast<uint8_t>((bad_addr >> 8) & 0xFF),
       static_cast<uint8_t>((bad_addr >> 16) & 0xFF),
       static_cast<uint8_t>((bad_addr >> 24) & 0xFF)};
-  deployed.machine().LoadBytes(image_base + kDescInputAddr * 4, bytes);
+  deployed.machine().LoadBytes(deployed.image_base() + kDescInputAddr * 4, bytes);
   std::vector<int8_t> input(64, 1);
-  EXPECT_DEATH(deployed.Predict(input), "unmapped");
+  StatusOr<int> pred = deployed.TryPredict(input);
+  ASSERT_FALSE(pred.ok());
+  ASSERT_NE(pred.status().fault(), nullptr);
+  const FaultReport& fault = *pred.status().fault();
+  EXPECT_EQ(fault.code, ErrorCode::kUnmappedAccess);
+  // The kernel faults on its first load through the redirected pointer — at or a few
+  // elements past the patched base, depending on the access pattern.
+  EXPECT_GE(fault.addr, bad_addr);
+  EXPECT_LT(fault.addr, bad_addr + 64);
+  // The corrupted word lives in the descriptor table, and the CRC layer says so.
+  const std::vector<std::string> bad = deployed.CorruptedSections();
+  EXPECT_NE(std::find(bad.begin(), bad.end(), "descriptors"), bad.end());
 }
 
 TEST(FaultInjectionTest, RunawayLoopHitsInstructionBudget) {
@@ -68,11 +93,18 @@ spin:
     b spin
   )", kFlash);
   m.LoadBytes(kFlash, p.bytes);
-  EXPECT_DEATH(m.CallFunction(kFlash, {}), "instruction budget");
+  StatusOr<uint64_t> cycles = m.TryCallFunction(kFlash, {});
+  ASSERT_FALSE(cycles.ok());
+  EXPECT_EQ(cycles.status().code(), ErrorCode::kInstructionBudgetExceeded);
+  ASSERT_NE(cycles.status().fault(), nullptr);
+  EXPECT_GE(cycles.status().fault()->instructions, 5000u);
+  // last_fault() keeps the report for post-mortem use after the StatusOr is gone.
+  EXPECT_EQ(m.last_fault().code, ErrorCode::kInstructionBudgetExceeded);
 }
 
 TEST(FaultInjectionTest, StackOverflowIntoUnmappedSpaceFaults) {
-  // Recursive pushes walk SP below SRAM: the first out-of-range store must fault.
+  // Recursive pushes walk SP below SRAM: the first out-of-range store must fault with the
+  // offending stack address, which lies just below the RAM window.
   Machine m;
   const AssembledProgram p = Assemble(R"(
 loop:
@@ -80,19 +112,50 @@ loop:
     b loop
   )", kFlash);
   m.LoadBytes(kFlash, p.bytes);
-  EXPECT_DEATH(m.CallFunction(kFlash, {}), "unmapped|past end");
+  StatusOr<uint64_t> cycles = m.TryCallFunction(kFlash, {});
+  ASSERT_FALSE(cycles.ok());
+  EXPECT_EQ(cycles.status().code(), ErrorCode::kUnmappedAccess);
+  ASSERT_NE(cycles.status().fault(), nullptr);
+  EXPECT_LT(cycles.status().fault()->addr, m.config().ram_base);
+  EXPECT_GE(cycles.status().fault()->addr, m.config().ram_base - 64);
 }
 
 TEST(FaultInjectionTest, ExecutingDataAsCodeIsDetected) {
-  // Jumping into the model image (weights) either hits an undefined encoding or the
-  // instruction budget — never a silent return.
+  // Jumping into data (0xDE byte fill decodes as UDF) must yield a structured fault —
+  // never a silent return.
   MachineConfig cfg;
   cfg.max_instructions = 200000;
   Machine m(cfg);
-  // Fill a flash region with a byte pattern that decodes to UDF immediately.
   std::vector<uint8_t> junk(64, 0xDE);
   m.LoadBytes(kFlash, junk);
-  EXPECT_DEATH(m.CallFunction(kFlash, {}), "undefined instruction|instruction budget");
+  StatusOr<uint64_t> cycles = m.TryCallFunction(kFlash, {});
+  ASSERT_FALSE(cycles.ok());
+  EXPECT_EQ(cycles.status().code(), ErrorCode::kUndefinedInstruction);
+  EXPECT_EQ(cycles.status().fault()->pc, kFlash);
+}
+
+TEST(FaultInjectionTest, FaultReportCarriesTraceTailWhenTracingEnabled) {
+  // With the trace ring on, the report's tail names the instructions leading up to the
+  // fault — the raw material for post-mortem debugging.
+  Machine m;
+  m.cpu().EnableTrace(16);
+  const AssembledProgram p = Assemble(R"(
+    movs r0, #7
+    udf #0
+  )", kFlash);
+  m.LoadBytes(kFlash, p.bytes);
+  StatusOr<uint64_t> cycles = m.TryCallFunction(kFlash, {});
+  ASSERT_FALSE(cycles.ok());
+  ASSERT_NE(cycles.status().fault(), nullptr);
+  EXPECT_NE(cycles.status().fault()->trace_tail.find("movs r0, #7"), std::string::npos);
+}
+
+TEST(HostInvariantDeathTest, TooManyCallArgumentsStillAborts) {
+  // Guest faults are recoverable Status values, but host API misuse stays a hard
+  // NEUROC_CHECK abort: passing more register arguments than AAPCS r0..r3 allows is a bug
+  // in the caller, not a simulated-hardware fault.
+  Machine m;
+  EXPECT_DEATH(m.TryCallFunction(kFlash, {1, 2, 3, 4, 5}), "args.size");
 }
 
 TEST(RobustnessTest, SaturatedInputsProduceSaturatedButValidOutputs) {

@@ -171,5 +171,119 @@ TEST(SerdeTest, SaveToUnwritablePathFails) {
   EXPECT_FALSE(SaveModel(model, "/nonexistent_dir_xyz/model.bin"));
 }
 
+// Rewrites a serialized v2 blob ("NCM2"/"MLM2" + CRC trailer) into its legacy v1 shape:
+// same body, v1 magic, no trailer. Exercises the parser's per-section diagnostics, which
+// on v2 blobs are shadowed by the whole-file CRC check.
+std::vector<uint8_t> ToLegacyV1(std::vector<uint8_t> bytes) {
+  EXPECT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes[3], '2');
+  bytes[3] = '1';
+  bytes.resize(bytes.size() - 4);  // drop the CRC trailer
+  return bytes;
+}
+
+TEST(SerdeStructuredErrorTest, WrongMagicIsMalformedImage) {
+  NeuroCModel model = MakeModel(41, EncodingKind::kCsc);
+  std::vector<uint8_t> bytes = SerializeModel(model);
+  bytes[0] ^= 0xFF;
+  StatusOr<NeuroCModel> loaded = DeserializeNeuroCModel(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kMalformedImage);
+  EXPECT_NE(loaded.status().ToString().find("bad magic"), std::string::npos);
+  // A NeuroC blob fed to the MLP loader is the same class of error.
+  bytes[0] ^= 0xFF;
+  EXPECT_EQ(DeserializeMlpModel(bytes).status().code(), ErrorCode::kMalformedImage);
+}
+
+TEST(SerdeStructuredErrorTest, CrcTrailerCatchesEverySingleBitFlip) {
+  // The v2 trailer digests the whole file: every single-bit corruption of a valid blob
+  // must be rejected with a structured code — kMalformedImage when the magic itself is
+  // hit, kIntegrityFailure everywhere else. Exhaustive over the full blob.
+  NeuroCModel model = MakeModel(42, EncodingKind::kMixed);
+  const std::vector<uint8_t> bytes = SerializeModel(model);
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> mutated = bytes;
+      mutated[pos] ^= static_cast<uint8_t>(1u << bit);
+      StatusOr<NeuroCModel> loaded = DeserializeNeuroCModel(mutated);
+      ASSERT_FALSE(loaded.ok()) << "flip at byte " << pos << " bit " << bit;
+      const ErrorCode code = loaded.status().code();
+      if (pos < 4) {
+        EXPECT_EQ(code, ErrorCode::kMalformedImage) << "magic flip at bit " << bit;
+      } else {
+        EXPECT_EQ(code, ErrorCode::kIntegrityFailure)
+            << "flip at byte " << pos << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(SerdeStructuredErrorTest, TruncationOfV2BlobIsCaught) {
+  NeuroCModel model = MakeModel(43, EncodingKind::kDelta);
+  const std::vector<uint8_t> bytes = SerializeModel(model);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    StatusOr<NeuroCModel> loaded = DeserializeNeuroCModel(truncated);
+    ASSERT_FALSE(loaded.ok()) << "cut at " << cut;
+    // Below 8 bytes there is no complete magic+trailer: malformed. From there on the
+    // trailing 4 bytes parse as a CRC that cannot match the shortened body.
+    EXPECT_EQ(loaded.status().code(),
+              cut < 8 ? ErrorCode::kMalformedImage : ErrorCode::kIntegrityFailure)
+        << "cut at " << cut;
+  }
+}
+
+TEST(SerdeStructuredErrorTest, LegacyV1BlobLoadsWithoutTrailer) {
+  NeuroCModel model = MakeModel(44, EncodingKind::kBlock);
+  StatusOr<NeuroCModel> loaded = DeserializeNeuroCModel(ToLegacyV1(SerializeModel(model)));
+  ASSERT_TRUE(loaded.ok());
+  Rng rng(2);
+  const std::vector<int8_t> input = MakeRandomInput(model.in_dim(), rng);
+  EXPECT_EQ(model.Predict(input), loaded->Predict(input));
+}
+
+TEST(SerdeStructuredErrorTest, V1TruncationAtEveryOffsetIsMalformed) {
+  // Without the CRC shield, every truncation point must still land in a structured
+  // kMalformedImage ("truncated scale array", "truncated weight matrix", ...) — the
+  // parser bounds-checks every section read.
+  NeuroCModel model = MakeModel(45, EncodingKind::kCsc);
+  const std::vector<uint8_t> v1 = ToLegacyV1(SerializeModel(model));
+  for (size_t cut = 0; cut < v1.size(); ++cut) {
+    std::vector<uint8_t> truncated(v1.begin(), v1.begin() + static_cast<long>(cut));
+    StatusOr<NeuroCModel> loaded = DeserializeNeuroCModel(truncated);
+    ASSERT_FALSE(loaded.ok()) << "cut at " << cut;
+    EXPECT_EQ(loaded.status().code(), ErrorCode::kMalformedImage) << "cut at " << cut;
+  }
+}
+
+TEST(SerdeStructuredErrorTest, V1HeaderFieldCorruptionNamesTheSection) {
+  NeuroCModel model = MakeModel(46, EncodingKind::kCsc);
+  const std::vector<uint8_t> v1 = ToLegacyV1(SerializeModel(model));
+  // Layer count word (offset 4): zero and absurd values are both "bad layer count".
+  for (uint32_t count : {0u, 0xFFFFu}) {
+    std::vector<uint8_t> mutated = v1;
+    for (int i = 0; i < 4; ++i) {
+      mutated[4 + i] = static_cast<uint8_t>((count >> (8 * i)) & 0xFF);
+    }
+    StatusOr<NeuroCModel> loaded = DeserializeNeuroCModel(mutated);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().ToString().find("bad layer count"), std::string::npos);
+  }
+  // First layer's in_dim (offset 8): a zero dimension is a "bad layer header".
+  std::vector<uint8_t> mutated = v1;
+  mutated[8] = mutated[9] = mutated[10] = mutated[11] = 0;
+  StatusOr<NeuroCModel> loaded = DeserializeNeuroCModel(mutated);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("bad layer header"), std::string::npos);
+}
+
+TEST(SerdeStructuredErrorTest, MissingFileIsIoError) {
+  StatusOr<NeuroCModel> loaded = LoadNeuroCModel("/nonexistent_dir_xyz/model.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kIoError);
+  EXPECT_EQ(LoadMlpModel("/nonexistent_dir_xyz/model.bin").status().code(),
+            ErrorCode::kIoError);
+}
+
 }  // namespace
 }  // namespace neuroc

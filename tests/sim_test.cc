@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/isa/assembler.h"
+#include "src/sim/guest_fault.h"
 #include "src/sim/machine.h"
 
 namespace neuroc {
@@ -47,14 +48,29 @@ TEST(MemoryMapTest, LittleEndianLayout) {
 }
 
 TEST(MemoryMapTest, CpuWriteToFlashFaults) {
+  // CPU-side faults are recoverable GuestFault throws (caught at the Machine boundary),
+  // not process aborts.
   MemoryMap mem(kFlash, 1024, kRam, 1024);
-  EXPECT_DEATH(mem.Write32(kFlash, 1), "write to flash");
+  try {
+    mem.Write32(kFlash, 1);
+    FAIL() << "flash write did not fault";
+  } catch (const GuestFault& gf) {
+    EXPECT_EQ(gf.code, ErrorCode::kIllegalStore);
+    EXPECT_EQ(gf.addr, kFlash);
+    EXPECT_EQ(gf.message, "write to flash");
+  }
 }
 
 TEST(MemoryMapTest, UnalignedAccessFaults) {
   MemoryMap mem(kFlash, 1024, kRam, 1024);
-  EXPECT_DEATH(mem.Read32(kRam + 2), "unaligned");
-  EXPECT_DEATH(mem.Read16(kRam + 1), "unaligned");
+  EXPECT_THROW(mem.Read32(kRam + 2), GuestFault);
+  EXPECT_THROW(mem.Read16(kRam + 1), GuestFault);
+  try {
+    mem.Read32(kRam + 2);
+  } catch (const GuestFault& gf) {
+    EXPECT_EQ(gf.code, ErrorCode::kUnalignedAccess);
+    EXPECT_EQ(gf.addr, kRam + 2);
+  }
 }
 
 TEST(MemoryMapTest, HostWriteMayTouchFlash) {

@@ -8,6 +8,9 @@
 //   neuroc profile --model model.ncm [--platform STM32F072RB] [--json out.json]
 //                  [--trace out.trace] [--asm]
 //   neuroc deploy  --model model.ncm --format c|hex --out <path> [--prefix name]
+//   neuroc faultcampaign [--trials N] [--seed N] [--fault bitflip|multibit|stuck0|stuck1]
+//                  [--bits N] [--trigger pre|mid] [--regions a,b,..] [--encodings a,b,..]
+//                  [--no-retry] [--json out.json] [--smoke]
 //
 // Datasets: digits, mnist, fashion, cifar5, events (procedural; see src/data/synth.h).
 
@@ -27,6 +30,7 @@
 #include "src/obs/trace.h"
 #include "src/runtime/c_emitter.h"
 #include "src/runtime/deployed_model.h"
+#include "src/runtime/fault_campaign.h"
 #include "src/runtime/firmware_image.h"
 #include "src/runtime/platform.h"
 #include "src/runtime/profile.h"
@@ -49,7 +53,8 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: neuroc <train|eval|inspect|bench|profile|deploy> [options]\n"
+               "usage: neuroc <train|eval|inspect|bench|profile|deploy|faultcampaign>"
+               " [options]\n"
                "  train   --dataset <digits|mnist|fashion|cifar5|events> --out model.ncm\n"
                "          [--hidden 128,64] [--density 0.12] [--epochs 8] [--tnn] [--seed N]\n"
                "          [--metrics out.jsonl]\n"
@@ -58,7 +63,13 @@ int Usage() {
                "  bench   --model model.ncm [--platform STM32F072RB]\n"
                "  profile --model model.ncm [--platform STM32F072RB] [--json out.json]\n"
                "          [--trace out.trace] [--asm]\n"
-               "  deploy  --model model.ncm --format <c|hex> --out <path> [--prefix name]\n");
+               "  deploy  --model model.ncm --format <c|hex> --out <path> [--prefix name]\n"
+               "  faultcampaign [--trials N] [--seed N]\n"
+               "          [--fault <bitflip|multibit|stuck0|stuck1>] [--bits N]\n"
+               "          [--trigger <pre|mid>]\n"
+               "          [--regions <kernel_code,descriptors,payload,sram>]\n"
+               "          [--encodings <csc,delta,mixed,block>] [--no-retry]\n"
+               "          [--json out.json] [--smoke]\n");
   return 2;
 }
 
@@ -151,14 +162,15 @@ int CmdTrain(const Args& args) {
   return 0;
 }
 
-std::optional<NeuroCModel> LoadOrComplain(const Args& args) {
+StatusOr<NeuroCModel> LoadOrComplain(const Args& args) {
   if (!args.Has("model")) {
     Usage();
-    return std::nullopt;
+    return Status(ErrorCode::kInvalidArgument, "missing --model");
   }
-  auto model = LoadNeuroCModel(args.Get("model"));
-  if (!model) {
-    std::fprintf(stderr, "cannot load model: %s\n", args.Get("model"));
+  StatusOr<NeuroCModel> model = LoadNeuroCModel(args.Get("model"));
+  if (!model.ok()) {
+    std::fprintf(stderr, "cannot load model %s: %s\n", args.Get("model"),
+                 model.status().ToString().c_str());
   }
   return model;
 }
@@ -307,6 +319,105 @@ int CmdDeploy(const Args& args) {
   return 2;
 }
 
+// Splits "a,b,c" and parses every element with `parse`; returns false (after printing the
+// offending token) on the first failure.
+template <typename T, typename ParseFn>
+bool ParseCsvList(const char* csv, ParseFn parse, std::vector<T>* out) {
+  out->clear();
+  const std::string s = csv;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t end = s.find(',', pos);
+    if (end == std::string::npos) {
+      end = s.size();
+    }
+    const std::string token = s.substr(pos, end - pos);
+    T value;
+    if (!parse(token, &value)) {
+      std::fprintf(stderr, "cannot parse: %s\n", token.c_str());
+      return false;
+    }
+    out->push_back(value);
+    pos = end + 1;
+  }
+  return !out->empty();
+}
+
+bool ParseEncodingKind(const std::string& text, EncodingKind* out) {
+  for (EncodingKind kind : kAllEncodingKinds) {
+    if (text == EncodingKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+int CmdFaultCampaign(const Args& args) {
+  FaultCampaignConfig cfg;
+  cfg.seed = std::strtoull(args.Get("seed", "1"), nullptr, 10);
+  cfg.trials_per_encoding =
+      static_cast<int>(std::strtol(args.Get("trials", "256"), nullptr, 10));
+  cfg.bits = static_cast<int>(std::strtol(args.Get("bits", "2"), nullptr, 10));
+  cfg.scrub_retry = !args.Has("no-retry");
+  if (args.Has("smoke")) {
+    cfg.trials_per_encoding = 24;  // tier-1 CI mode: small but covers every cell
+  }
+  if (!ParseFaultModel(args.Get("fault", "bitflip"), &cfg.fault_model) ||
+      !ParseFaultTrigger(args.Get("trigger", "pre"), &cfg.trigger)) {
+    return Usage();
+  }
+  if (args.Has("regions") &&
+      !ParseCsvList<CampaignRegion>(
+          args.Get("regions"),
+          [](const std::string& t, CampaignRegion* r) { return ParseCampaignRegion(t, r); },
+          &cfg.regions)) {
+    return Usage();
+  }
+  if (args.Has("encodings") &&
+      !ParseCsvList<EncodingKind>(args.Get("encodings"), ParseEncodingKind,
+                                  &cfg.encodings)) {
+    return Usage();
+  }
+
+  const FaultCampaignResult result = RunFaultCampaign(cfg);
+  std::printf("fault campaign: %d trials x %zu encodings, %s faults, trigger=%s\n",
+              cfg.trials_per_encoding, cfg.encodings.size(),
+              FaultModelName(cfg.fault_model), FaultTriggerName(cfg.trigger));
+  for (const EncodingCampaignResult& enc : result.encodings) {
+    const RegionStats& t = enc.totals;
+    std::printf(
+        "  %-5s correct=%llu sdc=%llu detected=%llu budget=%llu recovered=%llu/%llu "
+        "sdc_rate=%.4f\n",
+        EncodingKindName(enc.encoding), static_cast<unsigned long long>(t.correct),
+        static_cast<unsigned long long>(t.sdc), static_cast<unsigned long long>(t.detected),
+        static_cast<unsigned long long>(t.budget_exceeded),
+        static_cast<unsigned long long>(t.recovered),
+        static_cast<unsigned long long>(t.recovered + t.unrecovered), t.SdcRate());
+  }
+  const RegionStats& tot = result.totals;
+  std::printf("totals: %llu trials, %llu sdc (%.4f), %llu detected, %llu recovered\n",
+              static_cast<unsigned long long>(tot.trials),
+              static_cast<unsigned long long>(tot.sdc), tot.SdcRate(),
+              static_cast<unsigned long long>(tot.detected + tot.budget_exceeded),
+              static_cast<unsigned long long>(tot.recovered));
+  if (args.Has("json")) {
+    if (WriteStringToFile(args.Get("json"), FaultCampaignJson(result) + "\n")) {
+      std::printf("wrote %s\n", args.Get("json"));
+    } else {
+      return 1;
+    }
+  }
+  // In smoke/CI mode the deterministic simulator must recover every detected fault after
+  // a scrub — an unrecovered one means pristine-state restoration is broken.
+  if (cfg.scrub_retry && tot.unrecovered != 0) {
+    std::fprintf(stderr, "FAIL: %llu detected faults did not recover after scrub\n",
+                 static_cast<unsigned long long>(tot.unrecovered));
+    return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -342,6 +453,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "deploy") {
     return CmdDeploy(args);
+  }
+  if (args.command == "faultcampaign") {
+    return CmdFaultCampaign(args);
   }
   return Usage();
 }
