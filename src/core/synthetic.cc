@@ -57,4 +57,50 @@ std::vector<int8_t> MakeRandomInput(size_t dim, Rng& rng) {
   return input;
 }
 
+const char* InputDistName(InputDist dist) {
+  switch (dist) {
+    case InputDist::kUniform: return "uniform";
+    case InputDist::kSaturated: return "saturated";
+    case InputDist::kSparse: return "sparse";
+    case InputDist::kSmall: return "small";
+  }
+  return "unknown";
+}
+
+bool ParseInputDist(std::string_view text, InputDist* out) {
+  for (InputDist d : kAllInputDists) {
+    if (text == InputDistName(d)) {
+      *out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<int8_t> MakeRandomInput(size_t dim, InputDist dist, Rng& rng) {
+  std::vector<int8_t> input(dim);
+  for (auto& v : input) {
+    switch (dist) {
+      case InputDist::kUniform:
+        v = static_cast<int8_t>(rng.NextInt(-128, 127));
+        break;
+      case InputDist::kSaturated:
+        if (rng.NextBool(0.6)) {
+          static constexpr int8_t kRails[4] = {-128, -127, 126, 127};
+          v = kRails[rng.NextBounded(4)];
+        } else {
+          v = static_cast<int8_t>(rng.NextInt(-128, 127));
+        }
+        break;
+      case InputDist::kSparse:
+        v = rng.NextBool(0.75) ? int8_t{0} : static_cast<int8_t>(rng.NextInt(-128, 127));
+        break;
+      case InputDist::kSmall:
+        v = static_cast<int8_t>(rng.NextInt(-8, 8));
+        break;
+    }
+  }
+  return input;
+}
+
 }  // namespace neuroc

@@ -5,6 +5,8 @@
 #ifndef NEUROC_SRC_CORE_SYNTHETIC_H_
 #define NEUROC_SRC_CORE_SYNTHETIC_H_
 
+#include <string_view>
+
 #include "src/common/rng.h"
 #include "src/core/mlp_model.h"
 #include "src/core/neuroc_model.h"
@@ -32,6 +34,24 @@ QuantDenseLayer MakeSyntheticDenseLayer(size_t in_dim, size_t out_dim, bool relu
 
 // Random q7 input vector.
 std::vector<int8_t> MakeRandomInput(size_t dim, Rng& rng);
+
+// Shaped q7 input distributions for differential testing. Uniform is the historical
+// MakeRandomInput draw; the others target arithmetic edge cases the uniform draw rarely
+// hits at small dimensions: saturation rails (+/-127/-128 accumulate into presums that
+// stress the sat8 requantization), mostly-zero vectors (post-ReLU activations), and
+// near-zero magnitudes (rounding behaviour of the requant shift).
+enum class InputDist : uint8_t {
+  kUniform = 0,    // uniform in [-128, 127]
+  kSaturated = 1,  // rail values (-128, -127, 126, 127) with high probability
+  kSparse = 2,     // ~75% exact zeros, uniform otherwise
+  kSmall = 3,      // uniform in [-8, 8]
+};
+inline constexpr InputDist kAllInputDists[] = {InputDist::kUniform, InputDist::kSaturated,
+                                               InputDist::kSparse, InputDist::kSmall};
+const char* InputDistName(InputDist dist);
+bool ParseInputDist(std::string_view text, InputDist* out);
+
+std::vector<int8_t> MakeRandomInput(size_t dim, InputDist dist, Rng& rng);
 
 }  // namespace neuroc
 

@@ -1,0 +1,60 @@
+// Seeded differential fuzzing campaigns. A campaign runs N generated cases against one
+// oracle on the shared thread pool; every case derives its stream from (seed, index) with
+// a SplitMix64 finalizer and writes into a pre-sized result slot, and failure
+// minimization/corpus emission run sequentially in case order afterwards — so the whole
+// campaign, including the JSON report, is byte-identical at any NEUROC_NUM_THREADS.
+
+#ifndef NEUROC_SRC_FUZZ_FUZZ_H_
+#define NEUROC_SRC_FUZZ_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/minimize.h"
+#include "src/fuzz/oracles.h"
+
+namespace neuroc {
+
+struct FuzzConfig {
+  FuzzOracle oracle = FuzzOracle::kKernel;
+  uint64_t seed = 1;
+  int cases = 256;
+  bool minimize = true;
+  int max_minimize_attempts = 256;
+  // When non-empty, each failure's minimized case is written here as
+  // <oracle>_s<seed>_i<index>.fuzzcase (the replayable corpus format).
+  std::string corpus_dir;
+};
+
+struct FuzzFailure {
+  uint64_t index = 0;      // campaign case index
+  uint64_t case_seed = 0;  // SplitMix64(seed, index) — replays via `--case-seed`
+  std::string detail;      // first failure detail of the original case
+  FuzzCase original;
+  FuzzCase minimized;            // == original when minimization is off or fruitless
+  std::string minimized_detail;  // failure detail of the minimized case
+  MinimizeStats minimize_stats;
+  std::string corpus_file;  // path written, or empty
+};
+
+struct FuzzCampaignResult {
+  FuzzConfig config;
+  uint64_t passed = 0;
+  uint64_t skipped = 0;
+  uint64_t failed = 0;
+  std::vector<FuzzFailure> failures;  // in case-index order
+};
+
+FuzzCampaignResult RunFuzzCampaign(const FuzzConfig& config);
+
+// Deterministic JSON report (byte-identical across thread counts for a fixed config).
+std::string FuzzCampaignJson(const FuzzCampaignResult& result);
+
+// One-command repro for a failure: replays the corpus file when one was written, else
+// regenerates the single case from its seed.
+std::string FuzzReproCommand(const FuzzFailure& failure);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_FUZZ_FUZZ_H_

@@ -1,0 +1,162 @@
+#include "src/fuzz/minimize.h"
+
+#include <algorithm>
+
+#include "src/fuzz/oracles.h"
+
+namespace neuroc {
+
+namespace {
+
+// Dimension shrink that keeps an explicit input (if any) consistent with in_dim.
+FuzzCase WithInDim(const FuzzCase& c, uint32_t in_dim) {
+  FuzzCase v = c;
+  v.in_dim = in_dim;
+  if (!v.explicit_input.empty()) {
+    v.explicit_input.resize(in_dim);
+  }
+  return v;
+}
+
+void KernelShrinks(const FuzzCase& c, std::vector<FuzzCase>& out) {
+  if (c.out_dim > 1) {
+    FuzzCase v = c;
+    v.out_dim = std::max<uint32_t>(1, c.out_dim / 2);
+    out.push_back(v);
+    v = c;
+    v.out_dim = c.out_dim - 1;
+    out.push_back(v);
+  }
+  if (c.in_dim > 1) {
+    out.push_back(WithInDim(c, std::max<uint32_t>(1, c.in_dim / 2)));
+    out.push_back(WithInDim(c, c.in_dim - 1));
+  }
+  if (c.density_ppm > 20'000) {
+    FuzzCase v = c;
+    v.density_ppm = std::max<uint32_t>(20'000, c.density_ppm / 2);
+    out.push_back(v);
+  }
+  if (c.relu) {
+    FuzzCase v = c;
+    v.relu = false;
+    out.push_back(v);
+  }
+  if (c.has_scale) {
+    FuzzCase v = c;
+    v.has_scale = false;
+    v.requant_shift = std::min(v.requant_shift, 7);  // keep out_frac non-negative
+    out.push_back(v);
+  }
+  if (c.requant_shift != 0) {
+    FuzzCase v = c;
+    v.requant_shift = 0;
+    out.push_back(v);
+  }
+  if (c.encoding == static_cast<int>(EncodingKind::kBlock) && c.block_size != 255) {
+    FuzzCase v = c;
+    v.block_size = 255;
+    out.push_back(v);
+  }
+  if (c.explicit_input.empty()) {
+    // Materialize each drawn input: a single concrete vector is both a simpler repro and
+    // the prerequisite for zeroing segments below.
+    if (c.input_dist != InputDist::kUniform) {
+      FuzzCase v = c;
+      v.input_dist = InputDist::kUniform;
+      out.push_back(v);
+    }
+    for (const std::vector<int8_t>& input : KernelCaseInputs(c)) {
+      FuzzCase v = c;
+      v.explicit_input = input;
+      out.push_back(v);
+    }
+  } else {
+    // Zero out halves of the explicit input (greedy restarts narrow this further).
+    const size_t n = c.explicit_input.size();
+    for (const auto& [lo, hi] : {std::pair<size_t, size_t>{0, n / 2},
+                                 std::pair<size_t, size_t>{n / 2, n}}) {
+      bool any_nonzero = false;
+      for (size_t i = lo; i < hi; ++i) {
+        any_nonzero |= c.explicit_input[i] != 0;
+      }
+      if (!any_nonzero) continue;
+      FuzzCase v = c;
+      std::fill(v.explicit_input.begin() + static_cast<ptrdiff_t>(lo),
+                v.explicit_input.begin() + static_cast<ptrdiff_t>(hi), int8_t{0});
+      out.push_back(v);
+    }
+  }
+}
+
+void IsaShrinks(const FuzzCase& c, std::vector<FuzzCase>& out) {
+  if (c.hw2 != 0) {
+    FuzzCase v = c;
+    v.hw2 = 0;
+    out.push_back(v);
+  }
+}
+
+void SerdeShrinks(const FuzzCase& c, std::vector<FuzzCase>& out) {
+  if (c.dims.size() > 2) {
+    FuzzCase v = c;
+    v.dims.pop_back();
+    v.layer_encodings.pop_back();
+    out.push_back(v);
+  }
+  for (size_t i = 0; i < c.dims.size(); ++i) {
+    if (c.dims[i] > 1) {
+      FuzzCase v = c;
+      v.dims[i] = std::max<uint32_t>(1, c.dims[i] / 2);
+      out.push_back(v);
+    }
+  }
+  if (c.has_scale) {
+    FuzzCase v = c;
+    v.has_scale = false;
+    out.push_back(v);
+  }
+  if (c.density_ppm > 50'000) {
+    FuzzCase v = c;
+    v.density_ppm = std::max<uint32_t>(50'000, c.density_ppm / 2);
+    out.push_back(v);
+  }
+}
+
+}  // namespace
+
+std::vector<FuzzCase> ShrinkCandidates(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  switch (c.oracle) {
+    case FuzzOracle::kKernel: KernelShrinks(c, out); break;
+    case FuzzOracle::kIsa: IsaShrinks(c, out); break;
+    case FuzzOracle::kSerde: SerdeShrinks(c, out); break;
+  }
+  return out;
+}
+
+FuzzCase MinimizeFuzzCase(const FuzzCase& failing,
+                          const std::function<bool(const FuzzCase&)>& still_fails,
+                          int max_attempts, MinimizeStats* stats) {
+  FuzzCase best = failing;
+  MinimizeStats local;
+  bool improved = true;
+  while (improved && local.attempts < max_attempts) {
+    improved = false;
+    for (const FuzzCase& cand : ShrinkCandidates(best)) {
+      if (local.attempts >= max_attempts) break;
+      ++local.attempts;
+      if (still_fails(cand)) {
+        best = cand;
+        ++local.reductions;
+        improved = true;
+        break;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return best;
+}
+
+}  // namespace neuroc

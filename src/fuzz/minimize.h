@@ -1,0 +1,36 @@
+// Greedy failure minimization: given a failing fuzz case and a predicate that re-checks
+// failure, repeatedly try simpler variants (smaller dimensions, lower density, stripped
+// scale/ReLU, zeroed input segments) and keep the first variant that still fails. The
+// predicate abstraction keeps the shrink loop testable with mock predicates and reusable
+// for "still fails with the same detail" policies.
+
+#ifndef NEUROC_SRC_FUZZ_MINIMIZE_H_
+#define NEUROC_SRC_FUZZ_MINIMIZE_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/fuzz/fuzz_case.h"
+
+namespace neuroc {
+
+// Candidate single-step simplifications of `c`, most aggressive first (dimension halving
+// before decrements, structural strips before input zeroing). Every candidate is a valid
+// case; the list is empty when `c` is already minimal.
+std::vector<FuzzCase> ShrinkCandidates(const FuzzCase& c);
+
+struct MinimizeStats {
+  int attempts = 0;    // predicate evaluations
+  int reductions = 0;  // accepted shrink steps
+};
+
+// Greedy descent: restart the candidate scan after every accepted step, stop when no
+// candidate still fails or the attempt budget is spent. `still_fails` must be true for
+// `failing` itself (the caller established the failure); it is not re-checked here.
+FuzzCase MinimizeFuzzCase(const FuzzCase& failing,
+                          const std::function<bool(const FuzzCase&)>& still_fails,
+                          int max_attempts = 256, MinimizeStats* stats = nullptr);
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_FUZZ_MINIMIZE_H_

@@ -1,0 +1,32 @@
+#include "src/fuzz/oracles.h"
+
+namespace neuroc {
+
+const char* FuzzVerdictName(FuzzVerdict verdict) {
+  switch (verdict) {
+    case FuzzVerdict::kPass: return "pass";
+    case FuzzVerdict::kSkip: return "skip";
+    case FuzzVerdict::kFail: return "fail";
+  }
+  return "unknown";
+}
+
+FuzzCase GenerateFuzzCase(FuzzOracle oracle, uint64_t case_seed) {
+  switch (oracle) {
+    case FuzzOracle::kKernel: return GenerateKernelCase(case_seed);
+    case FuzzOracle::kIsa: return GenerateIsaCase(case_seed);
+    case FuzzOracle::kSerde: return GenerateSerdeCase(case_seed);
+  }
+  return {};
+}
+
+CaseResult RunFuzzCase(const FuzzCase& c) {
+  switch (c.oracle) {
+    case FuzzOracle::kKernel: return RunKernelCase(c);
+    case FuzzOracle::kIsa: return RunIsaCase(c);
+    case FuzzOracle::kSerde: return RunSerdeCase(c);
+  }
+  return {FuzzVerdict::kFail, "unknown oracle"};
+}
+
+}  // namespace neuroc

@@ -176,12 +176,14 @@ Instr DecodeInstr(uint16_t hw, uint16_t hw2) {
       return in;
     }
     if ((hw & 0xFE00) == 0xB400) {
-      in.op = Op::kPush;
+      // An empty register list is UNPREDICTABLE in ARMv6-M; treating it as undefined keeps
+      // decode(hw) -> encode round-trippable (the encoder rejects empty lists).
+      in.op = (hw & 0x1FF) ? Op::kPush : Op::kInvalid;
       in.reglist = hw & 0x1FF;
       return in;
     }
     if ((hw & 0xFE00) == 0xBC00) {
-      in.op = Op::kPop;
+      in.op = (hw & 0x1FF) ? Op::kPop : Op::kInvalid;
       in.reglist = hw & 0x1FF;
       return in;
     }
@@ -210,7 +212,9 @@ Instr DecodeInstr(uint16_t hw, uint16_t hw2) {
 
   // Load/store multiple (1100 xxxx).
   if ((hw & 0xF000) == 0xC000) {
-    in.op = (hw & 0x0800) ? Op::kLdm : Op::kStm;
+    // Empty register lists are UNPREDICTABLE (see PUSH/POP above).
+    in.op = (hw & 0xFF) == 0 ? Op::kInvalid
+                             : ((hw & 0x0800) ? Op::kLdm : Op::kStm);
     in.rn = (hw >> 8) & 7;
     in.reglist = hw & 0xFF;
     return in;

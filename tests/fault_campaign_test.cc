@@ -13,26 +13,21 @@
 #include "src/runtime/deployed_model.h"
 #include "src/runtime/fault_campaign.h"
 #include "src/sim/fault_injector.h"
+#include "tests/test_util.h"
 
 namespace neuroc {
 namespace {
 
+using testutil::GlobalThreadsGuard;
+
 NeuroCModel TinyModel(uint64_t seed, EncodingKind encoding = EncodingKind::kCsc) {
-  Rng rng(seed);
-  SyntheticNeuroCLayerSpec spec;
-  spec.in_dim = 32;
-  spec.out_dim = 12;
+  testutil::TestModelSpec spec;
+  spec.dims = {32, 12};
   spec.density = 0.25;
   spec.encoding = encoding;
-  std::vector<QuantNeuroCLayer> layers;
-  layers.push_back(MakeSyntheticNeuroCLayer(spec, rng));
-  return NeuroCModel::FromLayers(std::move(layers));
+  spec.final_relu = true;
+  return testutil::MakeTestModel(seed, spec);
 }
-
-// Restores the default (env-derived) global pool size when a test returns or throws.
-struct GlobalThreadsGuard {
-  ~GlobalThreadsGuard() { ThreadPool::SetGlobalThreads(0); }
-};
 
 TEST(IntegrityTest, EverySingleBitFlipInModelImageIsDetected) {
   // Exhaustively flip every bit of the packed model image in simulated flash: the CRC

@@ -6,6 +6,7 @@
 #include "src/runtime/profile.h"
 #include "src/data/synth.h"
 #include "src/runtime/search.h"
+#include "tests/test_util.h"
 
 namespace neuroc {
 namespace {
@@ -89,14 +90,10 @@ TEST(IntelHexTest, KnownRecordBytes) {
 TEST(FirmwareTest, ModelFirmwareMatchesSimulatorMemory) {
   // The emitted firmware, parsed back and loaded into a fresh machine, must reproduce the
   // exact flash content the DeployedModel path creates.
-  Rng rng(21);
-  SyntheticNeuroCLayerSpec spec;
-  spec.in_dim = 64;
-  spec.out_dim = 16;
-  spec.density = 0.2;
-  std::vector<QuantNeuroCLayer> layers;
-  layers.push_back(MakeSyntheticNeuroCLayer(spec, rng));
-  NeuroCModel model = NeuroCModel::FromLayers(std::move(layers));
+  testutil::TestModelSpec spec;
+  spec.dims = {64, 16};
+  spec.final_relu = true;
+  NeuroCModel model = testutil::MakeTestModel(21, spec);
 
   const std::string hex = FirmwareHexForModel(model);
   auto chunks = ParseIntelHex(hex);
@@ -112,14 +109,11 @@ TEST(FirmwareTest, ModelFirmwareMatchesSimulatorMemory) {
 }
 
 TEST(ProfileTest, CategoriesSumToInstructionCount) {
-  Rng rng(22);
-  SyntheticNeuroCLayerSpec spec;
-  spec.in_dim = 128;
-  spec.out_dim = 32;
+  testutil::TestModelSpec spec;
+  spec.dims = {128, 32};
   spec.density = 0.15;
-  std::vector<QuantNeuroCLayer> layers;
-  layers.push_back(MakeSyntheticNeuroCLayer(spec, rng));
-  NeuroCModel model = NeuroCModel::FromLayers(std::move(layers));
+  spec.final_relu = true;
+  NeuroCModel model = testutil::MakeTestModel(22, spec);
   DeployedModel deployed = DeployedModel::Deploy(model);
   const ExecutionProfile p = ProfileInference(deployed);
   EXPECT_GT(p.instructions, 0u);

@@ -18,6 +18,7 @@
 #include "src/obs/json_writer.h"
 #include "src/obs/metrics.h"
 #include "src/obs/sim_profiler.h"
+#include "tests/test_util.h"
 #include "src/obs/trace.h"
 #include "src/runtime/deployed_model.h"
 #include "src/runtime/platform.h"
@@ -174,21 +175,7 @@ class JsonChecker {
   size_t pos_ = 0;
 };
 
-NeuroCModel MakeSmallModel(uint64_t seed) {
-  Rng rng(seed);
-  SyntheticNeuroCLayerSpec l0;
-  l0.in_dim = 64;
-  l0.out_dim = 24;
-  l0.density = 0.2;
-  SyntheticNeuroCLayerSpec l1 = l0;
-  l1.in_dim = 24;
-  l1.out_dim = 10;
-  l1.relu = false;
-  std::vector<QuantNeuroCLayer> layers;
-  layers.push_back(MakeSyntheticNeuroCLayer(l0, rng));
-  layers.push_back(MakeSyntheticNeuroCLayer(l1, rng));
-  return NeuroCModel::FromLayers(std::move(layers));
-}
+NeuroCModel MakeSmallModel(uint64_t seed) { return testutil::MakeTestModel(seed); }
 
 std::string ProfileJsonFor(uint64_t seed) {
   NeuroCModel model = MakeSmallModel(seed);

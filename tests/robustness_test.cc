@@ -10,6 +10,7 @@
 #include "src/isa/assembler.h"
 #include "src/kernels/kernel_set.h"
 #include "src/runtime/deployed_model.h"
+#include "tests/test_util.h"
 
 namespace neuroc {
 namespace {
@@ -17,14 +18,10 @@ namespace {
 constexpr uint32_t kFlash = 0x08000000;
 
 NeuroCModel SmallModel(uint64_t seed) {
-  Rng rng(seed);
-  SyntheticNeuroCLayerSpec spec;
-  spec.in_dim = 64;
-  spec.out_dim = 16;
-  spec.density = 0.2;
-  std::vector<QuantNeuroCLayer> layers;
-  layers.push_back(MakeSyntheticNeuroCLayer(spec, rng));
-  return NeuroCModel::FromLayers(std::move(layers));
+  testutil::TestModelSpec spec;
+  spec.dims = {64, 16};
+  spec.final_relu = true;
+  return testutil::MakeTestModel(seed, spec);
 }
 
 TEST(FaultInjectionTest, CorruptedKernelCodeReturnsStructuredFault) {

@@ -10,6 +10,7 @@
 #include "src/runtime/deployed_model.h"
 #include "src/runtime/platform.h"
 #include "src/train/trainer.h"
+#include "tests/test_util.h"
 
 namespace neuroc {
 namespace {
@@ -59,20 +60,9 @@ TEST(PlatformTest, LookupByNameAbortsOnUnknown) {
 // ---------------------------------------------------------------------------
 
 NeuroCModel MakeSmallModel(uint64_t seed, EncodingKind kind) {
-  Rng rng(seed);
-  SyntheticNeuroCLayerSpec l0;
-  l0.in_dim = 64;
-  l0.out_dim = 24;
-  l0.density = 0.2;
-  l0.encoding = kind;
-  SyntheticNeuroCLayerSpec l1 = l0;
-  l1.in_dim = 24;
-  l1.out_dim = 10;
-  l1.relu = false;
-  std::vector<QuantNeuroCLayer> layers;
-  layers.push_back(MakeSyntheticNeuroCLayer(l0, rng));
-  layers.push_back(MakeSyntheticNeuroCLayer(l1, rng));
-  return NeuroCModel::FromLayers(std::move(layers));
+  testutil::TestModelSpec spec;
+  spec.encoding = kind;
+  return testutil::MakeTestModel(seed, spec);
 }
 
 TEST(CEmitterTest, HeaderAndSourceContainApi) {

@@ -21,13 +21,12 @@
 #include "src/train/sparse_kernels.h"
 #include "src/train/ternary.h"
 #include "src/train/trainer.h"
+#include "tests/test_util.h"
 
 namespace neuroc {
 namespace {
 
-struct GlobalThreadsGuard {
-  ~GlobalThreadsGuard() { ThreadPool::SetGlobalThreads(0); }
-};
+using testutil::GlobalThreadsGuard;
 
 Tensor RandomTensor(size_t rows, size_t cols, Rng& rng, double zero_fraction = 0.0) {
   Tensor t({rows, cols});

@@ -1,0 +1,49 @@
+// Shared helpers for the unit tests: seeded random-model construction (previously
+// duplicated across the firmware, robustness and fault-campaign tests) and the global
+// thread-pool guard. Layers are built sequentially from a single Rng, so a (seed, spec)
+// pair fully determines the model.
+
+#ifndef NEUROC_TESTS_TEST_UTIL_H_
+#define NEUROC_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/core/synthetic.h"
+
+namespace neuroc::testutil {
+
+struct TestModelSpec {
+  std::vector<size_t> dims = {64, 24, 10};  // in_dim, hidden..., out_dim
+  double density = 0.2;
+  EncodingKind encoding = EncodingKind::kBlock;
+  bool has_scale = true;
+  bool final_relu = false;  // hidden layers always use relu
+};
+
+inline NeuroCModel MakeTestModel(uint64_t seed, const TestModelSpec& spec = {}) {
+  Rng rng(seed);
+  std::vector<QuantNeuroCLayer> layers;
+  for (size_t i = 0; i + 1 < spec.dims.size(); ++i) {
+    SyntheticNeuroCLayerSpec layer;
+    layer.in_dim = spec.dims[i];
+    layer.out_dim = spec.dims[i + 1];
+    layer.density = spec.density;
+    layer.encoding = spec.encoding;
+    layer.has_scale = spec.has_scale;
+    layer.relu = i + 2 < spec.dims.size() ? true : spec.final_relu;
+    layers.push_back(MakeSyntheticNeuroCLayer(layer, rng));
+  }
+  return NeuroCModel::FromLayers(std::move(layers));
+}
+
+// Restores the default (env-derived) global pool size when a test returns or throws.
+struct GlobalThreadsGuard {
+  ~GlobalThreadsGuard() { ThreadPool::SetGlobalThreads(0); }
+};
+
+}  // namespace neuroc::testutil
+
+#endif  // NEUROC_TESTS_TEST_UTIL_H_

@@ -14,14 +14,12 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "tests/test_util.h"
 
 namespace neuroc {
 namespace {
 
-// Restores the global pool to its default size when a test exits.
-struct GlobalThreadsGuard {
-  ~GlobalThreadsGuard() { ThreadPool::SetGlobalThreads(0); }
-};
+using testutil::GlobalThreadsGuard;
 
 TEST(ThreadPoolTest, ChunksCoverRangeExactlyOnce) {
   GlobalThreadsGuard guard;

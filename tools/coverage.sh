@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Per-directory line-coverage report for a -DNEUROC_COVERAGE=ON build.
+#
+#   cmake -B build-cov -S . -DNEUROC_COVERAGE=ON
+#   cmake --build build-cov -j
+#   ctest --test-dir build-cov
+#   tools/coverage.sh build-cov
+#
+# gcc builds leave .gcda note files next to the objects; the script prefers gcovr when
+# installed and falls back to parsing raw `gcov -n` output. clang builds (source-based
+# coverage) need LLVM_PROFILE_FILE="%p.profraw" exported around the ctest run; the script
+# then merges the profiles and reports through llvm-cov.
+set -euo pipefail
+
+BUILD_DIR="${1:-build-cov}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "error: build dir '$BUILD_DIR' not found (configure with -DNEUROC_COVERAGE=ON)" >&2
+  exit 1
+fi
+
+# --- clang source-based coverage ---------------------------------------------------------
+profraws=$(find "$BUILD_DIR" -name '*.profraw' 2>/dev/null || true)
+if [[ -n "$profraws" ]]; then
+  profdata="$BUILD_DIR/neuroc.profdata"
+  # shellcheck disable=SC2086  # word-splitting the file list is intended
+  llvm-profdata merge -sparse $profraws -o "$profdata"
+  objects=()
+  for t in "$BUILD_DIR"/tests/*_test "$BUILD_DIR"/tools/neuroc; do
+    [[ -x "$t" ]] && objects+=(-object "$t")
+  done
+  llvm-cov report "${objects[@]}" -instr-profile="$profdata" \
+    -ignore-filename-regex='(third_party|_deps|/usr/)'
+  exit 0
+fi
+
+# --- gcc/gcov coverage -------------------------------------------------------------------
+if ! find "$BUILD_DIR" -name '*.gcda' -print -quit | grep -q .; then
+  echo "error: no coverage data under '$BUILD_DIR' — build with -DNEUROC_COVERAGE=ON and run ctest first" >&2
+  exit 1
+fi
+
+if command -v gcovr >/dev/null 2>&1; then
+  gcovr --root "$ROOT" --filter 'src/' --filter 'tools/' --print-summary "$BUILD_DIR"
+  exit 0
+fi
+
+# Fallback: run gcov -n over every note file and aggregate "Lines executed" per source
+# directory. A source compiled into several targets is counted once with its best run.
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+find "$BUILD_DIR" -name '*.gcda' | while read -r gcda; do
+  gcov -n -o "$(dirname "$gcda")" "$gcda" 2>/dev/null
+done > "$raw"
+python3 - "$ROOT" "$raw" <<'PY'
+import re
+import sys
+
+root = sys.argv[1].rstrip("/") + "/"
+best = {}  # source path -> (covered, total)
+file_name = None
+for line in open(sys.argv[2]):
+    m = re.match(r"File '(.*)'", line.strip())
+    if m:
+        file_name = m.group(1)
+        continue
+    m = re.match(r"Lines executed:([0-9.]+)% of (\d+)", line.strip())
+    if m and file_name:
+        pct, total = float(m.group(1)), int(m.group(2))
+        covered = round(pct * total / 100.0)
+        if file_name.startswith(root) and "/_deps/" not in file_name:
+            rel = file_name[len(root):]
+            old = best.get(rel)
+            if old is None or covered > old[0]:
+                best[rel] = (covered, total)
+        file_name = None
+
+dirs = {}
+for rel, (covered, total) in best.items():
+    d = rel.rsplit("/", 1)[0] if "/" in rel else "."
+    dc, dt = dirs.get(d, (0, 0))
+    dirs[d] = (dc + covered, dt + total)
+
+if not dirs:
+    sys.exit("no project sources found in gcov output")
+width = max(len(d) for d in dirs) + 2
+print(f"{'directory':<{width}} {'lines':>12} {'coverage':>9}")
+tc = tt = 0
+for d in sorted(dirs):
+    c, t = dirs[d]
+    tc += c
+    tt += t
+    print(f"{d:<{width}} {c:>5}/{t:<6} {100.0 * c / t:>8.1f}%")
+print(f"{'TOTAL':<{width}} {tc:>5}/{tt:<6} {100.0 * tc / tt:>8.1f}%")
+PY

@@ -11,6 +11,9 @@
 //   neuroc faultcampaign [--trials N] [--seed N] [--fault bitflip|multibit|stuck0|stuck1]
 //                  [--bits N] [--trigger pre|mid] [--regions a,b,..] [--encodings a,b,..]
 //                  [--no-retry] [--json out.json] [--smoke]
+//   neuroc fuzz    --oracle kernel|isa|serde [--seed N] [--cases N] [--json out.json]
+//                  [--corpus-dir dir] [--no-minimize] | --replay case.fuzzcase
+//                  | --case-seed 0x... | --smoke
 //
 // Datasets: digits, mnist, fashion, cifar5, events (procedural; see src/data/synth.h).
 
@@ -24,6 +27,7 @@
 
 #include "src/core/adjacency_stats.h"
 #include "src/core/model_serde.h"
+#include "src/fuzz/fuzz.h"
 #include "src/data/synth.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/metrics.h"
@@ -53,7 +57,7 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: neuroc <train|eval|inspect|bench|profile|deploy|faultcampaign>"
+               "usage: neuroc <train|eval|inspect|bench|profile|deploy|faultcampaign|fuzz>"
                " [options]\n"
                "  train   --dataset <digits|mnist|fashion|cifar5|events> --out model.ncm\n"
                "          [--hidden 128,64] [--density 0.12] [--epochs 8] [--tnn] [--seed N]\n"
@@ -69,7 +73,10 @@ int Usage() {
                "          [--trigger <pre|mid>]\n"
                "          [--regions <kernel_code,descriptors,payload,sram>]\n"
                "          [--encodings <csc,delta,mixed,block>] [--no-retry]\n"
-               "          [--json out.json] [--smoke]\n");
+               "          [--json out.json] [--smoke]\n"
+               "  fuzz    --oracle <kernel|isa|serde> [--seed N] [--cases N]\n"
+               "          [--json out.json] [--corpus-dir dir] [--no-minimize]\n"
+               "          | --replay case.fuzzcase | --case-seed 0xSEED | --smoke\n");
   return 2;
 }
 
@@ -418,6 +425,98 @@ int CmdFaultCampaign(const Args& args) {
   return 0;
 }
 
+// Prints one campaign's outcome; returns the number of failures.
+uint64_t ReportFuzzCampaign(const FuzzCampaignResult& result) {
+  const FuzzConfig& cfg = result.config;
+  std::printf("fuzz %s: seed=%llu cases=%d passed=%llu skipped=%llu failed=%llu\n",
+              FuzzOracleName(cfg.oracle), static_cast<unsigned long long>(cfg.seed),
+              cfg.cases, static_cast<unsigned long long>(result.passed),
+              static_cast<unsigned long long>(result.skipped),
+              static_cast<unsigned long long>(result.failed));
+  for (const FuzzFailure& f : result.failures) {
+    std::fprintf(stderr, "FAIL case %llu: %s\n",
+                 static_cast<unsigned long long>(f.index), f.detail.c_str());
+    std::fprintf(stderr, "  minimized (%d shrink steps): %s\n",
+                 f.minimize_stats.reductions, f.minimized_detail.c_str());
+    std::fprintf(stderr, "%s", f.minimized.ToText().c_str());
+    std::fprintf(stderr, "  repro: %s\n", FuzzReproCommand(f).c_str());
+  }
+  return result.failed;
+}
+
+int CmdFuzz(const Args& args) {
+  // Single-case replay from a corpus file: the one-command repro printed on failure.
+  if (args.Has("replay")) {
+    const StatusOr<FuzzCase> c = LoadFuzzCase(args.Get("replay"));
+    if (!c.ok()) {
+      std::fprintf(stderr, "cannot replay %s: %s\n", args.Get("replay"),
+                   c.status().ToString().c_str());
+      return 2;
+    }
+    const CaseResult r = RunFuzzCase(*c);
+    std::printf("%s: %s%s%s\n", args.Get("replay"), FuzzVerdictName(r.verdict),
+                r.detail.empty() ? "" : ": ", r.detail.c_str());
+    return r.verdict == FuzzVerdict::kFail ? 1 : 0;
+  }
+
+  FuzzConfig cfg;
+  cfg.seed = std::strtoull(args.Get("seed", "1"), nullptr, 10);
+  cfg.cases = static_cast<int>(std::strtol(args.Get("cases", "256"), nullptr, 10));
+  cfg.minimize = !args.Has("no-minimize");
+  cfg.corpus_dir = args.Get("corpus-dir", "");
+  if (!cfg.corpus_dir.empty()) {
+    std::filesystem::create_directories(cfg.corpus_dir);
+  }
+
+  // Single-case mode: regenerate one campaign case from its SplitMix64 seed.
+  if (args.Has("case-seed")) {
+    if (!args.Has("oracle") || !ParseFuzzOracle(args.Get("oracle"), &cfg.oracle)) {
+      return Usage();
+    }
+    const uint64_t case_seed = std::strtoull(args.Get("case-seed"), nullptr, 0);
+    const FuzzCase c = GenerateFuzzCase(cfg.oracle, case_seed);
+    const CaseResult r = RunFuzzCase(c);
+    std::printf("%s", c.ToText().c_str());
+    std::printf("verdict %s%s%s\n", FuzzVerdictName(r.verdict),
+                r.detail.empty() ? "" : ": ", r.detail.c_str());
+    if (r.verdict == FuzzVerdict::kFail && cfg.minimize) {
+      const FuzzCase min = MinimizeFuzzCase(c, [](const FuzzCase& cand) {
+        return RunFuzzCase(cand).verdict == FuzzVerdict::kFail;
+      });
+      std::printf("minimized:\n%s", min.ToText().c_str());
+    }
+    return r.verdict == FuzzVerdict::kFail ? 1 : 0;
+  }
+
+  if (args.Has("smoke")) {
+    // Tier-1 CI mode: a small deterministic campaign per oracle, all must come back clean.
+    uint64_t failed = 0;
+    const std::pair<FuzzOracle, int> budgets[] = {{FuzzOracle::kKernel, 24},
+                                                  {FuzzOracle::kIsa, 2048},
+                                                  {FuzzOracle::kSerde, 48}};
+    for (const auto& [oracle, cases] : budgets) {
+      cfg.oracle = oracle;
+      cfg.cases = cases;
+      failed += ReportFuzzCampaign(RunFuzzCampaign(cfg));
+    }
+    return failed == 0 ? 0 : 1;
+  }
+
+  if (!args.Has("oracle") || !ParseFuzzOracle(args.Get("oracle"), &cfg.oracle)) {
+    return Usage();
+  }
+  const FuzzCampaignResult result = RunFuzzCampaign(cfg);
+  const uint64_t failed = ReportFuzzCampaign(result);
+  if (args.Has("json")) {
+    if (WriteStringToFile(args.Get("json"), FuzzCampaignJson(result) + "\n")) {
+      std::printf("wrote %s\n", args.Get("json"));
+    } else {
+      return 1;
+    }
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -456,6 +555,9 @@ int Main(int argc, char** argv) {
   }
   if (args.command == "faultcampaign") {
     return CmdFaultCampaign(args);
+  }
+  if (args.command == "fuzz") {
+    return CmdFuzz(args);
   }
   return Usage();
 }
