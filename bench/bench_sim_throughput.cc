@@ -1,13 +1,14 @@
-// Host-side simulator throughput: predecoded-instruction cache × the four adjacency
-// encodings, plus RandomSearch wall-clock at 1 vs N threads.
+// Host-side simulator throughput: three decode/execute paths (legacy decode-every-step,
+// predecoded-instruction cache, block-compiled) × the four adjacency encodings, plus
+// RandomSearch wall-clock at 1 vs N threads.
 //
-// Every reported paper metric (cycles, latency) flows through Cpu::Step, so simulation
-// speed bounds how many candidate architectures a search can afford. This bench tracks
-// what the decode cache (src/sim/cpu.*) buys in host wall-clock per simulated inference
-// and in simulated MIPS, verifies cycle counts are bit-identical between the cached and
-// legacy decode paths, and times RandomSearch across thread counts (asserting the results
-// are byte-identical, the contract that makes parallel search safe to use for paper
-// numbers). Emits BENCH_sim_throughput.json.
+// Every reported paper metric (cycles, latency) flows through the CPU's execute loop, so
+// simulation speed bounds how many candidate architectures a search can afford. This bench
+// tracks what the decode cache and the block compiler (src/sim/cpu.*) buy in host
+// wall-clock per simulated inference and in simulated MIPS, verifies cycle counts are
+// bit-identical across all three paths, and times RandomSearch across thread counts
+// (asserting the results are byte-identical, the contract that makes parallel search safe
+// to use for paper numbers). Emits BENCH_sim_throughput.json.
 //
 // `--smoke` shrinks repetitions/trials to seconds so the tier-1 ctest sweep can run this
 // binary and keep it from bit-rotting.
@@ -33,9 +34,10 @@ namespace neuroc {
 namespace {
 
 // Best of kRepeats timed runs — a shared host can slow any single run arbitrarily but
-// cannot make one faster than the machine allows. The legacy and cached paths are timed
-// in alternating blocks so a noisy window penalizes both rather than skewing the ratio.
+// cannot make one faster than the machine allows. The three execute paths are timed in
+// alternating blocks so a noisy window penalizes all of them rather than skewing a ratio.
 constexpr int kRepeats = 5;
+constexpr int kModes = 3;  // legacy / cached / block
 
 double Seconds(std::chrono::steady_clock::time_point t0,
                std::chrono::steady_clock::time_point t1) {
@@ -61,7 +63,7 @@ NeuroCModel MakeBenchModel(EncodingKind kind) {
 
 struct InferenceResult {
   std::string encoding;
-  std::string decode;  // "cached" | "legacy"
+  std::string decode;  // "legacy" | "cached" | "block"
   uint64_t cycles_per_inference = 0;
   uint64_t instructions_per_inference = 0;
   double wall_ms_per_inference = 0.0;
@@ -85,34 +87,37 @@ double TimeBlock(DeployedModel& deployed, const std::vector<int8_t>& input, int 
   return Seconds(t0, t1);
 }
 
-// Measures the legacy and cached decode paths for one encoding, alternating
-// legacy/cached timed blocks kRepeats times and keeping the best block of each.
-// Returns {legacy, cached}.
-std::array<InferenceResult, 2> RunInferencePair(EncodingKind kind, int reps) {
+// Measures the three execute paths for one encoding, alternating legacy/cached/block
+// timed blocks kRepeats times and keeping the best block of each.
+// Returns {legacy, cached, block}.
+std::array<InferenceResult, kModes> RunInferenceTriple(EncodingKind kind, int reps) {
   DeployedModel legacy = DeployedModel::Deploy(MakeBenchModel(kind));
   DeployedModel cached = DeployedModel::Deploy(MakeBenchModel(kind));
+  DeployedModel block = DeployedModel::Deploy(MakeBenchModel(kind));
   legacy.machine().cpu().EnableDecodeCache(false);
+  cached.machine().cpu().EnableBlockCompile(false);  // predecode cache only
   Rng rng(17);
   const std::vector<int8_t> input = MakeRandomInput(legacy.input_dim(), rng);
-  std::array<InferenceResult, 2> out;
+  std::array<InferenceResult, kModes> out;
   out[0].decode = "legacy";
   out[1].decode = "cached";
-  std::array<DeployedModel*, 2> models = {&legacy, &cached};
-  std::array<double, 2> best = {0.0, 0.0};
-  for (int which = 0; which < 2; ++which) {
+  out[2].decode = "block";
+  std::array<DeployedModel*, kModes> models = {&legacy, &cached, &block};
+  std::array<double, kModes> best = {};
+  for (int which = 0; which < kModes; ++which) {
     out[which].encoding = EncodingKindName(kind);
-    models[which]->Predict(input);  // warm-up: builds the decode cache untimed
+    models[which]->Predict(input);  // warm-up: builds the decode/block caches untimed
     out[which].cycles_per_inference = models[which]->report().cycles_per_inference;
   }
   for (int rep = 0; rep < kRepeats; ++rep) {
-    for (int which = 0; which < 2; ++which) {
+    for (int which = 0; which < kModes; ++which) {
       const double seconds = TimeBlock(*models[which], input, reps, out[which]);
       if (best[which] == 0.0 || seconds < best[which]) {
         best[which] = seconds;
       }
     }
   }
-  for (int which = 0; which < 2; ++which) {
+  for (int which = 0; which < kModes; ++which) {
     out[which].wall_ms_per_inference = best[which] * 1000.0 / reps;
     out[which].sim_mips =
         static_cast<double>(out[which].instructions_per_inference) * reps /
@@ -187,7 +192,7 @@ int main(int argc, char** argv) {
               "instr/inf", "wall_ms/inf", "sim_MIPS");
   std::vector<InferenceResult> inference;
   for (EncodingKind kind : kAllEncodingKinds) {
-    for (const InferenceResult& r : RunInferencePair(kind, reps)) {
+    for (const InferenceResult& r : RunInferenceTriple(kind, reps)) {
       std::printf("%-8s %-8s %14llu %14llu %12.4f %10.1f\n", r.encoding.c_str(),
                   r.decode.c_str(), static_cast<unsigned long long>(r.cycles_per_inference),
                   static_cast<unsigned long long>(r.instructions_per_inference),
@@ -195,11 +200,14 @@ int main(int argc, char** argv) {
       inference.push_back(r);
     }
   }
-  // The decode path must not change a single reported cycle.
-  for (size_t i = 0; i + 1 < inference.size(); i += 2) {
-    NEUROC_CHECK(inference[i].cycles_per_inference == inference[i + 1].cycles_per_inference);
-    NEUROC_CHECK(inference[i].instructions_per_inference ==
-                 inference[i + 1].instructions_per_inference);
+  // The execute path must not change a single reported cycle or retired instruction.
+  for (size_t i = 0; i + kModes - 1 < inference.size(); i += kModes) {
+    for (size_t m = 1; m < kModes; ++m) {
+      NEUROC_CHECK(inference[i].cycles_per_inference ==
+                   inference[i + m].cycles_per_inference);
+      NEUROC_CHECK(inference[i].instructions_per_inference ==
+                   inference[i + m].instructions_per_inference);
+    }
   }
 
   const Dataset all = MakeDigits8x8(smoke ? 200 : 500, 11);
@@ -227,35 +235,43 @@ int main(int argc, char** argv) {
     w.Key("decode").Value(r.decode);
     w.Key("cycles_per_inference").Value(r.cycles_per_inference);
     w.Key("instructions_per_inference").Value(r.instructions_per_inference);
-    w.Key("wall_ms_per_inference").Value(r.wall_ms_per_inference, 6);
-    w.Key("sim_mips").Value(r.sim_mips, 2);
+    w.Key("wall_ms_per_inference").ValueFixed(r.wall_ms_per_inference, 6);
+    w.Key("sim_mips").ValueFixed(r.sim_mips, 1);
     w.EndObject();
   }
   w.EndArray();
   w.Key("speedups").BeginObject();
-  for (size_t i = 0; i + 1 < inference.size(); i += 2) {
+  for (size_t i = 0; i + kModes - 1 < inference.size(); i += kModes) {
     const InferenceResult& legacy = inference[i];
     const InferenceResult& cached = inference[i + 1];
+    const InferenceResult& block = inference[i + 2];
     char key[64];
     std::snprintf(key, sizeof(key), "cached_vs_legacy_%s", legacy.encoding.c_str());
-    w.Key(key).Value(legacy.wall_ms_per_inference / cached.wall_ms_per_inference, 3);
+    w.Key(key).ValueFixed(legacy.wall_ms_per_inference / cached.wall_ms_per_inference, 3);
+    std::snprintf(key, sizeof(key), "block_vs_cached_%s", legacy.encoding.c_str());
+    w.Key(key).ValueFixed(cached.wall_ms_per_inference / block.wall_ms_per_inference, 3);
+    std::snprintf(key, sizeof(key), "block_vs_legacy_%s", legacy.encoding.c_str());
+    w.Key(key).ValueFixed(legacy.wall_ms_per_inference / block.wall_ms_per_inference, 3);
   }
-  w.Key("search_4t_vs_1t").Value(s1.wall_ms / s4.wall_ms, 3);
+  w.Key("search_4t_vs_1t").ValueFixed(s1.wall_ms / s4.wall_ms, 3);
   w.EndObject();
   // Context for the ratios: the legacy comparator here is the decode-every-step path of
-  // the *current* binary, which already shares this PR's inlined MemoryMap accessors, and
-  // the search speedup is bounded by the cores the host actually grants us.
+  // the *current* binary, which already shares the inlined MemoryMap accessors, and the
+  // search speedup is bounded by the cores the host actually grants us.
   w.Key("notes").BeginArray();
   w.Value(
       "cached_vs_legacy compares decode paths within this binary; decode+fetch is "
       "~50% of a legacy step, so the ratio is Amdahl-capped near 2x");
+  w.Value(
+      "block fuses straight-line basic blocks into one dispatch with batched "
+      "accounting and lazy APSR flags, breaking the per-step Amdahl cap");
   w.Value("search_4t_vs_1t cannot exceed 1x when host_threads_available is 1");
   w.EndArray();
   w.Key("search").BeginObject();
   w.Key("trials").Value(static_cast<uint64_t>(trials));
   w.Key("epochs").Value(static_cast<uint64_t>(epochs));
-  w.Key("threads_1_wall_ms").Value(s1.wall_ms, 1);
-  w.Key("threads_4_wall_ms").Value(s4.wall_ms, 1);
+  w.Key("threads_1_wall_ms").ValueFixed(s1.wall_ms, 1);
+  w.Key("threads_4_wall_ms").ValueFixed(s4.wall_ms, 1);
   w.Key("results_byte_identical").Value(identical ? 1 : 0);
   w.EndObject();
   w.EndObject();

@@ -10,15 +10,17 @@ namespace neuroc {
 
 namespace {
 
-// One reference/device comparison against an already-deployed pair. `cached` runs the
-// predecoded-instruction path, `legacy` the decode-every-step path — both must agree with
-// the host byte-for-byte, and with each other on cycle counts (the predecode cache is a
-// pure performance transform).
+// One reference/device comparison across all three simulator decode paths. `block` runs
+// block-compiled execution (the deploy default), `cached` the predecoded-instruction path
+// with block fusion off, `legacy` the decode-every-step interpreter — all must agree with
+// the host byte-for-byte, and with each other on cycle counts (both the predecode cache
+// and block compilation are pure performance transforms).
 template <typename Model>
 CaseResult CompareAgainstHost(const FuzzCase& c, const Model& model) {
+  auto block_or = DeployedModel::TryDeploy(model);
   auto cached_or = DeployedModel::TryDeploy(model);
   auto legacy_or = DeployedModel::TryDeploy(model);
-  for (const auto* d : {&cached_or, &legacy_or}) {
+  for (const auto* d : {&block_or, &cached_or, &legacy_or}) {
     if (!d->ok()) {
       if (d->status().code() == ErrorCode::kResourceExhausted) {
         return {FuzzVerdict::kSkip, "resource_exhausted: model does not fit the device"};
@@ -26,9 +28,15 @@ CaseResult CompareAgainstHost(const FuzzCase& c, const Model& model) {
       return {FuzzVerdict::kFail, "deploy failed: " + d->status().ToString()};
     }
   }
-  DeployedModel cached = std::move(*cached_or);
-  DeployedModel legacy = std::move(*legacy_or);
-  legacy.machine().cpu().EnableDecodeCache(false);
+  struct Mode {
+    const char* name;
+    DeployedModel deployed;
+  };
+  Mode modes[] = {{"block", std::move(*block_or)},
+                  {"cached", std::move(*cached_or)},
+                  {"legacy", std::move(*legacy_or)}};
+  modes[1].deployed.machine().cpu().EnableBlockCompile(false);
+  modes[2].deployed.machine().cpu().EnableDecodeCache(false);
 
   const std::vector<std::vector<int8_t>> inputs = KernelCaseInputs(c);
   std::vector<int8_t> expected;
@@ -37,33 +45,28 @@ CaseResult CompareAgainstHost(const FuzzCase& c, const Model& model) {
     model.Forward(inputs[i], expected);
     const int host_pred = model.Predict(inputs[i]);
 
-    const StatusOr<int> p_cached = cached.TryPredict(inputs[i]);
-    if (!p_cached.ok()) {
-      return {FuzzVerdict::kFail,
-              "guest fault, decode cache on" + which + ": " + p_cached.status().ToString()};
-    }
-    if (cached.LastOutput() != expected) {
-      return {FuzzVerdict::kFail, "sim output != host output, decode cache on" + which};
-    }
-    if (*p_cached != host_pred) {
-      return {FuzzVerdict::kFail, "sim argmax != host argmax, decode cache on" + which};
-    }
-    const uint64_t cycles_cached = cached.report().cycles_per_inference;
-
-    const StatusOr<int> p_legacy = legacy.TryPredict(inputs[i]);
-    if (!p_legacy.ok()) {
-      return {FuzzVerdict::kFail,
-              "guest fault, decode cache off" + which + ": " + p_legacy.status().ToString()};
-    }
-    if (legacy.LastOutput() != expected) {
-      return {FuzzVerdict::kFail, "sim output != host output, decode cache off" + which};
-    }
-    const uint64_t cycles_legacy = legacy.report().cycles_per_inference;
-    if (cycles_legacy != cycles_cached) {
-      return {FuzzVerdict::kFail,
-              "cycle count differs between decode-cache modes" + which + ": cached=" +
-                  std::to_string(cycles_cached) + " legacy=" +
-                  std::to_string(cycles_legacy)};
+    uint64_t block_cycles = 0;
+    for (Mode& mode : modes) {
+      const std::string where = std::string(", decode mode ") + mode.name + which;
+      const StatusOr<int> pred = mode.deployed.TryPredict(inputs[i]);
+      if (!pred.ok()) {
+        return {FuzzVerdict::kFail, "guest fault" + where + ": " + pred.status().ToString()};
+      }
+      if (mode.deployed.LastOutput() != expected) {
+        return {FuzzVerdict::kFail, "sim output != host output" + where};
+      }
+      if (*pred != host_pred) {
+        return {FuzzVerdict::kFail, "sim argmax != host argmax" + where};
+      }
+      const uint64_t cycles = mode.deployed.report().cycles_per_inference;
+      if (&mode == &modes[0]) {
+        block_cycles = cycles;
+      } else if (cycles != block_cycles) {
+        return {FuzzVerdict::kFail,
+                "cycle count differs between decode modes" + which + ": block=" +
+                    std::to_string(block_cycles) + " " + mode.name + "=" +
+                    std::to_string(cycles)};
+      }
     }
   }
   return {};

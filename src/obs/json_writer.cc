@@ -132,6 +132,18 @@ JsonWriter& JsonWriter::Value(double v, int precision) {
   return *this;
 }
 
+JsonWriter& JsonWriter::ValueFixed(double v, int decimals) {
+  BeforeItem();
+  if (!std::isfinite(v)) {
+    Append("null");
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  Append(buf);
+  return *this;
+}
+
 std::string JsonWriter::Escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());

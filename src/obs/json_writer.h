@@ -50,6 +50,10 @@ class JsonWriter {
   JsonWriter& Value(uint64_t v);
   // Non-finite doubles become null (JSON has no NaN/Inf). `precision` is the %g precision.
   JsonWriter& Value(double v, int precision = 6);
+  // Fixed-point form (%f with `decimals` digits): use for metrics that trajectory diffs
+  // compare across runs, where %g's switch to scientific notation (e.g. 1.1e+02 for a
+  // sim-MIPS figure) hides real movement behind a 2-significant-digit mantissa.
+  JsonWriter& ValueFixed(double v, int decimals);
 
   // True once the single top-level value is complete.
   bool done() const { return stack_.empty() && has_top_value_; }

@@ -15,7 +15,9 @@
 //
 // The profiler is host-side observation only: attaching it never changes simulated cycle
 // or instruction counts (tested), and with no probe attached the simulator pays a single
-// null check per step.
+// null check per step. Attaching a probe transparently drops the CPU out of
+// block-compiled execution for the profiled window (per-retire callbacks come from the
+// step interpreter only); detaching resumes block dispatch with identical counters.
 
 #ifndef NEUROC_SRC_OBS_SIM_PROFILER_H_
 #define NEUROC_SRC_OBS_SIM_PROFILER_H_

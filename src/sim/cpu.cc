@@ -21,9 +21,23 @@ Cpu::~Cpu() { mem_->UnregisterFlashWriteListener(&icache_valid_); }
 void Cpu::EnableDecodeCache(bool enabled) {
   icache_enabled_ = enabled;
   if (!enabled) {
+    FlushBlockHistograms();
     icache_ = std::vector<Predecoded>();  // release memory, not just clear
+    blocks_ = std::vector<Block>();
+    block_index_ = std::vector<int32_t>();
     icache_valid_ = false;
   }
+}
+
+void Cpu::EnableBlockCompile(bool enabled) {
+  block_enabled_ = enabled;
+  if (!enabled) {
+    FlushBlockHistograms();
+    blocks_ = std::vector<Block>();
+    block_index_ = std::vector<int32_t>();
+  }
+  // Force a rebuild either way so block_index_ is (re)sized with the decode cache.
+  icache_valid_ = false;
 }
 
 void Cpu::RebuildDecodeCache() {
@@ -46,14 +60,284 @@ void Cpu::RebuildDecodeCache() {
     }
     icache_[s] = Predecoded{DecodeInstr(hw1, hw2), hw1, hw2, flash_reads};
   }
+  // Compiled blocks are views over the predecoded slots; drop them whenever the slots
+  // change (any host write into flash lands here via the shared listener flag).
+  FlushBlockHistograms();
+  blocks_.clear();
+  block_index_.assign(block_enabled_ ? slots : 0, kBlockNotCompiled);
   icache_valid_ = true;
+}
+
+namespace {
+
+// APSR bit masks for the block compiler's liveness pass.
+constexpr uint8_t kFlagN = 1;
+constexpr uint8_t kFlagZ = 2;
+constexpr uint8_t kFlagC = 4;
+constexpr uint8_t kFlagV = 8;
+constexpr uint8_t kAllFlags = kFlagN | kFlagZ | kFlagC | kFlagV;
+constexpr uint8_t kFlagsNZ = kFlagN | kFlagZ;
+constexpr uint8_t kFlagsNZC = kFlagN | kFlagZ | kFlagC;
+
+struct FlagEffects {
+  uint8_t reads = 0;       // flag bits the instruction consumes
+  uint8_t may_write = 0;   // bits it can write (shift-by-register writes C conditionally)
+  uint8_t must_write = 0;  // bits it always writes (these kill earlier writes)
+};
+
+FlagEffects FlagEffectsOf(Op op, int32_t imm) {
+  switch (op) {
+    case Op::kLslImm:
+      // imm == 0 is the MOVS register form: C unchanged.
+      return imm == 0 ? FlagEffects{0, kFlagsNZ, kFlagsNZ}
+                      : FlagEffects{0, kFlagsNZC, kFlagsNZC};
+    case Op::kLsrImm:
+    case Op::kAsrImm:
+      return {0, kFlagsNZC, kFlagsNZC};
+    case Op::kLslReg:
+    case Op::kLsrReg:
+    case Op::kAsrReg:
+    case Op::kRor:
+      // C is written only when the register-held amount is non-zero.
+      return {0, kFlagsNZC, kFlagsNZ};
+    case Op::kAddReg:
+    case Op::kSubReg:
+    case Op::kAddImm3:
+    case Op::kSubImm3:
+    case Op::kAddImm8:
+    case Op::kSubImm8:
+    case Op::kCmpImm:
+    case Op::kCmpReg:
+    case Op::kCmpHi:
+    case Op::kCmn:
+    case Op::kNeg:
+      return {0, kAllFlags, kAllFlags};
+    case Op::kAdc:
+    case Op::kSbc:
+      return {kFlagC, kAllFlags, kAllFlags};
+    case Op::kMovImm:
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kOrr:
+    case Op::kBic:
+    case Op::kMvn:
+    case Op::kTst:
+    case Op::kMul:
+      return {0, kFlagsNZ, kFlagsNZ};
+    case Op::kBcond:
+      return {kAllFlags, 0, 0};
+    default:
+      return {};
+  }
+}
+
+// Ops whose execution can raise a GuestFault (every memory access; a branch itself cannot
+// fault — a bad target faults on the next fetch, in the interpreter). The architectural
+// flags are observable at a fault, so liveness must be forced across these.
+bool MayFault(Op op) {
+  switch (op) {
+    case Op::kLdrLit:
+    case Op::kStrReg: case Op::kStrImm: case Op::kStrSp:
+    case Op::kLdrReg: case Op::kLdrImm: case Op::kLdrSp:
+    case Op::kStrbReg: case Op::kStrbImm:
+    case Op::kLdrbReg: case Op::kLdrbImm:
+    case Op::kStrhReg: case Op::kStrhImm:
+    case Op::kLdrhReg: case Op::kLdrhImm:
+    case Op::kLdrsbReg: case Op::kLdrshReg:
+    case Op::kPush: case Op::kPop: case Op::kLdm: case Op::kStm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Control-flow instructions end a basic block (they are included as its terminator).
+bool IsTerminator(const Instr& in) {
+  switch (in.op) {
+    case Op::kB:
+    case Op::kBcond:
+    case Op::kBl:
+    case Op::kBx:
+    case Op::kBlx:
+      return true;
+    case Op::kAddHi:
+    case Op::kMovHi:
+      return in.rd == kRegPc;
+    case Op::kPop:
+      return (in.reglist & 0x100) != 0;
+    default:
+      return false;
+  }
+}
+
+int PopCount8(uint16_t reglist) {
+  int count = 0;
+  for (int r = 0; r <= 8; ++r) {
+    if (reglist & (1 << r)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+// Static execution cost, mirroring the charge the interpreter makes for the instruction
+// (excluding the per-fetch flash wait states and the dynamic parts: data-access wait
+// states and the taken/not-taken split of kBcond, which the executor resolves at runtime).
+uint32_t StaticExecCycles(const Instr& in, const CycleModel& m) {
+  switch (in.op) {
+    case Op::kMul:
+      return static_cast<uint32_t>(m.mul);
+    case Op::kLdrLit:
+    case Op::kLdrReg: case Op::kLdrImm: case Op::kLdrSp:
+    case Op::kLdrbReg: case Op::kLdrbImm:
+    case Op::kLdrhReg: case Op::kLdrhImm:
+    case Op::kLdrsbReg: case Op::kLdrshReg:
+      return static_cast<uint32_t>(m.load);
+    case Op::kStrReg: case Op::kStrImm: case Op::kStrSp:
+    case Op::kStrbReg: case Op::kStrbImm:
+    case Op::kStrhReg: case Op::kStrhImm:
+      return static_cast<uint32_t>(m.store);
+    case Op::kPush:
+    case Op::kLdm:
+    case Op::kStm:
+      return static_cast<uint32_t>(m.push_pop_base + PopCount8(in.reglist));
+    case Op::kPop: {
+      uint32_t c = static_cast<uint32_t>(m.push_pop_base + PopCount8(in.reglist));
+      if (in.reglist & 0x100) {
+        c += static_cast<uint32_t>(m.pop_pc_extra);
+      }
+      return c;
+    }
+    case Op::kB:
+      return static_cast<uint32_t>(m.branch_taken);
+    case Op::kBl:
+      return static_cast<uint32_t>(m.bl);
+    case Op::kBx:
+    case Op::kBlx:
+      return static_cast<uint32_t>(m.bx);
+    case Op::kBcond:
+      return 0;  // taken/not-taken resolved by the executor
+    case Op::kAddHi:
+    case Op::kMovHi:
+      return static_cast<uint32_t>(in.rd == kRegPc ? m.pc_alu : m.alu);
+    default:
+      return static_cast<uint32_t>(m.alu);
+  }
+}
+
+}  // namespace
+
+// Walks predecoded slots from `entry_slot` until a control-flow terminator, an
+// invalid/UDF decode, the end of decode coverage, or the length cap, fusing the run into
+// one Block. Returns the block index, or kBlockStepOnly when the entry cannot start a
+// block. A backward pass then marks which APSR writes are dead (overwritten before any
+// consumer — conditional branch or ADC/SBC — with no intervening possible-fault site) so
+// the executor can skip materializing them.
+int32_t Cpu::CompileBlock(size_t entry_slot) {
+  // Bounds compile time and the O(length) cold-path fault fixup; a longer straight-line
+  // run simply continues as a fall-through successor block.
+  constexpr size_t kMaxBlockOps = 4096;
+  Block b;
+  uint32_t static_cycles = 0;
+  size_t slot = entry_slot;
+  while (slot < icache_.size() && b.ops.size() < kMaxBlockOps) {
+    const Predecoded& pd = icache_[slot];
+    const Instr& in = pd.instr;
+    if (in.op == Op::kInvalid || in.op == Op::kUdf) {
+      break;  // the interpreter raises the fault with the exact seed diagnostics
+    }
+    BlockOp o;
+    o.op = in.op;
+    o.rd = in.rd;
+    o.rn = in.rn;
+    o.rm = in.rm;
+    o.cond = in.cond;
+    o.reglist = in.reglist;
+    o.imm = in.imm;
+    o.fetch_reads = pd.flash_reads;
+    o.is_mem = MayFault(in.op) ? 1 : 0;
+    o.addr = mem_->flash_base() + static_cast<uint32_t>(2 * slot);
+    o.cycles_before = static_cycles;
+    static_cycles += static_cast<uint32_t>(model_.flash_wait_states) +
+                     StaticExecCycles(in, model_);
+    // Pre-resolve PC-relative operands to absolute values.
+    switch (in.op) {
+      case Op::kLdrLit:
+      case Op::kAdr:
+        o.imm = static_cast<int32_t>(((o.addr + 4) & ~3u) + static_cast<uint32_t>(in.imm));
+        break;
+      case Op::kB:
+      case Op::kBcond:
+      case Op::kBl:
+        o.imm = static_cast<int32_t>(o.addr + 4 + static_cast<uint32_t>(in.imm));
+        break;
+      default:
+        break;
+    }
+    b.ops.push_back(o);
+    if (IsTerminator(in)) {
+      b.terminated = true;
+      break;
+    }
+    slot += in.length;
+  }
+  if (b.ops.empty()) {
+    block_index_[entry_slot] = kBlockStepOnly;
+    return kBlockStepOnly;
+  }
+  // Backward APSR liveness. Flags are live out of every block (the interpreter or a
+  // successor block may consume them), and live into every possible-fault site (the
+  // architectural flags are part of the faulted machine state).
+  uint8_t live = kAllFlags;
+  for (size_t k = b.ops.size(); k-- > 0;) {
+    BlockOp& o = b.ops[k];
+    const FlagEffects fe = FlagEffectsOf(o.op, o.imm);
+    o.set_flags = (fe.may_write & live) != 0 ? 1 : 0;
+    live = static_cast<uint8_t>((live & ~fe.must_write) | fe.reads);
+    if (o.is_mem) {
+      live = kAllFlags;
+    }
+  }
+  // Batched accounting: the static cycle total, total counted fetches and the per-Op
+  // retire histogram.
+  b.static_cycles = static_cycles;
+  std::array<uint32_t, 80> histo{};
+  for (const BlockOp& o : b.ops) {
+    b.fetch_reads += o.fetch_reads;
+    ++histo[static_cast<size_t>(o.op)];
+  }
+  for (size_t op = 0; op < histo.size(); ++op) {
+    if (histo[op] != 0) {
+      b.histogram.emplace_back(static_cast<uint8_t>(op), histo[op]);
+    }
+  }
+  blocks_.push_back(std::move(b));
+  const int32_t index = static_cast<int32_t>(blocks_.size() - 1);
+  block_index_[entry_slot] = index;
+  return index;
 }
 
 void Cpu::ResetCounters() {
   cycles_ = 0;
   instructions_ = 0;
+  // Deferred block histograms describe retires that predate the reset: fold them in (so
+  // the exec counters read zero) and then wipe everything, exactly as the interpreter's
+  // per-step accounting would have been wiped.
+  FlushBlockHistograms();
   op_histogram_.fill(0);
   mem_->ResetStats();
+}
+
+void Cpu::FlushBlockHistograms() const {
+  for (const Block& blk : blocks_) {
+    if (blk.execs == 0) {
+      continue;
+    }
+    for (const auto& [hist_op, count] : blk.histogram) {
+      op_histogram_[hist_op] += count * blk.execs;
+    }
+    blk.execs = 0;
+  }
 }
 
 void Cpu::EnableTrace(size_t depth) {
@@ -132,6 +416,42 @@ void Cpu::ChargeMemAccess(uint32_t addr, bool is_store) {
 void Cpu::Run(uint64_t max_instructions) {
   const uint64_t start = instructions_;
   while (!halted()) {
+    if (BlockModeActive()) {
+      if (!icache_valid_) {
+        RebuildDecodeCache();
+      }
+      // Chained block dispatch: block mode's activation conditions and the cache validity
+      // cannot change inside Run (probes/traces attach between calls, and the guest
+      // cannot write flash — it faults), so blocks execute back to back until the pc
+      // leaves compiled coverage, an entry can't start a block, or a block could cross
+      // the instruction budget. Those cases break to the step interpreter, which keeps
+      // the budget fault firing at exactly the same retired instruction as the legacy
+      // path. A wrapping pc (SRAM, unmapped, the halt sentinel) makes `slot` huge and
+      // exits the loop through the coverage check.
+      const uint32_t flash_base = mem_->flash_base();
+      const size_t covered_slots = block_index_.size();
+      for (;;) {
+        const size_t slot = static_cast<size_t>(pc_ - flash_base) >> 1;
+        if (slot >= covered_slots) {
+          break;
+        }
+        int32_t index = block_index_[slot];
+        if (index == kBlockNotCompiled) {
+          index = CompileBlock(slot);
+        }
+        if (index < 0) {
+          break;
+        }
+        const Block& blk = blocks_[static_cast<size_t>(index)];
+        if (instructions_ - start + blk.ops.size() > max_instructions) {
+          break;
+        }
+        ExecuteBlock(blk);
+      }
+      if (halted()) {
+        return;
+      }
+    }
     Step();
     if (instructions_ - start > max_instructions) {
       throw GuestFault{ErrorCode::kInstructionBudgetExceeded, "instruction budget exceeded",
@@ -139,6 +459,686 @@ void Cpu::Run(uint64_t max_instructions) {
     }
   }
 }
+
+// Executes one compiled block with a single dispatch: no per-step counter updates, trace
+// or probe checks (block mode is inactive when those are attached), and no per-step
+// decode-cache lookups. Cycle, instruction, histogram and fetch accounting are applied
+// once at block exit; a GuestFault mid-block patches them to the exact interpreter state
+// for the faulting instruction before rethrowing. Cases mirror StepInner one for one —
+// the differences are the compile-time-folded static cycle costs, the dead-flag elision
+// (`o.set_flags`), and the compile-time-resolved PC-relative operands.
+// Dispatch plumbing for ExecuteBlock. With GNU extensions every op ends in its own
+// indirect jump through the label table (token threading), giving the host branch
+// predictor one dispatch site per preceding op instead of a single shared one; other
+// compilers get a plain switch in a loop with identical semantics.
+#if defined(__GNUC__) || defined(__clang__)
+#define NEUROC_BLOCK_COMPUTED_GOTO 1
+#else
+#define NEUROC_BLOCK_COMPUTED_GOTO 0
+#endif
+
+#if NEUROC_BLOCK_COMPUTED_GOTO
+#define NEUROC_OP(name) lbl_##name:
+#define NEUROC_NEXT                                   \
+  do {                                                \
+    if (++op == op_end) goto block_exit;              \
+    goto* kDispatch[static_cast<size_t>(op->op)];     \
+  } while (0)
+#else
+#define NEUROC_OP(name) case Op::name:
+#define NEUROC_NEXT                                   \
+  {                                                   \
+    if (++op == op_end) goto block_exit;              \
+  }                                                   \
+  break
+#endif
+
+// Reads of r15 observe the instruction's address + 4; only hi-register forms and BX/BLX
+// can encode r15 as an operand, so the compare lives in those cases alone.
+#define NEUROC_RVAL(r) ((r) == kRegPc ? op->addr + 4 : regs_[(r)])
+#if NEUROC_BLOCK_COMPUTED_GOTO && defined(__GNUC__) && !defined(__clang__)
+// Keep GCC's global CSE from re-merging the per-op indirect jumps into one shared
+// dispatch site, which would undo the branch-prediction benefit of token threading.
+__attribute__((optimize("no-gcse")))
+#endif
+void Cpu::ExecuteBlock(const Block& b) {
+  const uint32_t fetch_ws = static_cast<uint32_t>(model_.flash_wait_states);
+  const uint32_t flash_base = mem_->flash_base();
+  const uint32_t flash_size = mem_->flash_size();
+  // All static cycle costs were folded into b.static_cycles at compile time; only the
+  // data-access flash wait states and the conditional-branch outcome accumulate here.
+  uint64_t dyn = 0;
+  const size_t n = b.ops.size();
+  const BlockOp* ops = b.ops.data();
+  const BlockOp* const op_end = ops + n;
+  const BlockOp* op = ops;
+  // Dynamic part of ChargeMemAccess (the static load/store cost is folded).
+  const auto charge_mem = [&](uint32_t a) {
+    if (fetch_ws != 0 && a - flash_base < flash_size) {
+      dyn += fetch_ws;
+    }
+  };
+  try {
+#if NEUROC_BLOCK_COMPUTED_GOTO
+    // One entry per Op value, in enum order (spot-checked below so silent reordering of
+    // the enum cannot misroute dispatch).
+    static const void* const kDispatch[] = {
+        &&lbl_kInvalid,
+        &&lbl_kLslImm,   &&lbl_kLsrImm,   &&lbl_kAsrImm,
+        &&lbl_kAddReg,   &&lbl_kSubReg,   &&lbl_kAddImm3,  &&lbl_kSubImm3,
+        &&lbl_kMovImm,   &&lbl_kCmpImm,   &&lbl_kAddImm8,  &&lbl_kSubImm8,
+        &&lbl_kAnd,      &&lbl_kEor,      &&lbl_kLslReg,   &&lbl_kLsrReg,
+        &&lbl_kAsrReg,   &&lbl_kAdc,      &&lbl_kSbc,      &&lbl_kRor,
+        &&lbl_kTst,      &&lbl_kNeg,      &&lbl_kCmpReg,   &&lbl_kCmn,
+        &&lbl_kOrr,      &&lbl_kMul,      &&lbl_kBic,      &&lbl_kMvn,
+        &&lbl_kAddHi,    &&lbl_kCmpHi,    &&lbl_kMovHi,    &&lbl_kBx,
+        &&lbl_kBlx,      &&lbl_kLdrLit,   &&lbl_kStrReg,   &&lbl_kStrhReg,
+        &&lbl_kStrbReg,  &&lbl_kLdrsbReg, &&lbl_kLdrReg,   &&lbl_kLdrhReg,
+        &&lbl_kLdrbReg,  &&lbl_kLdrshReg, &&lbl_kStrImm,   &&lbl_kLdrImm,
+        &&lbl_kStrbImm,  &&lbl_kLdrbImm,  &&lbl_kStrhImm,  &&lbl_kLdrhImm,
+        &&lbl_kStrSp,    &&lbl_kLdrSp,    &&lbl_kAdr,      &&lbl_kAddSpImm,
+        &&lbl_kAddSp7,   &&lbl_kSubSp7,   &&lbl_kSxth,     &&lbl_kSxtb,
+        &&lbl_kUxth,     &&lbl_kUxtb,     &&lbl_kRev,      &&lbl_kRev16,
+        &&lbl_kRevsh,    &&lbl_kPush,     &&lbl_kPop,      &&lbl_kLdm,
+        &&lbl_kStm,      &&lbl_kNop,      &&lbl_kBcond,    &&lbl_kB,
+        &&lbl_kBl,       &&lbl_kUdf,
+    };
+    static_assert(static_cast<size_t>(Op::kLslImm) == 1 &&
+                      static_cast<size_t>(Op::kMovImm) == 8 &&
+                      static_cast<size_t>(Op::kAnd) == 12 &&
+                      static_cast<size_t>(Op::kAddHi) == 28 &&
+                      static_cast<size_t>(Op::kLdrLit) == 33 &&
+                      static_cast<size_t>(Op::kStrImm) == 42 &&
+                      static_cast<size_t>(Op::kStrSp) == 48 &&
+                      static_cast<size_t>(Op::kSxth) == 54 &&
+                      static_cast<size_t>(Op::kPush) == 61 &&
+                      static_cast<size_t>(Op::kNop) == 65 &&
+                      static_cast<size_t>(Op::kUdf) == 69,
+                  "dispatch table must match the Op enum order");
+    static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) == 70,
+                  "dispatch table must cover every Op");
+    goto* kDispatch[static_cast<size_t>(op->op)];
+#else
+    for (;;) {
+      switch (op->op) {
+#endif
+    NEUROC_OP(kLslImm) {
+      const uint32_t v = regs_[op->rm];
+      uint32_t result;
+      if (op->imm == 0) {
+        result = v;  // MOVS register form: C unchanged
+      } else {
+        if (op->set_flags) {
+          flags_.c = (v >> (32 - op->imm)) & 1;
+        }
+        result = v << op->imm;
+      }
+      regs_[op->rd] = result;
+      if (op->set_flags) {
+        SetNZ(result);
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kLsrImm) {
+      const uint32_t v = regs_[op->rm];
+      const int amount = op->imm == 0 ? 32 : op->imm;
+      uint32_t result;
+      if (amount == 32) {
+        if (op->set_flags) {
+          flags_.c = (v >> 31) & 1;
+        }
+        result = 0;
+      } else {
+        if (op->set_flags) {
+          flags_.c = (v >> (amount - 1)) & 1;
+        }
+        result = v >> amount;
+      }
+      regs_[op->rd] = result;
+      if (op->set_flags) {
+        SetNZ(result);
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kAsrImm) {
+      const uint32_t v = regs_[op->rm];
+      const int amount = op->imm == 0 ? 32 : op->imm;
+      uint32_t result;
+      if (amount == 32) {
+        if (op->set_flags) {
+          flags_.c = (v >> 31) & 1;
+        }
+        result = (v >> 31) ? 0xFFFFFFFFu : 0u;
+      } else {
+        if (op->set_flags) {
+          flags_.c = (v >> (amount - 1)) & 1;
+        }
+        result = static_cast<uint32_t>(static_cast<int32_t>(v) >> amount);
+      }
+      regs_[op->rd] = result;
+      if (op->set_flags) {
+        SetNZ(result);
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kAddReg)
+    NEUROC_OP(kAddImm3) {
+      const uint32_t op2 =
+          op->op == Op::kAddReg ? regs_[op->rm] : static_cast<uint32_t>(op->imm);
+      if (op->set_flags) {
+        const AddResult r = AddWithCarry(regs_[op->rn], op2, false);
+        regs_[op->rd] = r.value;
+        SetNZ(r.value);
+        flags_.c = r.carry;
+        flags_.v = r.overflow;
+      } else {
+        regs_[op->rd] = regs_[op->rn] + op2;
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kSubReg)
+    NEUROC_OP(kSubImm3) {
+      const uint32_t op2 =
+          op->op == Op::kSubReg ? regs_[op->rm] : static_cast<uint32_t>(op->imm);
+      if (op->set_flags) {
+        const AddResult r = AddWithCarry(regs_[op->rn], ~op2, true);
+        regs_[op->rd] = r.value;
+        SetNZ(r.value);
+        flags_.c = r.carry;
+        flags_.v = r.overflow;
+      } else {
+        regs_[op->rd] = regs_[op->rn] - op2;
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kMovImm)
+      regs_[op->rd] = static_cast<uint32_t>(op->imm);
+      if (op->set_flags) {
+        SetNZ(regs_[op->rd]);
+      }
+      NEUROC_NEXT;
+    NEUROC_OP(kCmpImm)
+    NEUROC_OP(kCmpReg)
+    NEUROC_OP(kCmpHi) {
+      if (op->set_flags) {
+        const uint32_t lhs = NEUROC_RVAL(op->rn);
+        const uint32_t rhs =
+            op->op == Op::kCmpImm ? static_cast<uint32_t>(op->imm) : NEUROC_RVAL(op->rm);
+        const AddResult r = AddWithCarry(lhs, ~rhs, true);
+        SetNZ(r.value);
+        flags_.c = r.carry;
+        flags_.v = r.overflow;
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kAddImm8) {
+      if (op->set_flags) {
+        const AddResult r =
+            AddWithCarry(regs_[op->rd], static_cast<uint32_t>(op->imm), false);
+        regs_[op->rd] = r.value;
+        SetNZ(r.value);
+        flags_.c = r.carry;
+        flags_.v = r.overflow;
+      } else {
+        regs_[op->rd] += static_cast<uint32_t>(op->imm);
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kSubImm8) {
+      if (op->set_flags) {
+        const AddResult r =
+            AddWithCarry(regs_[op->rd], ~static_cast<uint32_t>(op->imm), true);
+        regs_[op->rd] = r.value;
+        SetNZ(r.value);
+        flags_.c = r.carry;
+        flags_.v = r.overflow;
+      } else {
+        regs_[op->rd] -= static_cast<uint32_t>(op->imm);
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kAnd)
+      regs_[op->rd] &= regs_[op->rm];
+      if (op->set_flags) {
+        SetNZ(regs_[op->rd]);
+      }
+      NEUROC_NEXT;
+    NEUROC_OP(kEor)
+      regs_[op->rd] ^= regs_[op->rm];
+      if (op->set_flags) {
+        SetNZ(regs_[op->rd]);
+      }
+      NEUROC_NEXT;
+    NEUROC_OP(kOrr)
+      regs_[op->rd] |= regs_[op->rm];
+      if (op->set_flags) {
+        SetNZ(regs_[op->rd]);
+      }
+      NEUROC_NEXT;
+    NEUROC_OP(kBic)
+      regs_[op->rd] &= ~regs_[op->rm];
+      if (op->set_flags) {
+        SetNZ(regs_[op->rd]);
+      }
+      NEUROC_NEXT;
+    NEUROC_OP(kMvn)
+      regs_[op->rd] = ~regs_[op->rm];
+      if (op->set_flags) {
+        SetNZ(regs_[op->rd]);
+      }
+      NEUROC_NEXT;
+    NEUROC_OP(kTst)
+      if (op->set_flags) {
+        SetNZ(regs_[op->rn] & regs_[op->rm]);
+      }
+      NEUROC_NEXT;
+    NEUROC_OP(kCmn)
+      if (op->set_flags) {
+        const AddResult r = AddWithCarry(regs_[op->rn], regs_[op->rm], false);
+        SetNZ(r.value);
+        flags_.c = r.carry;
+        flags_.v = r.overflow;
+      }
+      NEUROC_NEXT;
+    NEUROC_OP(kLslReg)
+    NEUROC_OP(kLsrReg)
+    NEUROC_OP(kAsrReg)
+    NEUROC_OP(kRor) {
+      const uint32_t amount = regs_[op->rm] & 0xFF;
+      uint32_t v = regs_[op->rd];
+      if (amount != 0) {
+        switch (op->op) {
+          case Op::kLslReg:
+            if (amount < 32) {
+              if (op->set_flags) {
+                flags_.c = (v >> (32 - amount)) & 1;
+              }
+              v <<= amount;
+            } else {
+              if (op->set_flags) {
+                flags_.c = (amount == 32) ? (v & 1) : false;
+              }
+              v = 0;
+            }
+            break;
+          case Op::kLsrReg:
+            if (amount < 32) {
+              if (op->set_flags) {
+                flags_.c = (v >> (amount - 1)) & 1;
+              }
+              v >>= amount;
+            } else {
+              if (op->set_flags) {
+                flags_.c = (amount == 32) ? ((v >> 31) & 1) : false;
+              }
+              v = 0;
+            }
+            break;
+          case Op::kAsrReg:
+            if (amount < 32) {
+              if (op->set_flags) {
+                flags_.c = (v >> (amount - 1)) & 1;
+              }
+              v = static_cast<uint32_t>(static_cast<int32_t>(v) >> amount);
+            } else {
+              if (op->set_flags) {
+                flags_.c = (v >> 31) & 1;
+              }
+              v = (v >> 31) ? 0xFFFFFFFFu : 0u;
+            }
+            break;
+          case Op::kRor: {
+            const uint32_t rot = amount & 31;
+            if (rot != 0) {
+              v = (v >> rot) | (v << (32 - rot));
+            }
+            if (op->set_flags) {
+              flags_.c = (v >> 31) & 1;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      regs_[op->rd] = v;
+      if (op->set_flags) {
+        SetNZ(v);
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kAdc) {
+      if (op->set_flags) {
+        const AddResult r = AddWithCarry(regs_[op->rd], regs_[op->rm], flags_.c);
+        regs_[op->rd] = r.value;
+        SetNZ(r.value);
+        flags_.c = r.carry;
+        flags_.v = r.overflow;
+      } else {
+        regs_[op->rd] += regs_[op->rm] + (flags_.c ? 1u : 0u);
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kSbc) {
+      if (op->set_flags) {
+        const AddResult r = AddWithCarry(regs_[op->rd], ~regs_[op->rm], flags_.c);
+        regs_[op->rd] = r.value;
+        SetNZ(r.value);
+        flags_.c = r.carry;
+        flags_.v = r.overflow;
+      } else {
+        regs_[op->rd] += ~regs_[op->rm] + (flags_.c ? 1u : 0u);
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kNeg) {
+      if (op->set_flags) {
+        const AddResult r = AddWithCarry(~regs_[op->rm], 0, true);
+        regs_[op->rd] = r.value;
+        SetNZ(r.value);
+        flags_.c = r.carry;
+        flags_.v = r.overflow;
+      } else {
+        regs_[op->rd] = 0u - regs_[op->rm];
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kMul)
+      regs_[op->rd] = regs_[op->rd] * regs_[op->rm];
+      if (op->set_flags) {
+        SetNZ(regs_[op->rd]);  // ARMv6-M MULS sets N and Z only
+      }
+      NEUROC_NEXT;
+    NEUROC_OP(kAddHi) {
+      const uint32_t result = NEUROC_RVAL(op->rd) + NEUROC_RVAL(op->rm);
+      if (op->rd == kRegPc) {
+        pc_ = result & ~1u;  // block terminator
+      } else {
+        regs_[op->rd] = result;
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kMovHi) {
+      const uint32_t result = NEUROC_RVAL(op->rm);
+      if (op->rd == kRegPc) {
+        pc_ = result & ~1u;  // block terminator
+      } else {
+        regs_[op->rd] = result;
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kBx)
+      pc_ = NEUROC_RVAL(op->rm) & ~1u;
+      NEUROC_NEXT;
+    NEUROC_OP(kBlx) {
+      const uint32_t target = NEUROC_RVAL(op->rm);
+      regs_[kRegLr] = (op->addr + 2) | 1;
+      pc_ = target & ~1u;
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kLdrLit) {
+      const uint32_t a = static_cast<uint32_t>(op->imm);  // resolved at compile time
+      regs_[op->rd] = mem_->Read32(a);
+      charge_mem(a);
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kStrReg)
+    NEUROC_OP(kStrImm)
+    NEUROC_OP(kStrSp) {
+      uint32_t a;
+      if (op->op == Op::kStrReg) {
+        a = regs_[op->rn] + regs_[op->rm];
+      } else if (op->op == Op::kStrSp) {
+        a = regs_[kRegSp] + static_cast<uint32_t>(op->imm);
+      } else {
+        a = regs_[op->rn] + static_cast<uint32_t>(op->imm);
+      }
+      mem_->Write32(a, regs_[op->rd]);
+      charge_mem(a);
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kLdrReg)
+    NEUROC_OP(kLdrImm)
+    NEUROC_OP(kLdrSp) {
+      uint32_t a;
+      if (op->op == Op::kLdrReg) {
+        a = regs_[op->rn] + regs_[op->rm];
+      } else if (op->op == Op::kLdrSp) {
+        a = regs_[kRegSp] + static_cast<uint32_t>(op->imm);
+      } else {
+        a = regs_[op->rn] + static_cast<uint32_t>(op->imm);
+      }
+      regs_[op->rd] = mem_->Read32(a);
+      charge_mem(a);
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kStrbReg)
+    NEUROC_OP(kStrbImm) {
+      const uint32_t a = op->op == Op::kStrbReg
+                             ? regs_[op->rn] + regs_[op->rm]
+                             : regs_[op->rn] + static_cast<uint32_t>(op->imm);
+      mem_->Write8(a, static_cast<uint8_t>(regs_[op->rd]));
+      charge_mem(a);
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kLdrbReg)
+    NEUROC_OP(kLdrbImm) {
+      const uint32_t a = op->op == Op::kLdrbReg
+                             ? regs_[op->rn] + regs_[op->rm]
+                             : regs_[op->rn] + static_cast<uint32_t>(op->imm);
+      regs_[op->rd] = mem_->Read8(a);
+      charge_mem(a);
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kStrhReg)
+    NEUROC_OP(kStrhImm) {
+      const uint32_t a = op->op == Op::kStrhReg
+                             ? regs_[op->rn] + regs_[op->rm]
+                             : regs_[op->rn] + static_cast<uint32_t>(op->imm);
+      mem_->Write16(a, static_cast<uint16_t>(regs_[op->rd]));
+      charge_mem(a);
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kLdrhReg)
+    NEUROC_OP(kLdrhImm) {
+      const uint32_t a = op->op == Op::kLdrhReg
+                             ? regs_[op->rn] + regs_[op->rm]
+                             : regs_[op->rn] + static_cast<uint32_t>(op->imm);
+      regs_[op->rd] = mem_->Read16(a);
+      charge_mem(a);
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kLdrsbReg) {
+      const uint32_t a = regs_[op->rn] + regs_[op->rm];
+      regs_[op->rd] = static_cast<uint32_t>(
+          static_cast<int32_t>(static_cast<int8_t>(mem_->Read8(a))));
+      charge_mem(a);
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kLdrshReg) {
+      const uint32_t a = regs_[op->rn] + regs_[op->rm];
+      regs_[op->rd] = static_cast<uint32_t>(
+          static_cast<int32_t>(static_cast<int16_t>(mem_->Read16(a))));
+      charge_mem(a);
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kAdr)
+      regs_[op->rd] = static_cast<uint32_t>(op->imm);  // resolved at compile time
+      NEUROC_NEXT;
+    NEUROC_OP(kAddSpImm)
+      regs_[op->rd] = regs_[kRegSp] + static_cast<uint32_t>(op->imm);
+      NEUROC_NEXT;
+    NEUROC_OP(kAddSp7)
+      regs_[kRegSp] += static_cast<uint32_t>(op->imm);
+      NEUROC_NEXT;
+    NEUROC_OP(kSubSp7)
+      regs_[kRegSp] -= static_cast<uint32_t>(op->imm);
+      NEUROC_NEXT;
+    NEUROC_OP(kSxth)
+      regs_[op->rd] = static_cast<uint32_t>(
+          static_cast<int32_t>(static_cast<int16_t>(regs_[op->rm] & 0xFFFF)));
+      NEUROC_NEXT;
+    NEUROC_OP(kSxtb)
+      regs_[op->rd] = static_cast<uint32_t>(
+          static_cast<int32_t>(static_cast<int8_t>(regs_[op->rm] & 0xFF)));
+      NEUROC_NEXT;
+    NEUROC_OP(kUxth)
+      regs_[op->rd] = regs_[op->rm] & 0xFFFF;
+      NEUROC_NEXT;
+    NEUROC_OP(kUxtb)
+      regs_[op->rd] = regs_[op->rm] & 0xFF;
+      NEUROC_NEXT;
+    NEUROC_OP(kRev) {
+      const uint32_t v = regs_[op->rm];
+      regs_[op->rd] = ((v & 0xFF) << 24) | ((v & 0xFF00) << 8) | ((v >> 8) & 0xFF00) |
+                    ((v >> 24) & 0xFF);
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kRev16) {
+      const uint32_t v = regs_[op->rm];
+      regs_[op->rd] = ((v & 0x00FF00FF) << 8) | ((v & 0xFF00FF00) >> 8);
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kRevsh) {
+      const uint32_t v = regs_[op->rm];
+      const uint16_t swapped =
+          static_cast<uint16_t>(((v & 0xFF) << 8) | ((v >> 8) & 0xFF));
+      regs_[op->rd] =
+          static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(swapped)));
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kPush) {
+      const int count = PopCount8(op->reglist);
+      uint32_t a = regs_[kRegSp] - 4u * static_cast<uint32_t>(count);
+      regs_[kRegSp] = a;
+      for (int r = 0; r < 8; ++r) {
+        if (op->reglist & (1 << r)) {
+          mem_->Write32(a, regs_[r]);
+          a += 4;
+        }
+      }
+      if (op->reglist & 0x100) {
+        mem_->Write32(a, regs_[kRegLr]);
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kPop) {
+      const int count = PopCount8(op->reglist);
+      uint32_t a = regs_[kRegSp];
+      for (int r = 0; r < 8; ++r) {
+        if (op->reglist & (1 << r)) {
+          regs_[r] = mem_->Read32(a);
+          a += 4;
+        }
+      }
+      bool to_pc = false;
+      uint32_t pc_value = 0;
+      if (op->reglist & 0x100) {
+        pc_value = mem_->Read32(a);
+        a += 4;
+        to_pc = true;
+      }
+      regs_[kRegSp] = regs_[kRegSp] + 4u * static_cast<uint32_t>(count);
+      if (to_pc) {
+        pc_ = pc_value & ~1u;  // block terminator
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kLdm) {
+      uint32_t a = regs_[op->rn];
+      for (int r = 0; r < 8; ++r) {
+        if (op->reglist & (1 << r)) {
+          regs_[r] = mem_->Read32(a);
+          a += 4;
+        }
+      }
+      if ((op->reglist & (1 << op->rn)) == 0) {
+        regs_[op->rn] = a;
+      }
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kStm) {
+      uint32_t a = regs_[op->rn];
+      for (int r = 0; r < 8; ++r) {
+        if (op->reglist & (1 << r)) {
+          mem_->Write32(a, regs_[r]);
+          a += 4;
+        }
+      }
+      regs_[op->rn] = a;
+      NEUROC_NEXT;
+    }
+    NEUROC_OP(kNop)
+      NEUROC_NEXT;
+    NEUROC_OP(kBcond)
+      if (EvalCond(op->cond)) {
+        pc_ = static_cast<uint32_t>(op->imm) & ~1u;  // target resolved at compile time
+        dyn += static_cast<uint32_t>(model_.branch_taken);
+      } else {
+        pc_ = op->addr + 2;
+        dyn += static_cast<uint32_t>(model_.branch_not_taken);
+      }
+      NEUROC_NEXT;
+    NEUROC_OP(kB)
+      pc_ = static_cast<uint32_t>(op->imm) & ~1u;
+      NEUROC_NEXT;
+    NEUROC_OP(kBl)
+      regs_[kRegLr] = (op->addr + 4) | 1;
+      pc_ = static_cast<uint32_t>(op->imm) & ~1u;
+      NEUROC_NEXT;
+    NEUROC_OP(kUdf)
+    NEUROC_OP(kInvalid)
+      NEUROC_CHECK(false);  // never compiled into a block
+      NEUROC_NEXT;
+#if !NEUROC_BLOCK_COMPUTED_GOTO
+      }
+    }
+#endif
+  } catch (GuestFault& gf) {
+    const size_t i = static_cast<size_t>(op - ops);  // index of the faulting op
+    // Patch the batched accounting so the architectural state is exactly what the step
+    // interpreter shows at this fault: counters and fetch stats cover the retired prefix
+    // plus the faulting instruction, whose fetch wait states are charged but whose
+    // data-access cost is not (the access threw first), and pc/r15 sit past it. The
+    // retired prefix's static cycles are the faulting op's compile-time prefix sum; dyn
+    // holds the prefix's data-access wait states (the faulting access never charged its).
+    const BlockOp& f = b.ops[i];
+    cycles_ += f.cycles_before + fetch_ws + dyn;
+    instructions_ += i + 1;
+    for (size_t k = 0; k <= i; ++k) {
+      const BlockOp& o = b.ops[k];
+      ++op_histogram_[static_cast<size_t>(o.op)];
+      mem_->CountFlashFetches(o.addr, o.fetch_reads);
+    }
+    pc_ = f.addr + 2u * f.fetch_reads;
+    regs_[kRegPc] = f.addr + 4;
+    gf.pc = f.addr;
+    throw;
+  }
+block_exit:
+  cycles_ += b.static_cycles + dyn;
+  instructions_ += n;
+  ++b.execs;  // histogram applied lazily: FlushBlockHistograms folds histogram * execs
+  if (mem_->observing()) {
+    // Heatmap/stack-watch attached: replay per-halfword fetch observations in order so
+    // the histograms match the interpreter exactly.
+    for (const BlockOp& o : b.ops) {
+      mem_->CountFlashFetches(o.addr, o.fetch_reads);
+    }
+  } else {
+    mem_->AddFlashReads(b.fetch_reads);
+  }
+  const BlockOp& last = b.ops[n - 1];
+  regs_[kRegPc] = last.addr + 4;  // what the interpreter's final step leaves in r15
+  if (!b.terminated) {
+    pc_ = last.addr + 2u * last.fetch_reads;  // fall through to the successor block
+  }
+}
+
+#undef NEUROC_BLOCK_COMPUTED_GOTO
+#undef NEUROC_OP
+#undef NEUROC_NEXT
+#undef NEUROC_RVAL
 
 void Cpu::Step() {
   // One catch site per retired instruction: a guest fault thrown anywhere inside the

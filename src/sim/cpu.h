@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/isa/isa.h"
@@ -72,8 +73,13 @@ class Cpu {
   uint64_t cycles() const { return cycles_; }
   uint64_t instructions() const { return instructions_; }
   void ResetCounters();
-  // Per-opcode retired-instruction histogram (indexed by Op).
-  const std::array<uint64_t, 80>& op_histogram() const { return op_histogram_; }
+  // Per-opcode retired-instruction histogram (indexed by Op). Block-compiled execution
+  // defers histogram updates (one exec counter per block instead of one add per unique op
+  // per block exit); reading through this accessor folds the deferred counts in first.
+  const std::array<uint64_t, 80>& op_histogram() const {
+    FlushBlockHistograms();
+    return op_histogram_;
+  }
 
   // Execution tracing: keeps the last `depth` retired instructions in a ring buffer
   // (addresses + raw halfwords; disassembled lazily on dump). The trace is printed
@@ -91,9 +97,24 @@ class Cpu {
   // first Step after any host write into flash) so the fetch path becomes a table lookup.
   // Cycle/instruction counters, memory-access stats, heatmaps, traces and probe callbacks
   // are bit-identical with the cache on or off; the toggle exists so benchmarks can
-  // measure the legacy decode-every-step path.
+  // measure the legacy decode-every-step path. Disabling the decode cache also disables
+  // block-compiled execution (compiled blocks are built from the predecoded slots).
   void EnableDecodeCache(bool enabled);
   bool decode_cache_enabled() const { return icache_enabled_; }
+
+  // Block-compiled execution: straight-line Thumb basic blocks (runs of predecoded flash
+  // instructions ending at a branch/call/PC-writing instruction) are fused into compact
+  // op-chains executed with one dispatch per block, with cycle/instruction/histogram/fetch
+  // accounting batched at block exit and dead APSR flag writes elided (an op's flags are
+  // only materialized when a later consumer — conditional branch, ADC/SBC — or a possible
+  // guest-fault site can observe them). Execution falls back to the step interpreter at
+  // block boundaries, for SRAM or uncovered flash, when a CpuProbe or trace ring is
+  // attached, and for blocks that could cross the instruction budget, so every observable
+  // quantity (counters, stats, heatmaps, probe streams, traces, fault reports) stays
+  // bit-identical to the interpreter. On by default; benchmarks toggle it off to measure
+  // the predecode-cache-only path.
+  void EnableBlockCompile(bool enabled);
+  bool block_compile_enabled() const { return block_enabled_; }
 
   const CycleModel& cycle_model() const { return model_; }
   MemoryMap& memory() { return *mem_; }
@@ -119,6 +140,55 @@ class Cpu {
   // Fetch/decode/execute without the fault-context catch frame (Step wraps it).
   void StepInner();
 
+  // One fused instruction of a compiled block. PC-relative operands (literal-load and ADR
+  // addresses, branch targets) are resolved to absolute values at compile time. All static
+  // cycle costs — fetch wait states and fixed execution costs — are folded into the
+  // block's static_cycles total; cycles_before is this op's prefix of that total (the
+  // static cycles of everything retired before it, plus nothing of its own), which lets a
+  // mid-block fault reconstruct the exact interpreter cycle count. Only the dynamic costs
+  // (data-access flash wait states, the conditional-branch outcome) are accumulated at
+  // runtime. fetch_reads doubles as the instruction length in halfwords: invalid wide
+  // encodings never enter a block, so the counted-fetch rule and the length coincide.
+  struct BlockOp {
+    Op op = Op::kInvalid;
+    uint8_t rd = 0;
+    uint8_t rn = 0;
+    uint8_t rm = 0;
+    Cond cond = Cond::kAl;
+    uint8_t set_flags = 1;   // materialize APSR writes (a later consumer can observe them)
+    uint8_t fetch_reads = 1; // counted flash halfword fetches == length in halfwords
+    uint8_t is_mem = 0;      // charges a data-access cost (flash-wait check at runtime)
+    uint16_t reglist = 0;
+    uint32_t cycles_before = 0;  // static cycles charged for ops preceding this one
+    int32_t imm = 0;
+    uint32_t addr = 0;       // instruction address (PC reads, LR writes, fault stamps)
+  };
+  struct Block {
+    std::vector<BlockOp> ops;
+    // Batched accounting applied once at block exit instead of per retired instruction.
+    uint32_t static_cycles = 0;  // fetch wait states + fixed execution costs, whole block
+    uint64_t fetch_reads = 0;
+    std::vector<std::pair<uint8_t, uint32_t>> histogram;  // (Op, retire count)
+    bool terminated = false;  // ends in a control-flow op (else falls through)
+    // Completed executions whose per-op histogram has not been folded into op_histogram_
+    // yet; FlushBlockHistograms() applies histogram * execs and zeroes it. Mutable so the
+    // flush can run from the const op_histogram() accessor.
+    mutable uint64_t execs = 0;
+  };
+  static constexpr int32_t kBlockNotCompiled = -1;
+  // The entry slot cannot start a block (invalid/UDF decode): always use the interpreter,
+  // which raises the fault with the exact message/trace the seed produced.
+  static constexpr int32_t kBlockStepOnly = -2;
+
+  bool BlockModeActive() const {
+    return block_enabled_ && icache_enabled_ && probe_ == nullptr && trace_.empty();
+  }
+  int32_t CompileBlock(size_t entry_slot);
+  void ExecuteBlock(const Block& b);
+  // Folds every block's deferred (histogram * execs) contribution into op_histogram_ and
+  // zeroes the exec counters. Must run before blocks_ is cleared or the counts are lost.
+  void FlushBlockHistograms() const;
+
   struct AddResult {
     uint32_t value;
     bool carry;
@@ -141,7 +211,7 @@ class Cpu {
   CpuFlags flags_;
   uint64_t cycles_ = 0;
   uint64_t instructions_ = 0;
-  std::array<uint64_t, 80> op_histogram_{};
+  mutable std::array<uint64_t, 80> op_histogram_{};
   std::vector<TraceEntry> trace_;  // ring buffer; empty when tracing is disabled
   size_t trace_pos_ = 0;
   uint64_t trace_count_ = 0;
@@ -149,6 +219,12 @@ class Cpu {
   std::vector<Predecoded> icache_;  // covers flash up to the load high-water mark
   bool icache_enabled_ = true;
   bool icache_valid_ = false;  // cleared by the MemoryMap on any host write into flash
+  // Block cache, rebuilt with (and lazily on top of) the decode cache: block_index_ maps a
+  // flash halfword slot to its compiled block, kBlockNotCompiled before first dispatch.
+  // Any host write into flash invalidates both via the same flash-write listener flag.
+  std::vector<Block> blocks_;
+  std::vector<int32_t> block_index_;
+  bool block_enabled_ = true;
 };
 
 }  // namespace neuroc

@@ -130,6 +130,17 @@ class MemoryMap {
     }
   }
 
+  // Batched form of CountFlashFetches for block-compiled execution when no heatmap or
+  // stack watcher is attached: one add covers a whole block's instruction fetches. Callers
+  // must check observing() and take the per-fetch path when it is true, otherwise the
+  // opt-in histograms would miss the fetch traffic.
+  void AddFlashReads(uint64_t reads) { stats_.flash_reads += reads; }
+
+  // Single gate for the opt-in observers, cached as one flag so the counted accessors
+  // stay one load-and-branch when nothing is attached. Public so the block executor can
+  // pick between per-fetch observation replay and the batched counter add.
+  bool observing() const { return observing_; }
+
   // At most one decoded-flash consumer (the owning CPU) parks its cache-validity flag
   // here; every HostWrite into flash clears it. This replaces a per-step generation
   // compare through the MemoryMap pointer with a test of the consumer's own flag.
@@ -217,9 +228,6 @@ class MemoryMap {
     Fault(ErrorCode::kUnmappedAccess, "access to unmapped address", addr);
   }
 
-  // Single gate for the opt-in observers, cached as one flag so the counted accessors
-  // stay one load-and-branch when nothing is attached.
-  bool observing() const { return observing_; }
   void UpdateObserving() { observing_ = heatmap_.bucket_bytes != 0 || stack_watch_; }
 
   uint32_t flash_base_;
