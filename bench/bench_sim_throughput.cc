@@ -26,8 +26,11 @@
 #include "src/core/encoding.h"
 #include "src/core/synthetic.h"
 #include "src/data/synth.h"
+#include "src/obs/block_profiler.h"
 #include "src/obs/json_writer.h"
+#include "src/obs/sim_profiler.h"
 #include "src/runtime/deployed_model.h"
+#include "src/runtime/profile.h"
 #include "src/runtime/search.h"
 
 namespace neuroc {
@@ -37,7 +40,12 @@ namespace {
 // cannot make one faster than the machine allows. The three execute paths are timed in
 // alternating blocks so a noisy window penalizes all of them rather than skewing a ratio.
 constexpr int kRepeats = 5;
-constexpr int kModes = 3;  // legacy / cached / block
+// legacy / cached / block, plus three profiled paths: block-compiled execution with the
+// block-granular counters (block_profiled) and the step-interpreter CpuProbe profiler
+// over both step paths (step_profiled = predecode cache + probe, legacy_profiled =
+// decode-every-step + probe, the pre-block-profiler default). The profiled rows bound
+// what turning attribution on costs on each path.
+constexpr int kModes = 6;
 
 double Seconds(std::chrono::steady_clock::time_point t0,
                std::chrono::steady_clock::time_point t1) {
@@ -87,22 +95,35 @@ double TimeBlock(DeployedModel& deployed, const std::vector<int8_t>& input, int 
   return Seconds(t0, t1);
 }
 
-// Measures the three execute paths for one encoding, alternating legacy/cached/block
-// timed blocks kRepeats times and keeping the best block of each.
-// Returns {legacy, cached, block}.
-std::array<InferenceResult, kModes> RunInferenceTriple(EncodingKind kind, int reps) {
+// Measures the six execute/profile paths for one encoding, alternating timed blocks
+// kRepeats times and keeping the best block of each.
+// Returns {legacy, cached, block, block_profiled, step_profiled, legacy_profiled}.
+std::array<InferenceResult, kModes> RunInferenceSweep(EncodingKind kind, int reps) {
   DeployedModel legacy = DeployedModel::Deploy(MakeBenchModel(kind));
   DeployedModel cached = DeployedModel::Deploy(MakeBenchModel(kind));
   DeployedModel block = DeployedModel::Deploy(MakeBenchModel(kind));
+  DeployedModel block_prof = DeployedModel::Deploy(MakeBenchModel(kind));
+  DeployedModel step_prof = DeployedModel::Deploy(MakeBenchModel(kind));
+  DeployedModel legacy_prof = DeployedModel::Deploy(MakeBenchModel(kind));
   legacy.machine().cpu().EnableDecodeCache(false);
   cached.machine().cpu().EnableBlockCompile(false);  // predecode cache only
+  legacy_prof.machine().cpu().EnableDecodeCache(false);
+  BlockProfiler block_profiler(block_prof.machine().cpu());
+  SimProfiler step_profiler;
+  ScopedCpuProbe attach_step(step_prof.machine().cpu(), &step_profiler);
+  SimProfiler legacy_profiler;
+  ScopedCpuProbe attach_legacy(legacy_prof.machine().cpu(), &legacy_profiler);
   Rng rng(17);
   const std::vector<int8_t> input = MakeRandomInput(legacy.input_dim(), rng);
   std::array<InferenceResult, kModes> out;
   out[0].decode = "legacy";
   out[1].decode = "cached";
   out[2].decode = "block";
-  std::array<DeployedModel*, kModes> models = {&legacy, &cached, &block};
+  out[3].decode = "block_profiled";
+  out[4].decode = "step_profiled";
+  out[5].decode = "legacy_profiled";
+  std::array<DeployedModel*, kModes> models = {&legacy,     &cached,    &block,
+                                               &block_prof, &step_prof, &legacy_prof};
   std::array<double, kModes> best = {};
   for (int which = 0; which < kModes; ++which) {
     out[which].encoding = EncodingKindName(kind);
@@ -188,19 +209,20 @@ int main(int argc, char** argv) {
 
   std::printf("sim throughput, 256-64-10 @ density 0.15, %d inferences per timing rep\n",
               reps);
-  std::printf("%-8s %-8s %14s %14s %12s %10s\n", "encoding", "decode", "cycles/inf",
+  std::printf("%-8s %-16s %14s %14s %12s %10s\n", "encoding", "decode", "cycles/inf",
               "instr/inf", "wall_ms/inf", "sim_MIPS");
   std::vector<InferenceResult> inference;
   for (EncodingKind kind : kAllEncodingKinds) {
-    for (const InferenceResult& r : RunInferenceTriple(kind, reps)) {
-      std::printf("%-8s %-8s %14llu %14llu %12.4f %10.1f\n", r.encoding.c_str(),
+    for (const InferenceResult& r : RunInferenceSweep(kind, reps)) {
+      std::printf("%-8s %-16s %14llu %14llu %12.4f %10.1f\n", r.encoding.c_str(),
                   r.decode.c_str(), static_cast<unsigned long long>(r.cycles_per_inference),
                   static_cast<unsigned long long>(r.instructions_per_inference),
                   r.wall_ms_per_inference, r.sim_mips);
       inference.push_back(r);
     }
   }
-  // The execute path must not change a single reported cycle or retired instruction.
+  // The execute path (profiled or not) must not change a single reported cycle or
+  // retired instruction.
   for (size_t i = 0; i + kModes - 1 < inference.size(); i += kModes) {
     for (size_t m = 1; m < kModes; ++m) {
       NEUROC_CHECK(inference[i].cycles_per_inference ==
@@ -254,6 +276,44 @@ int main(int argc, char** argv) {
     w.Key(key).ValueFixed(legacy.wall_ms_per_inference / block.wall_ms_per_inference, 3);
   }
   w.Key("search_4t_vs_1t").ValueFixed(s1.wall_ms / s4.wall_ms, 3);
+  w.EndObject();
+  // Profiling cost: the block-granular profiler must stay within a few percent of the
+  // unprofiled block path and far ahead of step-interpreter profiling (the ratio the
+  // obs PR's ≥5x acceptance bar reads).
+  w.Key("profiling").BeginObject();
+  for (size_t i = 0; i + kModes - 1 < inference.size(); i += kModes) {
+    const InferenceResult& block = inference[i + 2];
+    const InferenceResult& bp = inference[i + 3];
+    const InferenceResult& sp = inference[i + 4];
+    const InferenceResult& lp = inference[i + 5];
+    char key[64];
+    std::snprintf(key, sizeof(key), "block_profiled_overhead_%s",
+                  block.encoding.c_str());
+    w.Key(key).ValueFixed(bp.wall_ms_per_inference / block.wall_ms_per_inference, 3);
+    std::snprintf(key, sizeof(key), "block_profiled_vs_step_profiled_%s",
+                  block.encoding.c_str());
+    w.Key(key).ValueFixed(sp.wall_ms_per_inference / bp.wall_ms_per_inference, 3);
+    std::snprintf(key, sizeof(key), "block_profiled_vs_legacy_profiled_%s",
+                  block.encoding.c_str());
+    w.Key(key).ValueFixed(lp.wall_ms_per_inference / bp.wall_ms_per_inference, 3);
+  }
+  w.EndObject();
+  // Energy proxy per inference (deterministic: derived from attributed cycles and
+  // memory-access counts, not wall time).
+  w.Key("energy").BeginObject();
+  for (EncodingKind kind : kAllEncodingKinds) {
+    DeployedModel d = DeployedModel::Deploy(MakeBenchModel(kind));
+    const InferenceProfile p = ProfileInferenceDetailed(d);
+    w.Key(EncodingKindName(kind)).BeginObject();
+    w.Key("total_uj").ValueFixed(p.energy.total_uj(), 4);
+    w.Key("core_uj").ValueFixed(p.energy.core_total_pj * 1e-6, 4);
+    w.Key("flash_uj").ValueFixed(p.energy.flash_pj * 1e-6, 4);
+    w.Key("sram_uj").ValueFixed(p.energy.sram_pj * 1e-6, 4);
+    w.Key("avg_power_mw")
+        .ValueFixed(p.energy.AvgPowerMw(p.summary.cycles, d.machine().config().clock_hz),
+                    3);
+    w.EndObject();
+  }
   w.EndObject();
   // Context for the ratios: the legacy comparator here is the decode-every-step path of
   // the *current* binary, which already shares the inlined MemoryMap accessors, and the

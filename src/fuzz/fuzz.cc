@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/common/thread_pool.h"
 #include "src/obs/json_writer.h"
+#include "src/obs/registry.h"
 
 namespace neuroc {
 
@@ -81,6 +82,9 @@ FuzzCampaignResult RunFuzzCampaign(const FuzzConfig& config) {
     }
     result.failures.push_back(std::move(f));
   }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("fuzz.cases").Add(result.passed + result.skipped + result.failed);
+  reg.GetCounter("fuzz.failures").Add(result.failed);
   return result;
 }
 

@@ -1,0 +1,330 @@
+#include "src/obs/json_reader.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace neuroc {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const char* what) {
+    if (error_ != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s at byte %zu", what, pos_);
+      *error_ = buf;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->text);
+      case 't':
+      case 'f':
+        return ParseKeyword(out);
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          out->kind = JsonValue::Kind::kNull;
+          return true;
+        }
+        return Fail("bad keyword");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseKeyword(JsonValue* out) {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return true;
+    }
+    return Fail("bad keyword");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::strchr("+-0123456789.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("unexpected character");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("malformed number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = v;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode (BMP only — matches what JsonWriter::Escape can emit).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(JsonValue* out) {
+    Consume('[');
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) {
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      SkipWs();
+      if (!ParseValue(&element)) {
+        return false;
+      }
+      out->elements.push_back(std::move(element));
+      SkipWs();
+      if (Consume(']')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    Consume('{');
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) {
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return Fail("expected ':'");
+      }
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [name, value] : members) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindPath(std::string_view dotted) const {
+  const JsonValue* node = this;
+  while (node != nullptr && !dotted.empty()) {
+    const size_t dot = dotted.find('.');
+    const std::string_view head = dotted.substr(0, dot);
+    node = node->Find(head);
+    if (dot == std::string_view::npos) {
+      break;
+    }
+    dotted.remove_prefix(dot + 1);
+  }
+  return node;
+}
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  Parser p(text, error);
+  return p.Parse(out);
+}
+
+bool ParseJsonFile(const std::string& path, JsonValue* out, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  if (!ParseJson(text, out, error)) {
+    if (error != nullptr) {
+      *error = path + ": " + *error;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool ParseJsonl(std::string_view text, std::vector<JsonValue>* out, std::string* error) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    bool blank = true;
+    for (const char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) {
+      continue;
+    }
+    JsonValue record;
+    if (!ParseJson(line, &record, error)) {
+      return false;
+    }
+    out->push_back(std::move(record));
+  }
+  return true;
+}
+
+}  // namespace neuroc

@@ -11,28 +11,15 @@
 namespace neuroc {
 
 void SimProfiler::OnRetire(uint32_t addr, Op op, uint32_t cycles) {
-  PcStat& stat = pc_stats_[addr];
-  ++stat.count;
-  stat.cycles += cycles;
-  stat.op = op;
-  ++op_counts_[static_cast<size_t>(op)];
-  op_cycles_[static_cast<size_t>(op)] += cycles;
-  ++total_instructions_;
-  total_cycles_ += cycles;
+  profile_.Add(addr, op, 1, cycles);
 }
 
-void SimProfiler::Reset() {
-  pc_stats_.clear();
-  op_counts_.fill(0);
-  op_cycles_.fill(0);
-  total_instructions_ = 0;
-  total_cycles_ = 0;
-}
+void SimProfiler::Reset() { profile_.Reset(); }
 
-HotspotReport BuildHotspotReport(const SimProfiler& profiler, const SymbolTable& table) {
+HotspotReport BuildHotspotReport(const PcProfile& profile, const SymbolTable& table) {
   HotspotReport report;
-  report.total_instructions = profiler.total_instructions();
-  report.total_cycles = profiler.total_cycles();
+  report.total_instructions = profile.total_instructions;
+  report.total_cycles = profile.total_cycles;
 
   // One accumulator per symbol span, plus a front slot for unattributed PCs.
   std::vector<SymbolHotspot> spans;
@@ -40,7 +27,7 @@ HotspotReport BuildHotspotReport(const SimProfiler& profiler, const SymbolTable&
   for (const SymbolTable::Entry& e : table.entries()) {
     spans.push_back({e.name, e.addr, 0, 0});
   }
-  for (const auto& [addr, stat] : profiler.pc_stats()) {
+  for (const auto& [addr, stat] : profile.pc_stats) {
     const SymbolTable::Entry* e = table.Resolve(addr);
     size_t slot = 0;
     if (e != nullptr) {
@@ -90,12 +77,12 @@ std::string FormatHotspotTable(const HotspotReport& report) {
   return out;
 }
 
-std::string FormatAnnotatedDisassembly(const SimProfiler& profiler, const SymbolTable& table,
+std::string FormatAnnotatedDisassembly(const PcProfile& profile, const SymbolTable& table,
                                        const AssembledProgram& program) {
   std::string out;
   char buf[160];
   const SymbolTable::Entry* current_span = nullptr;
-  for (const auto& [addr, stat] : profiler.pc_stats()) {
+  for (const auto& [addr, stat] : profile.pc_stats) {
     if (addr < program.base_addr || addr >= program.base_addr + program.bytes.size()) {
       continue;  // data or out-of-program PC; not disassemblable here
     }
@@ -140,9 +127,9 @@ void WriteHotspotJson(JsonWriter& w, const HotspotReport& report) {
   w.EndObject();
 }
 
-void WritePcStatsJson(JsonWriter& w, const SimProfiler& profiler) {
+void WritePcStatsJson(JsonWriter& w, const PcProfile& profile) {
   w.BeginArray();
-  for (const auto& [addr, stat] : profiler.pc_stats()) {
+  for (const auto& [addr, stat] : profile.pc_stats) {
     w.BeginObject();
     w.Key("addr").Value(static_cast<uint64_t>(addr));
     w.Key("op").Value(OpName(stat.op));

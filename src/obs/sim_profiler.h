@@ -36,31 +36,68 @@
 
 namespace neuroc {
 
-class SimProfiler : public CpuProbe {
- public:
+// Backend-independent attribution result: exact per-PC and per-opcode retire counts and
+// cycle charges for one profiled window, regardless of how they were gathered (per-retire
+// probe callbacks or expanded block-granular counters). Every report builder below works
+// off this struct, so both profilers share one reporting pipeline.
+struct PcProfile {
   struct PcStat {
     uint64_t count = 0;   // times the instruction at this PC retired
     uint64_t cycles = 0;  // total cycles charged to it
     Op op = Op::kInvalid;
   };
 
+  // Keyed by instruction address; std::map so iteration (and thus every report built from
+  // it) is deterministically address-ordered.
+  std::map<uint32_t, PcStat> pc_stats;
+  std::array<uint64_t, 80> op_counts{};
+  std::array<uint64_t, 80> op_cycles{};
+  uint64_t total_instructions = 0;
+  uint64_t total_cycles = 0;
+  // Provenance: which collection backend produced this profile (recorded in profile JSON).
+  std::string source;
+
+  void Add(uint32_t addr, Op op, uint64_t count, uint64_t cycles) {
+    PcStat& stat = pc_stats[addr];
+    stat.count += count;
+    stat.cycles += cycles;
+    stat.op = op;
+    op_counts[static_cast<size_t>(op)] += count;
+    op_cycles[static_cast<size_t>(op)] += cycles;
+    total_instructions += count;
+    total_cycles += cycles;
+  }
+  void Reset() {
+    pc_stats.clear();
+    op_counts.fill(0);
+    op_cycles.fill(0);
+    total_instructions = 0;
+    total_cycles = 0;
+  }
+};
+
+// Provenance tags for PcProfile::source.
+inline constexpr const char kProfileSourceStepProbe[] = "step_probe";
+inline constexpr const char kProfileSourceBlockCounters[] = "block_counters";
+
+class SimProfiler : public CpuProbe {
+ public:
+  using PcStat = PcProfile::PcStat;
+
+  SimProfiler() { profile_.source = kProfileSourceStepProbe; }
+
   void OnRetire(uint32_t addr, Op op, uint32_t cycles) override;
   void Reset();
 
-  // Keyed by instruction address; std::map so iteration (and thus every report built from
-  // it) is deterministically address-ordered.
-  const std::map<uint32_t, PcStat>& pc_stats() const { return pc_stats_; }
-  const std::array<uint64_t, 80>& op_counts() const { return op_counts_; }
-  const std::array<uint64_t, 80>& op_cycles() const { return op_cycles_; }
-  uint64_t total_instructions() const { return total_instructions_; }
-  uint64_t total_cycles() const { return total_cycles_; }
+  const PcProfile& profile() const { return profile_; }
+  const std::map<uint32_t, PcStat>& pc_stats() const { return profile_.pc_stats; }
+  const std::array<uint64_t, 80>& op_counts() const { return profile_.op_counts; }
+  const std::array<uint64_t, 80>& op_cycles() const { return profile_.op_cycles; }
+  uint64_t total_instructions() const { return profile_.total_instructions; }
+  uint64_t total_cycles() const { return profile_.total_cycles; }
 
  private:
-  std::map<uint32_t, PcStat> pc_stats_;
-  std::array<uint64_t, 80> op_counts_{};
-  std::array<uint64_t, 80> op_cycles_{};
-  uint64_t total_instructions_ = 0;
-  uint64_t total_cycles_ = 0;
+  PcProfile profile_;
 };
 
 // Attaches `probe` to `cpu` for the current scope, restoring the previous probe on exit.
@@ -97,7 +134,7 @@ struct HotspotReport {
 
 // Aggregates per-PC stats into per-symbol spans. PCs below the first symbol (or with an
 // empty table) land in a synthetic "(unattributed)" entry so cycles are never dropped.
-HotspotReport BuildHotspotReport(const SimProfiler& profiler, const SymbolTable& table);
+HotspotReport BuildHotspotReport(const PcProfile& profile, const SymbolTable& table);
 
 // Fixed-width per-symbol table, hottest first.
 std::string FormatHotspotTable(const HotspotReport& report);
@@ -105,13 +142,13 @@ std::string FormatHotspotTable(const HotspotReport& report);
 // Annotated disassembly of every *executed* instruction, address-ordered, with label lines
 // interleaved and per-instruction retire counts and cycles. `program` supplies the
 // instruction bytes (profiled PCs outside it are skipped).
-std::string FormatAnnotatedDisassembly(const SimProfiler& profiler, const SymbolTable& table,
+std::string FormatAnnotatedDisassembly(const PcProfile& profile, const SymbolTable& table,
                                        const AssembledProgram& program);
 
 // Machine-readable forms (emitted under the writer's current position; callers compose
 // them into larger documents).
 void WriteHotspotJson(JsonWriter& w, const HotspotReport& report);
-void WritePcStatsJson(JsonWriter& w, const SimProfiler& profiler);
+void WritePcStatsJson(JsonWriter& w, const PcProfile& profile);
 void WriteHeatmapJson(JsonWriter& w, const MemHeatmap& heatmap, uint32_t flash_base,
                       uint32_t ram_base);
 

@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/common/crc32.h"
 #include "src/kernels/kernel_sources.h"
+#include "src/obs/registry.h"
 
 namespace neuroc {
 
@@ -133,6 +134,9 @@ StatusOr<int> DeployedModel::TryPredict(std::span<const int8_t> input) {
   }
   report_.cycles_per_inference = cycles;
   report_.latency_ms = machine_->CyclesToMs(cycles);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("runtime.inferences").Add(1);
+  reg.GetCounter("runtime.inference_cycles").Add(cycles);
   const std::vector<int8_t> out = LastOutput();
   int best = 0;
   for (size_t i = 1; i < out.size(); ++i) {

@@ -8,6 +8,7 @@
 #include "src/core/model_image.h"
 #include "src/core/synthetic.h"
 #include "src/obs/json_writer.h"
+#include "src/obs/registry.h"
 #include "src/runtime/deployed_model.h"
 
 namespace neuroc {
@@ -276,6 +277,11 @@ FaultCampaignResult RunFaultCampaign(const FaultCampaignConfig& config) {
     result.totals.Add(enc.totals);
     result.encodings.push_back(std::move(enc));
   }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("faultcampaign.trials").Add(result.totals.trials);
+  reg.GetCounter("faultcampaign.sdc").Add(result.totals.sdc);
+  reg.GetCounter("faultcampaign.detected").Add(result.totals.detected);
+  reg.GetCounter("faultcampaign.recovered").Add(result.totals.recovered);
   return result;
 }
 

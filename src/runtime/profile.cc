@@ -1,16 +1,21 @@
 #include "src/runtime/profile.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "src/common/logging.h"
+#include "src/obs/block_profiler.h"
+#include "src/obs/registry.h"
 
 namespace neuroc {
 
 namespace {
 
-// Stack headroom below which deployment is considered at risk: the board has 16 KB of
-// SRAM total, and a stack growing into the activation buffers corrupts inference silently.
-constexpr uint32_t kStackHeadroomWarnBytes = 256;
+// Default stack headroom below which deployment is considered at risk: the board has
+// 16 KB of SRAM total, and a stack growing into the activation buffers corrupts
+// inference silently.
+constexpr uint32_t kDefaultStackHeadroomWarnBytes = 256;
 
 enum class OpCategory { kLoad, kStore, kAlu, kMul, kBranch, kStack };
 
@@ -53,16 +58,17 @@ OpCategory Categorize(Op op) {
   }
 }
 
-// Rebases the aggregate profile on the profiler's per-opcode attribution: counts and
-// cycles per category both derive from the same probe data, so category cycles sum to the
-// total cycle count exactly.
-ExecutionProfile SummarizeProfiler(const SimProfiler& prof, const MemAccessStats& mem) {
+// Rebases the aggregate profile on the attribution's per-opcode data: counts and cycles
+// per category both derive from the same exact per-opcode attribution, so category
+// cycles sum to the total cycle count exactly — regardless of which backend (step probe
+// or block counters) gathered it.
+ExecutionProfile SummarizeAttribution(const PcProfile& prof, const MemAccessStats& mem) {
   ExecutionProfile p;
-  p.instructions = prof.total_instructions();
-  p.cycles = prof.total_cycles();
-  for (size_t i = 0; i < prof.op_counts().size(); ++i) {
-    const uint64_t count = prof.op_counts()[i];
-    const uint64_t cycles = prof.op_cycles()[i];
+  p.instructions = prof.total_instructions;
+  p.cycles = prof.total_cycles;
+  for (size_t i = 0; i < prof.op_counts.size(); ++i) {
+    const uint64_t count = prof.op_counts[i];
+    const uint64_t cycles = prof.op_cycles[i];
     if (count == 0 && cycles == 0) {
       continue;
     }
@@ -99,36 +105,117 @@ ExecutionProfile SummarizeProfiler(const SimProfiler& prof, const MemAccessStats
   return p;
 }
 
+std::array<uint64_t, kEnergyClassCount> CyclesByEnergyClass(const ExecutionProfile& p) {
+  std::array<uint64_t, kEnergyClassCount> cycles{};
+  cycles[static_cast<size_t>(EnergyClass::kAlu)] = p.alu_cycles;
+  cycles[static_cast<size_t>(EnergyClass::kMul)] = p.multiply_cycles;
+  cycles[static_cast<size_t>(EnergyClass::kLoad)] = p.load_cycles;
+  cycles[static_cast<size_t>(EnergyClass::kStore)] = p.store_cycles;
+  cycles[static_cast<size_t>(EnergyClass::kBranch)] = p.branch_cycles;
+  cycles[static_cast<size_t>(EnergyClass::kStack)] = p.stack_cycles;
+  return cycles;
+}
+
+// Applies the decode/execution mode, runs one zero-input inference under the matching
+// attribution backend, and restores the CPU's previous mode. kLegacy/kCached attach the
+// step-interpreter probe (which transparently drops Run to Step); kBlock stays on
+// block-compiled dispatch and uses the block-granular counters.
+PcProfile RunAttributedInference(DeployedModel& model, ProfileMode mode) {
+  Cpu& cpu = model.machine().cpu();
+  const bool prev_icache = cpu.decode_cache_enabled();
+  const bool prev_block = cpu.block_compile_enabled();
+  cpu.EnableDecodeCache(mode != ProfileMode::kLegacy);
+  cpu.EnableBlockCompile(mode == ProfileMode::kBlock);
+  cpu.ResetCounters();
+
+  PcProfile out;
+  const std::vector<int8_t> zeros(model.input_dim(), 0);
+  if (mode == ProfileMode::kBlock) {
+    BlockProfiler profiler(cpu);
+    model.Predict(zeros);
+    out = profiler.Collect();
+  } else {
+    SimProfiler profiler;
+    ScopedCpuProbe attach(cpu, &profiler);
+    model.Predict(zeros);
+    out = profiler.profile();
+  }
+  cpu.EnableDecodeCache(prev_icache);
+  cpu.EnableBlockCompile(prev_block);
+  MetricsRegistry::Global().GetCounter("profile.runs").Add(1);
+  return out;
+}
+
 }  // namespace
 
-ExecutionProfile ProfileInference(DeployedModel& model) {
-  Machine& machine = model.machine();
-  machine.cpu().ResetCounters();
-  SimProfiler profiler;
-  ScopedCpuProbe attach(machine.cpu(), &profiler);
-  std::vector<int8_t> zeros(model.input_dim(), 0);
-  model.Predict(zeros);
-  return SummarizeProfiler(profiler, machine.memory().stats());
+const char* ProfileModeName(ProfileMode mode) {
+  switch (mode) {
+    case ProfileMode::kLegacy:
+      return "legacy";
+    case ProfileMode::kCached:
+      return "cached";
+    case ProfileMode::kBlock:
+      return "block";
+  }
+  return "block";
+}
+
+bool ParseProfileMode(std::string_view name, ProfileMode* out) {
+  if (name == "legacy") {
+    *out = ProfileMode::kLegacy;
+  } else if (name == "cached") {
+    *out = ProfileMode::kCached;
+  } else if (name == "block") {
+    *out = ProfileMode::kBlock;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+uint32_t StackHeadroomWarnBytes() {
+  static const uint32_t value = [] {
+    uint32_t v = kDefaultStackHeadroomWarnBytes;
+    if (const char* env = std::getenv("NEUROC_SRAM_HEADROOM");
+        env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != nullptr && *end == '\0' && parsed <= 0xFFFFFFFFul) {
+        v = static_cast<uint32_t>(parsed);
+      } else {
+        NEUROC_LOG_WARN("ignoring malformed NEUROC_SRAM_HEADROOM=\"%s\"", env);
+      }
+    }
+    MetricsRegistry::Global().GetGauge("profile.sram_headroom_warn_bytes").Set(v);
+    return v;
+  }();
+  return value;
+}
+
+ExecutionProfile ProfileInference(DeployedModel& model, ProfileMode mode) {
+  const PcProfile attribution = RunAttributedInference(model, mode);
+  return SummarizeAttribution(attribution, model.machine().memory().stats());
 }
 
 InferenceProfile ProfileInferenceDetailed(DeployedModel& model,
-                                          uint32_t heatmap_bucket_bytes) {
+                                          uint32_t heatmap_bucket_bytes,
+                                          ProfileMode mode) {
   Machine& machine = model.machine();
-  machine.cpu().ResetCounters();
   machine.memory().EnableHeatmap(heatmap_bucket_bytes);
   machine.memory().EnableStackWatch(model.activation_top_addr());
 
   InferenceProfile out;
-  {
-    ScopedCpuProbe attach(machine.cpu(), &out.profiler);
-    std::vector<int8_t> zeros(model.input_dim(), 0);
-    model.Predict(zeros);
-  }
-  out.summary = SummarizeProfiler(out.profiler, machine.memory().stats());
+  out.mode = mode;
+  out.attribution = RunAttributedInference(model, mode);
+  out.summary = SummarizeAttribution(out.attribution, machine.memory().stats());
   out.hotspots =
-      BuildHotspotReport(out.profiler, SymbolTable(model.kernel_program().symbols));
+      BuildHotspotReport(out.attribution, SymbolTable(model.kernel_program().symbols));
   out.layer_cycles = model.report().layer_cycles;
   out.heatmap = machine.memory().heatmap();
+  out.energy_model = EnergyModel::CortexM0Proxy();
+  out.energy = EstimateEnergy(out.energy_model, CyclesByEnergyClass(out.summary),
+                              out.summary.flash_reads, out.summary.sram_reads,
+                              out.summary.sram_writes);
 
   const uint32_t ram_top =
       machine.config().ram_base + machine.config().ram_size;
@@ -136,11 +223,14 @@ InferenceProfile ProfileInferenceDetailed(DeployedModel& model,
   if (low_water != 0xFFFFFFFFu) {
     out.stack_bytes_used = ram_top - low_water;
     out.stack_headroom_bytes = low_water - model.activation_top_addr();
-    if (out.stack_headroom_bytes < kStackHeadroomWarnBytes) {
+    MetricsRegistry::Global()
+        .GetGauge("profile.stack_headroom_bytes")
+        .Set(out.stack_headroom_bytes);
+    if (out.stack_headroom_bytes < StackHeadroomWarnBytes()) {
       NEUROC_LOG_WARN(
           "simulated stack high-water mark within %u B of the activation buffers "
           "(stack uses %u B, headroom %u B of %u B SRAM)",
-          kStackHeadroomWarnBytes, out.stack_bytes_used, out.stack_headroom_bytes,
+          StackHeadroomWarnBytes(), out.stack_bytes_used, out.stack_headroom_bytes,
           machine.config().ram_size);
     }
   }
@@ -184,7 +274,19 @@ std::string FormatInferenceProfile(const InferenceProfile& profile,
                                    const DeployedModel& model,
                                    bool annotated_disassembly) {
   std::string out = FormatProfile(profile.summary);
-  char buf[160];
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "decode mode: %s  attribution: %s\n",
+                ProfileModeName(profile.mode), profile.attribution.source.c_str());
+  out += buf;
+  const double clock_hz = model.machine().config().clock_hz;
+  std::snprintf(buf, sizeof(buf),
+                "energy proxy: %.3f µJ/inference (core %.3f µJ, flash %.3f µJ, sram "
+                "%.3f µJ; avg %.2f mW at %.0f MHz)\n",
+                profile.energy.total_uj(), profile.energy.core_total_pj * 1e-6,
+                profile.energy.flash_pj * 1e-6, profile.energy.sram_pj * 1e-6,
+                profile.energy.AvgPowerMw(profile.summary.cycles, clock_hz),
+                clock_hz / 1e6);
+  out += buf;
   out += "\nper-layer cycles:\n";
   for (size_t k = 0; k < profile.layer_cycles.size(); ++k) {
     std::snprintf(buf, sizeof(buf), "  layer %zu: %llu (%.1f%%)\n", k,
@@ -204,7 +306,7 @@ std::string FormatInferenceProfile(const InferenceProfile& profile,
   out += FormatSramHeatmap(profile.heatmap, model.machine().config().ram_base);
   if (annotated_disassembly) {
     out += "\nannotated disassembly (executed instructions only):\n";
-    out += FormatAnnotatedDisassembly(profile.profiler,
+    out += FormatAnnotatedDisassembly(profile.attribution,
                                       SymbolTable(model.kernel_program().symbols),
                                       model.kernel_program());
   }
@@ -215,7 +317,10 @@ void WriteInferenceProfileJson(JsonWriter& w, const InferenceProfile& profile,
                                const DeployedModel& model) {
   const ExecutionProfile& p = profile.summary;
   w.BeginObject();
-  w.Key("schema").Value("neuroc.profile.v1");
+  w.Key("schema").Value("neuroc.profile.v2");
+  // Provenance: which decode/execution path ran and which backend attributed it.
+  w.Key("mode").Value(ProfileModeName(profile.mode));
+  w.Key("profiler").Value(profile.attribution.source);
   w.Key("summary").BeginObject();
   w.Key("instructions").Value(p.instructions);
   w.Key("cycles").Value(p.cycles);
@@ -243,6 +348,9 @@ void WriteInferenceProfileJson(JsonWriter& w, const InferenceProfile& profile,
   w.EndObject();
   w.EndObject();
 
+  w.Key("energy");
+  WriteEnergyJson(w, profile.energy_model, profile.energy);
+
   w.Key("layer_cycles").BeginArray();
   for (const uint64_t c : profile.layer_cycles) {
     w.Value(c);
@@ -253,11 +361,12 @@ void WriteInferenceProfileJson(JsonWriter& w, const InferenceProfile& profile,
   WriteHotspotJson(w, profile.hotspots);
 
   w.Key("pc_stats");
-  WritePcStatsJson(w, profile.profiler);
+  WritePcStatsJson(w, profile.attribution);
 
   w.Key("stack").BeginObject();
   w.Key("bytes_used").Value(static_cast<uint64_t>(profile.stack_bytes_used));
   w.Key("headroom_bytes").Value(static_cast<uint64_t>(profile.stack_headroom_bytes));
+  w.Key("headroom_warn_bytes").Value(static_cast<uint64_t>(StackHeadroomWarnBytes()));
   w.EndObject();
 
   w.Key("heatmap");

@@ -10,12 +10,31 @@
 #define NEUROC_SRC_RUNTIME_PROFILE_H_
 
 #include <string>
+#include <string_view>
 
+#include "src/obs/energy.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/sim_profiler.h"
 #include "src/runtime/deployed_model.h"
 
 namespace neuroc {
+
+// Which decode/execution path the profiled inference runs on. kLegacy and kCached
+// profile through the step-interpreter probe (attaching a CpuProbe forces the step
+// path anyway); kBlock stays on block-compiled execution and gathers the same exact
+// attribution through the block-granular counters (src/obs/block_profiler.h) — the
+// fast-path default.
+enum class ProfileMode { kLegacy, kCached, kBlock };
+
+const char* ProfileModeName(ProfileMode mode);
+// Accepts "legacy" | "cached" | "block".
+bool ParseProfileMode(std::string_view name, ProfileMode* out);
+
+// Stack headroom below which ProfileInferenceDetailed warns (a stack growing into the
+// activation buffers corrupts inference silently). Configurable via the
+// NEUROC_SRAM_HEADROOM environment variable; defaults to 256 bytes. Also published as
+// the registry gauge `profile.sram_headroom_warn_bytes`.
+uint32_t StackHeadroomWarnBytes();
 
 struct ExecutionProfile {
   uint64_t instructions = 0;
@@ -49,22 +68,28 @@ struct ExecutionProfile {
 // Full attribution package for one inference.
 struct InferenceProfile {
   ExecutionProfile summary;
-  SimProfiler profiler;             // raw per-PC/per-opcode attribution
+  ProfileMode mode = ProfileMode::kBlock;  // decode/execution path profiled
+  PcProfile attribution;            // raw per-PC/per-opcode attribution (+ provenance)
   HotspotReport hotspots;           // per-symbol/per-loop-label cycle attribution
   std::vector<uint64_t> layer_cycles;
   MemHeatmap heatmap;               // per-region access histograms
   uint32_t stack_bytes_used = 0;    // SRAM stack high-water mark
   uint32_t stack_headroom_bytes = 0;  // gap between deepest stack and activation top
+  EnergyModel energy_model;         // proxy weights the estimate was computed with
+  EnergyEstimate energy;            // cycles × active-power + access-energy estimate
 };
 
 // Runs one inference on `model` (zero input) and returns the profile of exactly that run.
-ExecutionProfile ProfileInference(DeployedModel& model);
+ExecutionProfile ProfileInference(DeployedModel& model,
+                                  ProfileMode mode = ProfileMode::kBlock);
 
 // As above, plus symbol-resolved hotspots, memory heatmap (`heatmap_bucket_bytes`-sized
-// buckets) and stack tracking. Warns via NEUROC_LOG_WARN when the measured stack high
-// water comes within 256 bytes of the activation buffers.
+// buckets), stack tracking, and the energy-proxy estimate. Warns via NEUROC_LOG_WARN
+// when the measured stack high water comes within StackHeadroomWarnBytes() of the
+// activation buffers.
 InferenceProfile ProfileInferenceDetailed(DeployedModel& model,
-                                          uint32_t heatmap_bucket_bytes = 64);
+                                          uint32_t heatmap_bucket_bytes = 64,
+                                          ProfileMode mode = ProfileMode::kBlock);
 
 // Multi-line human-readable report.
 std::string FormatProfile(const ExecutionProfile& profile);

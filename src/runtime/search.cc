@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
+#include "src/obs/registry.h"
 #include "src/runtime/deployed_model.h"
 
 namespace neuroc {
@@ -155,6 +156,13 @@ SearchResult RandomSearch(const Dataset& train, const Dataset& validation,
             result.candidates[static_cast<size_t>(result.best)].accuracy) {
       result.best = static_cast<int>(i);
     }
+  }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("search.trials").Add(result.candidates.size());
+  reg.GetCounter("search.feasible").Add(feasible.size());
+  if (result.best >= 0) {
+    reg.GetGauge("search.best_accuracy")
+        .Set(result.candidates[static_cast<size_t>(result.best)].accuracy);
   }
   return result;
 }

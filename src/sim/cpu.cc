@@ -22,6 +22,7 @@ void Cpu::EnableDecodeCache(bool enabled) {
   icache_enabled_ = enabled;
   if (!enabled) {
     FlushBlockHistograms();
+    FlushBlockProfiles();
     icache_ = std::vector<Predecoded>();  // release memory, not just clear
     blocks_ = std::vector<Block>();
     block_index_ = std::vector<int32_t>();
@@ -33,11 +34,35 @@ void Cpu::EnableBlockCompile(bool enabled) {
   block_enabled_ = enabled;
   if (!enabled) {
     FlushBlockHistograms();
+    FlushBlockProfiles();
     blocks_ = std::vector<Block>();
     block_index_ = std::vector<int32_t>();
   }
   // Force a rebuild either way so block_index_ is (re)sized with the decode cache.
   icache_valid_ = false;
+}
+
+void Cpu::EnableBlockProfile(bool enabled) {
+  if (enabled) {
+    ResetBlockProfile();  // each enable opens a fresh attribution window
+  } else {
+    FlushBlockProfiles();  // keep in-flight block counters readable after detach
+  }
+  block_profile_enabled_ = enabled;
+}
+
+void Cpu::ResetBlockProfile() {
+  for (const Block& blk : blocks_) {
+    blk.prof_execs = 0;
+    blk.prof_bcond_taken = 0;
+    std::fill(blk.prof_mem_hits.begin(), blk.prof_mem_hits.end(), 0);
+  }
+  block_profile_.clear();
+}
+
+const std::map<uint32_t, Cpu::ProfiledPc>& Cpu::CollectBlockProfile() const {
+  FlushBlockProfiles();
+  return block_profile_;
 }
 
 void Cpu::RebuildDecodeCache() {
@@ -63,6 +88,7 @@ void Cpu::RebuildDecodeCache() {
   // Compiled blocks are views over the predecoded slots; drop them whenever the slots
   // change (any host write into flash lands here via the shared listener flag).
   FlushBlockHistograms();
+  FlushBlockProfiles();
   blocks_.clear();
   block_index_.assign(block_enabled_ ? slots : 0, kBlockNotCompiled);
   icache_valid_ = true;
@@ -299,8 +325,10 @@ int32_t Cpu::CompileBlock(size_t entry_slot) {
     }
   }
   // Batched accounting: the static cycle total, total counted fetches and the per-Op
-  // retire histogram.
+  // retire histogram. The profiled execute path indexes prof_mem_hits unconditionally,
+  // so it is sized here once instead of checked on every block entry.
   b.static_cycles = static_cycles;
+  b.prof_mem_hits.assign(b.ops.size(), 0);
   std::array<uint32_t, 80> histo{};
   for (const BlockOp& o : b.ops) {
     b.fetch_reads += o.fetch_reads;
@@ -338,6 +366,71 @@ void Cpu::FlushBlockHistograms() const {
     }
     blk.execs = 0;
   }
+}
+
+// Exact expansion of the per-block counters: each op's static cycle cost (fetch wait
+// states + fixed execution cost) is the delta of consecutive cycles_before prefix sums,
+// charged prof_execs times; the only dynamic costs are the recorded per-op flash-wait
+// hits and the taken/not-taken split of a kBcond terminator. Overlapping blocks (a block
+// entered mid-way compiles its own view of the same PCs) simply sum into the same map
+// entries. Mid-block fault residue and interpreter-step residue were already folded into
+// block_profile_ at the point they occurred, so after this flush the map's cycle total
+// equals the exact interpreter-visible charge for every retired instruction.
+void Cpu::FlushBlockProfiles() const {
+  const uint64_t fetch_ws = static_cast<uint64_t>(model_.flash_wait_states);
+  for (const Block& blk : blocks_) {
+    if (blk.prof_execs == 0) {
+      // Counters are always sized, so "never ran profiled" needs a hit scan — nonzero
+      // hits without an exec happen only when every profiled run faulted mid-block.
+      bool any_hits = false;
+      for (const uint64_t h : blk.prof_mem_hits) {
+        any_hits |= h != 0;
+      }
+      if (!any_hits) {
+        continue;
+      }
+    }
+    const size_t n = blk.ops.size();
+    for (size_t k = 0; k < n; ++k) {
+      const BlockOp& o = blk.ops[k];
+      const uint64_t static_k =
+          (k + 1 < n ? blk.ops[k + 1].cycles_before : blk.static_cycles) - o.cycles_before;
+      uint64_t cyc = blk.prof_execs * static_k;
+      cyc += blk.prof_mem_hits[k] * fetch_ws;
+      if (o.op == Op::kBcond) {
+        cyc += blk.prof_bcond_taken * static_cast<uint64_t>(model_.branch_taken) +
+               (blk.prof_execs - blk.prof_bcond_taken) *
+                   static_cast<uint64_t>(model_.branch_not_taken);
+      }
+      if (blk.prof_execs == 0 && cyc == 0) {
+        continue;  // nothing retired at this PC through this block
+      }
+      ProfiledPc& stat = block_profile_[o.addr];
+      stat.count += blk.prof_execs;
+      stat.cycles += cyc;
+      stat.op = o.op;
+    }
+    blk.prof_execs = 0;
+    blk.prof_bcond_taken = 0;
+    std::fill(blk.prof_mem_hits.begin(), blk.prof_mem_hits.end(), 0);
+  }
+}
+
+Op Cpu::PeekOpAt(uint32_t addr) const {
+  // Host-side (uncounted) decode peek, mirroring the interpreter's fetch rule: hw2 is
+  // read only for a wide (BL-prefix) encoding whose second halfword is mapped.
+  if (mem_->RegionOf(addr) == MemRegion::kNone) {
+    return Op::kInvalid;
+  }
+  uint8_t raw[2];
+  mem_->HostRead(addr, raw);
+  const uint16_t hw1 = static_cast<uint16_t>(raw[0] | (raw[1] << 8));
+  uint16_t hw2 = 0;
+  if ((hw1 & 0xF800) == 0xF000 && mem_->RegionOf(addr + 2) != MemRegion::kNone) {
+    mem_->HostRead(addr + 2, raw);
+    hw2 = static_cast<uint16_t>(raw[0] | (raw[1] << 8));
+  }
+  return DecodeInstr(hw1, hw2).op;
 }
 
 void Cpu::EnableTrace(size_t depth) {
@@ -446,7 +539,11 @@ void Cpu::Run(uint64_t max_instructions) {
         if (instructions_ - start + blk.ops.size() > max_instructions) {
           break;
         }
-        ExecuteBlock(blk);
+        if (block_profile_enabled_) {
+          ExecuteBlock<true>(blk);
+        } else {
+          ExecuteBlock<false>(blk);
+        }
       }
       if (halted()) {
         return;
@@ -478,9 +575,13 @@ void Cpu::Run(uint64_t max_instructions) {
 #endif
 
 #if NEUROC_BLOCK_COMPUTED_GOTO
+// NEUROC_NEXT also advances the profiled hit-counter cursor in lockstep with the op
+// pointer (discarded in the unprofiled instantiation), so charge_mem records a flash-wait
+// hit with a plain `++*prof_slot` — no per-access op-index math on the hot path.
 #define NEUROC_OP(name) lbl_##name:
 #define NEUROC_NEXT                                   \
   do {                                                \
+    if constexpr (kProfiled) ++prof_slot;             \
     if (++op == op_end) goto block_exit;              \
     goto* kDispatch[static_cast<size_t>(op->op)];     \
   } while (0)
@@ -488,6 +589,7 @@ void Cpu::Run(uint64_t max_instructions) {
 #define NEUROC_OP(name) case Op::name:
 #define NEUROC_NEXT                                   \
   {                                                   \
+    if constexpr (kProfiled) ++prof_slot;             \
     if (++op == op_end) goto block_exit;              \
   }                                                   \
   break
@@ -496,6 +598,7 @@ void Cpu::Run(uint64_t max_instructions) {
 // Reads of r15 observe the instruction's address + 4; only hi-register forms and BX/BLX
 // can encode r15 as an operand, so the compare lives in those cases alone.
 #define NEUROC_RVAL(r) ((r) == kRegPc ? op->addr + 4 : regs_[(r)])
+template <bool kProfiled>
 #if NEUROC_BLOCK_COMPUTED_GOTO && defined(__GNUC__) && !defined(__clang__)
 // Keep GCC's global CSE from re-merging the per-op indirect jumps into one shared
 // dispatch site, which would undo the branch-prediction benefit of token threading.
@@ -512,10 +615,22 @@ void Cpu::ExecuteBlock(const Block& b) {
   const BlockOp* ops = b.ops.data();
   const BlockOp* const op_end = ops + n;
   const BlockOp* op = ops;
-  // Dynamic part of ChargeMemAccess (the static load/store cost is folded).
+  // Cursor into the block's per-op hit counters, advanced by NEUROC_NEXT in lockstep
+  // with `op` (sized to ops.size() at compile time, so it stays in bounds by the same
+  // argument op does).
+  [[maybe_unused]] uint64_t* prof_slot = nullptr;
+  if constexpr (kProfiled) {
+    prof_slot = b.prof_mem_hits.data();
+  }
+  // Dynamic part of ChargeMemAccess (the static load/store cost is folded). Under
+  // profiling the hit is also attributed to the current op so the expansion can charge
+  // it to the exact PC.
   const auto charge_mem = [&](uint32_t a) {
     if (fetch_ws != 0 && a - flash_base < flash_size) {
       dyn += fetch_ws;
+      if constexpr (kProfiled) {
+        ++*prof_slot;
+      }
     }
   };
   try {
@@ -1074,6 +1189,9 @@ void Cpu::ExecuteBlock(const Block& b) {
       if (EvalCond(op->cond)) {
         pc_ = static_cast<uint32_t>(op->imm) & ~1u;  // target resolved at compile time
         dyn += static_cast<uint32_t>(model_.branch_taken);
+        if constexpr (kProfiled) {
+          ++b.prof_bcond_taken;
+        }
       } else {
         pc_ = op->addr + 2;
         dyn += static_cast<uint32_t>(model_.branch_not_taken);
@@ -1110,6 +1228,24 @@ void Cpu::ExecuteBlock(const Block& b) {
       ++op_histogram_[static_cast<size_t>(o.op)];
       mem_->CountFlashFetches(o.addr, o.fetch_reads);
     }
+    if constexpr (kProfiled) {
+      // The aborted run never reaches prof_execs, so fold its per-PC attribution as
+      // residue now: each retired prefix op its static charge (the prefix-sum delta —
+      // its flash-wait hits were already recorded into prof_mem_hits by charge_mem),
+      // and the faulting op its fetch wait states only (the access threw before its
+      // data-access cost was charged, matching the interpreter).
+      for (size_t k = 0; k < i; ++k) {
+        const BlockOp& o = b.ops[k];
+        ProfiledPc& stat = block_profile_[o.addr];
+        stat.count += 1;
+        stat.cycles += b.ops[k + 1].cycles_before - o.cycles_before;
+        stat.op = o.op;
+      }
+      ProfiledPc& stat = block_profile_[f.addr];
+      stat.count += 1;
+      stat.cycles += fetch_ws;
+      stat.op = f.op;
+    }
     pc_ = f.addr + 2u * f.fetch_reads;
     regs_[kRegPc] = f.addr + 4;
     gf.pc = f.addr;
@@ -1119,6 +1255,9 @@ block_exit:
   cycles_ += b.static_cycles + dyn;
   instructions_ += n;
   ++b.execs;  // histogram applied lazily: FlushBlockHistograms folds histogram * execs
+  if constexpr (kProfiled) {
+    ++b.prof_execs;
+  }
   if (mem_->observing()) {
     // Heatmap/stack-watch attached: replay per-halfword fetch observations in order so
     // the histograms match the interpreter exactly.
@@ -1146,6 +1285,35 @@ void Cpu::Step() {
   // instruction that caused it before propagating to Machine::TryCallFunction. The
   // non-faulting path is unaffected (table-based unwinding costs only on throw).
   const uint32_t fault_pc = pc_;
+  if (block_profile_enabled_) {
+    // Interpreter-fallback residue: any step taken while block profiling is on (step-only
+    // entries, uncovered flash, budget-crossing tails, SRAM execution, or block mode
+    // disabled outright) is attributed by counter delta, so the profile stays exact off
+    // the block path too. The decode peek is uncounted host observation on this cold
+    // path; a fault that retires nothing (undefined instruction throws before the retire
+    // counters move) correctly records nothing.
+    const Op op = PeekOpAt(fault_pc);
+    const uint64_t cycles_before = cycles_;
+    const uint64_t instructions_before = instructions_;
+    const auto record = [&] {
+      if (instructions_ == instructions_before) {
+        return;
+      }
+      ProfiledPc& stat = block_profile_[fault_pc];
+      stat.count += 1;
+      stat.cycles += cycles_ - cycles_before;
+      stat.op = op;
+    };
+    try {
+      StepInner();
+    } catch (GuestFault& gf) {
+      gf.pc = fault_pc;
+      record();
+      throw;
+    }
+    record();
+    return;
+  }
   try {
     StepInner();
   } catch (GuestFault& gf) {

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -116,6 +117,28 @@ class Cpu {
   void EnableBlockCompile(bool enabled);
   bool block_compile_enabled() const { return block_enabled_; }
 
+  // Block-granular profiling: per-PC/per-opcode cycle attribution that stays on the
+  // block-compiled fast path. While enabled, ExecuteBlock bumps one exec counter per
+  // block (plus a per-op flash-wait hit counter on data accesses and the taken count of
+  // the conditional-branch terminator — the only two dynamic cycle sources inside a
+  // block), and CollectBlockProfile expands those counters exactly to per-PC attribution
+  // using the compiler's per-op static-cycle prefix sums. Mid-block faults and
+  // interpreter-fallback steps (uncovered flash, step-only entries, budget tails, SRAM)
+  // are folded in as per-PC residue, so the collected cycles sum exactly to the
+  // Cpu::cycles() delta of the profiled window — the same invariant the step-interpreter
+  // probe gives — without dropping out of block dispatch.
+  struct ProfiledPc {
+    uint64_t count = 0;   // times the instruction at this PC retired
+    uint64_t cycles = 0;  // exact cycles charged to it (fetch waits, memory, branches)
+    Op op = Op::kInvalid;
+  };
+  void EnableBlockProfile(bool enabled);
+  bool block_profile_enabled() const { return block_profile_enabled_; }
+  // Expands all per-block counters (plus residue) into an address-ordered per-PC map and
+  // resets the per-block counters; the accumulated map persists until ResetBlockProfile.
+  const std::map<uint32_t, ProfiledPc>& CollectBlockProfile() const;
+  void ResetBlockProfile();
+
   const CycleModel& cycle_model() const { return model_; }
   MemoryMap& memory() { return *mem_; }
 
@@ -174,6 +197,19 @@ class Cpu {
     // yet; FlushBlockHistograms() applies histogram * execs and zeroes it. Mutable so the
     // flush can run from the const op_histogram() accessor.
     mutable uint64_t execs = 0;
+    // Block-profile counters, maintained only by ExecuteBlock<true>: completed profiled
+    // executions, taken outcomes of a kBcond terminator, and per-op counts of data
+    // accesses that hit flash (the per-access wait-state charge). Everything else a
+    // profile needs is reconstructed from the static cycles_before prefix sums.
+    // FlushBlockProfiles() expands and zeroes these; mutable for the same reason as execs.
+    mutable uint64_t prof_execs = 0;
+    mutable uint64_t prof_bcond_taken = 0;
+    // One flash-wait hit counter per op, sized at compile time (CompileBlock). The
+    // profiled execute loop advances a cursor into this array in lockstep with the op
+    // pointer, so recording a hit is a plain increment with no per-access index math
+    // (an op index computed from the op pointer costs a divide-by-sizeof(BlockOp),
+    // which dominated the profiled loop).
+    mutable std::vector<uint64_t> prof_mem_hits;
   };
   static constexpr int32_t kBlockNotCompiled = -1;
   // The entry slot cannot start a block (invalid/UDF decode): always use the interpreter,
@@ -184,10 +220,17 @@ class Cpu {
     return block_enabled_ && icache_enabled_ && probe_ == nullptr && trace_.empty();
   }
   int32_t CompileBlock(size_t entry_slot);
+  template <bool kProfiled>
   void ExecuteBlock(const Block& b);
   // Folds every block's deferred (histogram * execs) contribution into op_histogram_ and
   // zeroes the exec counters. Must run before blocks_ is cleared or the counts are lost.
   void FlushBlockHistograms() const;
+  // Expands every block's profile counters into block_profile_ per-PC entries and zeroes
+  // them. Like FlushBlockHistograms, must run before blocks_ is cleared.
+  void FlushBlockProfiles() const;
+  // Uncounted decode peek for the interpreter-fallback residue path (host-side read; no
+  // fetch accounting, no heatmap traffic). Returns kInvalid for unmapped addresses.
+  Op PeekOpAt(uint32_t addr) const;
 
   struct AddResult {
     uint32_t value;
@@ -225,6 +268,12 @@ class Cpu {
   std::vector<Block> blocks_;
   std::vector<int32_t> block_index_;
   bool block_enabled_ = true;
+  bool block_profile_enabled_ = false;
+  // Accumulated per-PC profile: expanded block counters, mid-block fault residue, and
+  // interpreter-fallback step residue. Address-ordered so reads are deterministic.
+  // Mutable so CollectBlockProfile / FlushBlockProfiles can run through const paths
+  // (mirroring the op_histogram flush).
+  mutable std::map<uint32_t, ProfiledPc> block_profile_;
 };
 
 }  // namespace neuroc

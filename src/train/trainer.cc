@@ -8,6 +8,7 @@
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
+#include "src/obs/registry.h"
 #include "src/obs/trace.h"
 #include "src/train/loss.h"
 #include "src/train/metrics.h"
@@ -165,6 +166,10 @@ TrainResult Train(Network& net, const Dataset& train, const Dataset& test,
   }
   result.final_test_accuracy =
       result.history.empty() ? 0.0f : result.history.back().test_accuracy;
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("train.epochs").Add(result.history.size());
+  reg.GetCounter("train.runs").Add(1);
+  reg.GetGauge("train.final_test_accuracy").Set(result.final_test_accuracy);
   return result;
 }
 

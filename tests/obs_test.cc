@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <map>
 #include <string>
@@ -15,14 +17,19 @@
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
 #include "src/core/synthetic.h"
+#include "src/obs/block_profiler.h"
+#include "src/obs/energy.h"
+#include "src/obs/json_reader.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/registry.h"
 #include "src/obs/sim_profiler.h"
 #include "tests/test_util.h"
 #include "src/obs/trace.h"
 #include "src/runtime/deployed_model.h"
 #include "src/runtime/platform.h"
 #include "src/runtime/profile.h"
+#include "src/sim/guest_fault.h"
 
 namespace neuroc {
 namespace {
@@ -477,6 +484,379 @@ TEST(MetricsLoggerTest, EmptyPathIsNoOp) {
   MetricsLogger logger("");
   EXPECT_FALSE(logger.ok());
   logger.Log({{"epoch", 1}});  // must not crash
+}
+
+// ---------------------------------------------------------------------------
+// Block-granular profiler: the fast-path attribution must be bit-identical to the
+// step-interpreter probe (the tentpole invariant of the observability PR).
+// ---------------------------------------------------------------------------
+
+void ExpectProfilesBitIdentical(const PcProfile& block, const PcProfile& step) {
+  EXPECT_EQ(block.total_instructions, step.total_instructions);
+  EXPECT_EQ(block.total_cycles, step.total_cycles);
+  EXPECT_EQ(block.op_counts, step.op_counts);
+  EXPECT_EQ(block.op_cycles, step.op_cycles);
+  ASSERT_EQ(block.pc_stats.size(), step.pc_stats.size());
+  auto it = step.pc_stats.begin();
+  for (const auto& [pc, stat] : block.pc_stats) {
+    ASSERT_EQ(pc, it->first) << std::hex << pc;
+    EXPECT_EQ(stat.count, it->second.count) << std::hex << pc;
+    EXPECT_EQ(stat.cycles, it->second.cycles) << std::hex << pc;
+    EXPECT_EQ(stat.op, it->second.op) << std::hex << pc;
+    ++it;
+  }
+}
+
+TEST(BlockProfilerTest, AttributionMatchesStepProbeAcrossEncodings) {
+  for (const EncodingKind encoding : {EncodingKind::kCsc, EncodingKind::kDelta,
+                                      EncodingKind::kMixed, EncodingKind::kBlock}) {
+    SCOPED_TRACE(static_cast<int>(encoding));
+    testutil::TestModelSpec spec;
+    spec.encoding = encoding;
+    NeuroCModel model = testutil::MakeTestModel(21, spec);
+
+    // Reference: per-retire probe on the step interpreter.
+    DeployedModel stepped = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+    std::vector<int8_t> input(stepped.input_dim(), 7);
+    stepped.machine().cpu().ResetCounters();
+    SimProfiler step_profiler;
+    {
+      ScopedCpuProbe attach(stepped.machine().cpu(), &step_profiler);
+      stepped.Predict(input);
+    }
+
+    // Same inference profiled without leaving block-compiled execution.
+    DeployedModel blocked = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+    Cpu& cpu = blocked.machine().cpu();
+    cpu.EnableDecodeCache(true);
+    cpu.EnableBlockCompile(true);
+    cpu.ResetCounters();
+    PcProfile block_profile;
+    {
+      BlockProfiler profiler(cpu);
+      blocked.Predict(input);
+      block_profile = profiler.Collect();
+    }
+
+    EXPECT_EQ(block_profile.source, kProfileSourceBlockCounters);
+    EXPECT_EQ(step_profiler.profile().source, kProfileSourceStepProbe);
+    // Expanded counters must account for every simulated cycle of the window...
+    EXPECT_EQ(block_profile.total_cycles, cpu.cycles());
+    EXPECT_EQ(block_profile.total_instructions, cpu.instructions());
+    // ...and agree with the step probe PC-by-PC.
+    ExpectProfilesBitIdentical(block_profile, step_profiler.profile());
+  }
+}
+
+TEST(BlockProfilerTest, ProfileModesAgreeExceptProvenance) {
+  NeuroCModel model = MakeSmallModel(22);
+  DeployedModel deployed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+  const InferenceProfile legacy = ProfileInferenceDetailed(deployed, 64, ProfileMode::kLegacy);
+  const InferenceProfile cached = ProfileInferenceDetailed(deployed, 64, ProfileMode::kCached);
+  const InferenceProfile block = ProfileInferenceDetailed(deployed, 64, ProfileMode::kBlock);
+
+  EXPECT_EQ(legacy.mode, ProfileMode::kLegacy);
+  EXPECT_EQ(cached.mode, ProfileMode::kCached);
+  EXPECT_EQ(block.mode, ProfileMode::kBlock);
+  EXPECT_EQ(legacy.attribution.source, kProfileSourceStepProbe);
+  EXPECT_EQ(cached.attribution.source, kProfileSourceStepProbe);
+  EXPECT_EQ(block.attribution.source, kProfileSourceBlockCounters);
+
+  // The decode path changes how fast the host simulates, never what is simulated.
+  EXPECT_EQ(legacy.summary.cycles, block.summary.cycles);
+  EXPECT_EQ(legacy.summary.instructions, block.summary.instructions);
+  ExpectProfilesBitIdentical(block.attribution, legacy.attribution);
+  ExpectProfilesBitIdentical(block.attribution, cached.attribution);
+  EXPECT_DOUBLE_EQ(block.energy.total_pj, legacy.energy.total_pj);
+}
+
+TEST(BlockProfilerTest, TotalsStayExactWhenInferenceAbortsMidRun) {
+  NeuroCModel model = MakeSmallModel(23);
+  MachineConfig config = Stm32f072rb().ToMachineConfig();
+  DeployedModel full = DeployedModel::Deploy(model, config);
+  std::vector<int8_t> input(full.input_dim(), 3);
+  full.machine().cpu().ResetCounters();
+  full.Predict(input);
+  const uint64_t full_instructions = full.machine().cpu().instructions();
+
+  // Cut the instruction budget so the dominant layer kernel overruns it (the budget is
+  // per guest call, and layer kernels are called one by one): the fault unwinds out of
+  // block execution, and the profiler must still account for every cycle simulated.
+  config.max_instructions = full_instructions / 4;
+  DeployedModel aborted = DeployedModel::Deploy(model, config);
+  Cpu& cpu = aborted.machine().cpu();
+  cpu.EnableBlockCompile(true);
+  cpu.ResetCounters();
+  PcProfile profile;
+  {
+    BlockProfiler profiler(cpu);
+    EXPECT_FALSE(aborted.TryPredict(input).ok());
+    profile = profiler.Collect();
+  }
+  EXPECT_GT(profile.total_cycles, 0u);
+  EXPECT_EQ(profile.total_cycles, cpu.cycles());
+  EXPECT_EQ(profile.total_instructions, cpu.instructions());
+}
+
+// ---------------------------------------------------------------------------
+// Profile modes and the SRAM headroom knob
+// ---------------------------------------------------------------------------
+
+TEST(ProfileModeTest, ParseAcceptsExactlyTheDocumentedNames) {
+  ProfileMode mode = ProfileMode::kBlock;
+  EXPECT_TRUE(ParseProfileMode("legacy", &mode));
+  EXPECT_EQ(mode, ProfileMode::kLegacy);
+  EXPECT_TRUE(ParseProfileMode("cached", &mode));
+  EXPECT_EQ(mode, ProfileMode::kCached);
+  EXPECT_TRUE(ParseProfileMode("block", &mode));
+  EXPECT_EQ(mode, ProfileMode::kBlock);
+  EXPECT_FALSE(ParseProfileMode("turbo", &mode));
+  EXPECT_FALSE(ParseProfileMode("", &mode));
+  EXPECT_EQ(mode, ProfileMode::kBlock);  // untouched on failure
+
+  EXPECT_STREQ(ProfileModeName(ProfileMode::kLegacy), "legacy");
+  EXPECT_STREQ(ProfileModeName(ProfileMode::kCached), "cached");
+  EXPECT_STREQ(ProfileModeName(ProfileMode::kBlock), "block");
+}
+
+TEST(ProfileModeTest, StackHeadroomWarnDefaultsTo256Bytes) {
+  // NEUROC_SRAM_HEADROOM is not set in the test environment, so the documented default
+  // applies (the parse is cached process-wide, so overriding it here would be racy).
+  EXPECT_EQ(StackHeadroomWarnBytes(), 256u);
+}
+
+TEST(ProfileModeTest, ProfileJsonRecordsModeAndProfilerProvenance) {
+  NeuroCModel model = MakeSmallModel(24);
+  DeployedModel deployed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+  const InferenceProfile profile =
+      ProfileInferenceDetailed(deployed, 64, ProfileMode::kBlock);
+  JsonWriter w;
+  WriteInferenceProfileJson(w, profile, deployed);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(w.str(), &doc, &error)) << error;
+  ASSERT_NE(doc.Find("mode"), nullptr);
+  EXPECT_EQ(doc.Find("mode")->text, "block");
+  ASSERT_NE(doc.Find("profiler"), nullptr);
+  EXPECT_EQ(doc.Find("profiler")->text, kProfileSourceBlockCounters);
+  ASSERT_NE(doc.FindPath("energy.total_pj"), nullptr);
+  ASSERT_NE(doc.FindPath("stack.headroom_warn_bytes"), nullptr);
+  EXPECT_EQ(doc.FindPath("stack.headroom_warn_bytes")->AsDouble(), 256.0);
+}
+
+// ---------------------------------------------------------------------------
+// Energy-proxy model
+// ---------------------------------------------------------------------------
+
+TEST(EnergyModelTest, EstimateDecomposesExactly) {
+  const EnergyModel model = EnergyModel::CortexM0Proxy();
+  const std::array<uint64_t, kEnergyClassCount> cycles = {100, 50, 25, 25, 10, 5};
+  const EnergyEstimate e = EstimateEnergy(model, cycles, /*flash_reads=*/40,
+                                          /*sram_reads=*/30, /*sram_writes=*/20);
+  double core = 0.0;
+  for (size_t i = 0; i < kEnergyClassCount; ++i) {
+    EXPECT_DOUBLE_EQ(e.core_pj[i],
+                     static_cast<double>(cycles[i]) * model.core_pj_per_cycle[i]);
+    core += e.core_pj[i];
+  }
+  EXPECT_DOUBLE_EQ(e.core_total_pj, core);
+  EXPECT_DOUBLE_EQ(e.flash_pj, 40.0 * model.flash_read_pj);
+  EXPECT_DOUBLE_EQ(e.sram_pj, 30.0 * model.sram_read_pj + 20.0 * model.sram_write_pj);
+  EXPECT_DOUBLE_EQ(e.total_pj, e.core_total_pj + e.flash_pj + e.sram_pj);
+  EXPECT_DOUBLE_EQ(e.total_uj(), e.total_pj * 1e-6);
+  EXPECT_GT(e.AvgPowerMw(215, 48e6), 0.0);
+  EXPECT_EQ(e.AvgPowerMw(0, 48e6), 0.0);
+}
+
+TEST(EnergyModelTest, ProfileEnergyIsRecomputableFromAttribution) {
+  NeuroCModel model = MakeSmallModel(25);
+  DeployedModel deployed = DeployedModel::Deploy(model, Stm32f072rb().ToMachineConfig());
+  const InferenceProfile p = ProfileInferenceDetailed(deployed);
+  const std::array<uint64_t, kEnergyClassCount> cycles = {
+      p.summary.alu_cycles,    p.summary.multiply_cycles, p.summary.load_cycles,
+      p.summary.store_cycles,  p.summary.branch_cycles,   p.summary.stack_cycles};
+  const EnergyEstimate recomputed =
+      EstimateEnergy(p.energy_model, cycles, p.summary.flash_reads, p.summary.sram_reads,
+                     p.summary.sram_writes);
+  EXPECT_GT(p.energy.total_pj, 0.0);
+  EXPECT_DOUBLE_EQ(p.energy.total_pj, recomputed.total_pj);
+  EXPECT_DOUBLE_EQ(p.energy.core_total_pj, recomputed.core_total_pj);
+  EXPECT_DOUBLE_EQ(p.energy.total_pj,
+                   p.energy.core_total_pj + p.energy.flash_pj + p.energy.sram_pj);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, JsonIsRegistrationOrderedAndWellFormed) {
+  MetricsRegistry reg;
+  reg.GetCounter("zeta.count").Add(2);
+  reg.GetCounter("alpha.count").Add(3);
+  reg.GetGauge("best.accuracy").Set(0.875);
+  reg.GetHistogram("latency").Observe(2.0);
+  reg.GetHistogram("latency").Observe(4.0);
+
+  JsonWriter w(0);
+  reg.WriteJson(w);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(w.str(), &doc, &error)) << error;
+  // Registration order, not lexicographic: zeta registered first stays first.
+  const JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->members.size(), 2u);
+  EXPECT_EQ(counters->members[0].first, "zeta.count");
+  EXPECT_EQ(counters->members[1].first, "alpha.count");
+  EXPECT_EQ(doc.FindPath("counters.zeta.count"), nullptr);  // dotted names are literal keys
+  EXPECT_EQ(counters->Find("zeta.count")->AsDouble(), 2.0);
+  EXPECT_EQ(doc.Find("gauges")->Find("best.accuracy")->AsDouble(), 0.875);
+  const JsonValue* hist = doc.Find("histograms")->Find("latency");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->AsDouble(), 2.0);
+  EXPECT_EQ(hist->Find("sum")->AsDouble(), 6.0);
+  EXPECT_EQ(hist->Find("min")->AsDouble(), 2.0);
+  EXPECT_EQ(hist->Find("max")->AsDouble(), 4.0);
+}
+
+TEST(MetricsRegistryTest, CounterAddsFromPoolThreadsSumExactly) {
+  testutil::GlobalThreadsGuard guard;
+  ThreadPool::SetGlobalThreads(4);
+  MetricsRegistry reg;
+  MetricsRegistry::Counter& counter = reg.GetCounter("work.items");  // register up front
+  ParallelFor(0, 1000, 16, [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      counter.Add(1);
+    }
+  });
+  EXPECT_EQ(counter.value(), 1000u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsRegistration) {
+  MetricsRegistry reg;
+  reg.GetCounter("c").Add(7);
+  reg.GetGauge("g").Set(1.25);
+  reg.GetHistogram("h").Observe(3.0);
+  reg.Reset();
+  EXPECT_EQ(reg.GetCounter("c").value(), 0u);
+  EXPECT_EQ(reg.GetGauge("g").value(), 0.0);
+  EXPECT_EQ(reg.GetHistogram("h").snapshot().count, 0u);
+
+  JsonWriter w(0);
+  reg.WriteJson(w);
+  // Names survive a reset (so run records keep a stable schema across campaigns).
+  EXPECT_NE(w.str().find("\"c\""), std::string::npos);
+  EXPECT_NE(w.str().find("\"h\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RunRecordsRoundTripThroughJsonReader) {
+  const std::string path = ::testing::TempDir() + "/neuroc_registry_test.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry reg;
+  reg.GetCounter("fuzz.cases").Add(10);
+  reg.GetGauge("search.best_accuracy").Set(0.5);
+  ASSERT_TRUE(reg.AppendRunRecord(path, "run_a"));
+  reg.GetCounter("fuzz.cases").Add(5);
+  ASSERT_TRUE(reg.AppendRunRecord(path, "run_b"));
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::vector<JsonValue> records;
+  std::string error;
+  ASSERT_TRUE(ParseJsonl(text, &records, &error)) << error;
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].Find("run")->text, "run_a");
+  EXPECT_EQ(records[0].Find("counters")->Find("fuzz.cases")->AsDouble(), 10.0);
+  EXPECT_EQ(records[1].Find("run")->text, "run_b");
+  EXPECT_EQ(records[1].Find("counters")->Find("fuzz.cases")->AsDouble(), 15.0);
+  EXPECT_EQ(records[1].Find("gauges")->Find("search.best_accuracy")->AsDouble(), 0.5);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader
+// ---------------------------------------------------------------------------
+
+TEST(JsonReaderTest, ParsesScalarsContainersAndEscapes) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      R"({"a":[1,2.5,-3e2],"s":"x\nA","t":true,"nil":null,"o":{"k":"v"}})", &doc,
+      &error))
+      << error;
+  const JsonValue* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->elements.size(), 3u);
+  EXPECT_EQ(a->elements[2].AsDouble(), -300.0);
+  EXPECT_EQ(doc.Find("s")->text, "x\nA");
+  EXPECT_TRUE(doc.Find("t")->boolean);
+  EXPECT_EQ(doc.Find("nil")->kind, JsonValue::Kind::kNull);
+  ASSERT_NE(doc.FindPath("o.k"), nullptr);
+  EXPECT_EQ(doc.FindPath("o.k")->text, "v");
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonReaderTest, RejectsMalformedDocuments) {
+  for (const char* bad : {"{", "[1,", "{\"a\":}", "1 2", "\"unterminated", "{'a':1}"}) {
+    JsonValue doc;
+    std::string error;
+    EXPECT_FALSE(ParseJson(bad, &doc, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonReaderTest, RoundTripsJsonWriterOutput) {
+  const std::string json = ProfileJsonFor(26);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("schema")->text, "neuroc.profile.v2");
+  ASSERT_NE(doc.FindPath("summary.cycles"), nullptr);
+  EXPECT_GT(doc.FindPath("summary.cycles")->AsDouble(), 0.0);
+}
+
+TEST(JsonReaderTest, ParseJsonlSkipsBlankLinesAndStopsAtBadRecord) {
+  std::vector<JsonValue> records;
+  std::string error;
+  ASSERT_TRUE(ParseJsonl("{\"a\":1}\n\n{\"b\":2}\n", &records, &error)) << error;
+  EXPECT_EQ(records.size(), 2u);
+  records.clear();
+  EXPECT_FALSE(ParseJsonl("{\"a\":1}\n{bad\n", &records, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder abort paths
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, JsonStaysWellFormedWhenGuestFaultUnwindsSpans) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.Start();
+  try {
+    TraceRecorder::Span outer(rec, "inference");
+    TraceRecorder::Span inner(rec, "layer_1");
+    throw GuestFault{ErrorCode::kUnmappedAccess, "synthetic fault", 0x2000'4000};
+  } catch (const GuestFault&) {
+    // The abort path a budget overrun / guest fault takes: spans close via unwinding.
+  }
+  EXPECT_EQ(rec.event_count(), 2u);
+  const std::string json = rec.ToChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("layer_1"), std::string::npos);
+}
+
+TEST(TraceTest, SerializingWithASpanStillOpenIsWellFormed) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.Start();
+  TraceRecorder::Span open(rec, "still_running");
+  rec.AddCompleteEvent("done", "sim", 0.0, 10.0);
+  // A trace written from a fault handler while outer spans are still alive must be
+  // loadable; the open span simply is not in it yet.
+  const std::string json = rec.ToChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_EQ(json.find("still_running"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

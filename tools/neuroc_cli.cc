@@ -6,7 +6,7 @@
 //   neuroc inspect --model model.ncm
 //   neuroc bench   --model model.ncm [--platform STM32F072RB]
 //   neuroc profile --model model.ncm [--platform STM32F072RB] [--json out.json]
-//                  [--trace out.trace] [--asm]
+//                  [--trace out.trace] [--asm] [--mode legacy|cached|block]
 //   neuroc deploy  --model model.ncm --format c|hex --out <path> [--prefix name]
 //   neuroc faultcampaign [--trials N] [--seed N] [--fault bitflip|multibit|stuck0|stuck1]
 //                  [--bits N] [--trigger pre|mid] [--regions a,b,..] [--encodings a,b,..]
@@ -14,13 +14,20 @@
 //   neuroc fuzz    --oracle kernel|isa|serde [--seed N] [--cases N] [--json out.json]
 //                  [--corpus-dir dir] [--no-minimize] | --replay case.fuzzcase
 //                  | --case-seed 0x... | --smoke
+//   neuroc report  --in runs.jsonl [--json out.json]
+//
+// Every subcommand also accepts --metrics-out <runs.jsonl>: on exit it appends one
+// metrics-registry run record (counters/gauges/histograms from this invocation) that
+// `neuroc report` aggregates. Options may be spelled `--key value` or `--key=value`.
 //
 // Datasets: digits, mnist, fashion, cifar5, events (procedural; see src/data/synth.h).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,8 +36,10 @@
 #include "src/core/model_serde.h"
 #include "src/fuzz/fuzz.h"
 #include "src/data/synth.h"
+#include "src/obs/json_reader.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/registry.h"
 #include "src/obs/trace.h"
 #include "src/runtime/c_emitter.h"
 #include "src/runtime/deployed_model.h"
@@ -57,7 +66,8 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: neuroc <train|eval|inspect|bench|profile|deploy|faultcampaign|fuzz>"
+               "usage: neuroc "
+               "<train|eval|inspect|bench|profile|deploy|faultcampaign|fuzz|report>"
                " [options]\n"
                "  train   --dataset <digits|mnist|fashion|cifar5|events> --out model.ncm\n"
                "          [--hidden 128,64] [--density 0.12] [--epochs 8] [--tnn] [--seed N]\n"
@@ -66,7 +76,7 @@ int Usage() {
                "  inspect --model model.ncm\n"
                "  bench   --model model.ncm [--platform STM32F072RB]\n"
                "  profile --model model.ncm [--platform STM32F072RB] [--json out.json]\n"
-               "          [--trace out.trace] [--asm]\n"
+               "          [--trace out.trace] [--asm] [--mode <legacy|cached|block>]\n"
                "  deploy  --model model.ncm --format <c|hex> --out <path> [--prefix name]\n"
                "  faultcampaign [--trials N] [--seed N]\n"
                "          [--fault <bitflip|multibit|stuck0|stuck1>] [--bits N]\n"
@@ -76,7 +86,9 @@ int Usage() {
                "          [--json out.json] [--smoke]\n"
                "  fuzz    --oracle <kernel|isa|serde> [--seed N] [--cases N]\n"
                "          [--json out.json] [--corpus-dir dir] [--no-minimize]\n"
-               "          | --replay case.fuzzcase | --case-seed 0xSEED | --smoke\n");
+               "          | --replay case.fuzzcase | --case-seed 0xSEED | --smoke\n"
+               "  report  --in runs.jsonl [--json out.json]\n"
+               "every subcommand accepts --metrics-out runs.jsonl (append one run record)\n");
   return 2;
 }
 
@@ -259,8 +271,14 @@ int CmdProfile(const Args& args) {
     std::printf("NOT DEPLOYABLE: needs %zu B of %u B flash\n", bytes, platform.flash_bytes);
     return 1;
   }
+  ProfileMode mode = ProfileMode::kBlock;
+  if (args.Has("mode") && !ParseProfileMode(args.Get("mode"), &mode)) {
+    std::fprintf(stderr, "unknown profile mode: %s (legacy|cached|block)\n",
+                 args.Get("mode"));
+    return 2;
+  }
   DeployedModel deployed = DeployedModel::Deploy(*model, platform.ToMachineConfig());
-  const InferenceProfile profile = ProfileInferenceDetailed(deployed);
+  const InferenceProfile profile = ProfileInferenceDetailed(deployed, 64, mode);
   std::printf("latency: %.3f ms (%llu cycles)\n", deployed.report().latency_ms,
               static_cast<unsigned long long>(deployed.report().cycles_per_inference));
   std::printf("%s", FormatInferenceProfile(profile, deployed, args.Has("asm")).c_str());
@@ -517,6 +535,146 @@ int CmdFuzz(const Args& args) {
   return failed == 0 ? 0 : 1;
 }
 
+// Aggregates metrics-registry run records (JSONL files appended via --metrics-out) into
+// one summary: counters sum across runs, gauges keep their last-seen value, histograms
+// merge count/sum/min/max. First-seen order is preserved so output is deterministic.
+int CmdReport(const Args& args) {
+  if (!args.Has("in")) {
+    return Usage();
+  }
+  std::ifstream in(args.Get("in"), std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.Get("in"));
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  std::vector<JsonValue> records;
+  std::string error;
+  if (!ParseJsonl(text, &records, &error)) {
+    std::fprintf(stderr, "%s: %s\n", args.Get("in"), error.c_str());
+    return 1;
+  }
+
+  // First-seen-order aggregation maps.
+  std::vector<std::pair<std::string, double>> counters;  // name -> summed value
+  std::vector<std::pair<std::string, double>> gauges;    // name -> last value
+  struct HistAgg {
+    std::string name;
+    double count = 0, sum = 0, min = 0, max = 0;
+    bool any = false;
+  };
+  std::vector<HistAgg> hists;
+  const auto slot = [](std::vector<std::pair<std::string, double>>& v,
+                       const std::string& name) -> double& {
+    for (auto& [n, value] : v) {
+      if (n == name) {
+        return value;
+      }
+    }
+    return v.emplace_back(name, 0.0).second;
+  };
+
+  for (const JsonValue& rec : records) {
+    if (const JsonValue* cs = rec.Find("counters"); cs != nullptr && cs->is_object()) {
+      for (const auto& [name, v] : cs->members) {
+        slot(counters, name) += v.AsDouble();
+      }
+    }
+    if (const JsonValue* gs = rec.Find("gauges"); gs != nullptr && gs->is_object()) {
+      for (const auto& [name, v] : gs->members) {
+        slot(gauges, name) = v.AsDouble();
+      }
+    }
+    if (const JsonValue* hs = rec.Find("histograms"); hs != nullptr && hs->is_object()) {
+      for (const auto& [name, v] : hs->members) {
+        HistAgg* agg = nullptr;
+        for (HistAgg& h : hists) {
+          if (h.name == name) {
+            agg = &h;
+            break;
+          }
+        }
+        if (agg == nullptr) {
+          hists.emplace_back();
+          hists.back().name = name;
+          agg = &hists.back();
+        }
+        const JsonValue* count = v.Find("count");
+        if (count == nullptr || count->AsDouble() == 0.0) {
+          continue;
+        }
+        const double lo = v.Find("min") ? v.Find("min")->AsDouble() : 0.0;
+        const double hi = v.Find("max") ? v.Find("max")->AsDouble() : 0.0;
+        agg->count += count->AsDouble();
+        agg->sum += v.Find("sum") ? v.Find("sum")->AsDouble() : 0.0;
+        agg->min = agg->any ? std::min(agg->min, lo) : lo;
+        agg->max = agg->any ? std::max(agg->max, hi) : hi;
+        agg->any = true;
+      }
+    }
+  }
+
+  std::printf("%zu run record(s) from %s\n", records.size(), args.Get("in"));
+  for (const JsonValue& rec : records) {
+    const JsonValue* run = rec.Find("run");
+    std::printf("  run: %s\n", run != nullptr && run->is_string() ? run->text.c_str()
+                                                                  : "(unnamed)");
+  }
+  if (!counters.empty()) {
+    std::printf("counters (summed across runs):\n");
+    for (const auto& [name, value] : counters) {
+      std::printf("  %-36s %.0f\n", name.c_str(), value);
+    }
+  }
+  if (!gauges.empty()) {
+    std::printf("gauges (last value):\n");
+    for (const auto& [name, value] : gauges) {
+      std::printf("  %-36s %g\n", name.c_str(), value);
+    }
+  }
+  if (!hists.empty()) {
+    std::printf("histograms (merged):\n");
+    for (const HistAgg& h : hists) {
+      std::printf("  %-36s count=%.0f mean=%g min=%g max=%g\n", h.name.c_str(), h.count,
+                  h.count == 0 ? 0.0 : h.sum / h.count, h.min, h.max);
+    }
+  }
+
+  if (args.Has("json")) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").Value("neuroc.report.v1");
+    w.Key("runs").Value(static_cast<uint64_t>(records.size()));
+    w.Key("counters").BeginObject();
+    for (const auto& [name, value] : counters) {
+      w.Key(name).Value(value);
+    }
+    w.EndObject();
+    w.Key("gauges").BeginObject();
+    for (const auto& [name, value] : gauges) {
+      w.Key(name).Value(value);
+    }
+    w.EndObject();
+    w.Key("histograms").BeginObject();
+    for (const HistAgg& h : hists) {
+      w.Key(h.name).BeginObject();
+      w.Key("count").Value(h.count);
+      w.Key("sum").Value(h.sum);
+      w.Key("min").Value(h.min);
+      w.Key("max").Value(h.max);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+    if (WriteStringToFile(args.Get("json"), w.str() + "\n")) {
+      std::printf("wrote %s\n", args.Get("json"));
+    } else {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -529,37 +687,44 @@ int Main(int argc, char** argv) {
       return Usage();
     }
     key = key.substr(2);
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    if (const size_t eq = key.find('='); eq != std::string::npos) {
+      args.options[key.substr(0, eq)] = key.substr(eq + 1);  // --key=value
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       args.options[key] = argv[++i];
     } else {
       args.options[key] = "";  // boolean flag
     }
   }
+  int rc = -1;
   if (args.command == "train") {
-    return CmdTrain(args);
+    rc = CmdTrain(args);
+  } else if (args.command == "eval") {
+    rc = CmdEval(args);
+  } else if (args.command == "inspect") {
+    rc = CmdInspect(args);
+  } else if (args.command == "bench") {
+    rc = CmdBench(args);
+  } else if (args.command == "profile") {
+    rc = CmdProfile(args);
+  } else if (args.command == "deploy") {
+    rc = CmdDeploy(args);
+  } else if (args.command == "faultcampaign") {
+    rc = CmdFaultCampaign(args);
+  } else if (args.command == "fuzz") {
+    rc = CmdFuzz(args);
+  } else if (args.command == "report") {
+    rc = CmdReport(args);
+  } else {
+    return Usage();
   }
-  if (args.command == "eval") {
-    return CmdEval(args);
+  // Structured observability export: one registry run record per invocation, appended so
+  // multi-command pipelines build a stream `neuroc report` can aggregate.
+  if (args.Has("metrics-out") && *args.Get("metrics-out") != '\0') {
+    if (MetricsRegistry::Global().AppendRunRecord(args.Get("metrics-out"), args.command)) {
+      std::printf("appended metrics run record to %s\n", args.Get("metrics-out"));
+    }
   }
-  if (args.command == "inspect") {
-    return CmdInspect(args);
-  }
-  if (args.command == "bench") {
-    return CmdBench(args);
-  }
-  if (args.command == "profile") {
-    return CmdProfile(args);
-  }
-  if (args.command == "deploy") {
-    return CmdDeploy(args);
-  }
-  if (args.command == "faultcampaign") {
-    return CmdFaultCampaign(args);
-  }
-  if (args.command == "fuzz") {
-    return CmdFuzz(args);
-  }
-  return Usage();
+  return rc;
 }
 
 }  // namespace
