@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "src/core/synthetic.h"
 #include "src/isa/assembler.h"
 #include "src/kernels/kernel_sources.h"
@@ -106,6 +108,29 @@ void BM_AssembleKernels(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AssembleKernels);
+
+// Assembler scaling on codegen-sized inputs: an unrolled kernel for an in x out layer at
+// 5% density is tens of thousands of straight-line instructions, the regime the
+// string_view scanner and hash-map symbol lookup were added for. Throughput is reported
+// in source lines/second.
+void BM_AssembleUnrolledCodegen(benchmark::State& state) {
+  const size_t in_dim = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  const TernaryMatrix m = TernaryMatrix::Random(in_dim, 64, 0.05, rng);
+  const UnrolledEncoding enc(m);
+  KernelVariant v;
+  v.kind = EncodingKind::kUnrolled;
+  v.unrolled_layer = 0;
+  const std::string src = GenerateUnrolledKernelSource(v, enc);
+  const int64_t lines = std::count(src.begin(), src.end(), '\n');
+  for (auto _ : state) {
+    AssembledProgram p = Assemble(src, 0x08000000);
+    benchmark::DoNotOptimize(p.bytes.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * lines);
+  state.counters["source_lines"] = static_cast<double>(lines);
+}
+BENCHMARK(BM_AssembleUnrolledCodegen)->Arg(1024)->Arg(4096)->Arg(16384);
 
 }  // namespace
 }  // namespace neuroc

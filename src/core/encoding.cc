@@ -5,6 +5,7 @@
 #include "src/core/csc_encoding.h"
 #include "src/core/delta_encoding.h"
 #include "src/core/mixed_encoding.h"
+#include "src/core/unrolled_encoding.h"
 
 namespace neuroc {
 
@@ -18,6 +19,8 @@ const char* EncodingKindName(EncodingKind kind) {
       return "mixed";
     case EncodingKind::kBlock:
       return "block";
+    case EncodingKind::kUnrolled:
+      return "unrolled";
   }
   return "?";
 }
@@ -33,6 +36,8 @@ std::unique_ptr<Encoding> BuildEncoding(EncodingKind kind, const TernaryMatrix& 
       return std::make_unique<MixedEncoding>(matrix);
     case EncodingKind::kBlock:
       return std::make_unique<BlockEncoding>(matrix, options.block_size);
+    case EncodingKind::kUnrolled:
+      return std::make_unique<UnrolledEncoding>(matrix);
   }
   NEUROC_CHECK(false);
   return nullptr;

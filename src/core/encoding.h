@@ -9,6 +9,9 @@
 //   kMixed  — per-column counts + absolute indices (stateless, smaller than CSC).
 //   kBlock  — input split into blocks of <=256; per-block counts + block-local 8-bit
 //             indices. The only scheme that guarantees 8-bit indices by construction.
+//   kUnrolled — no stored indices at all: the adjacency is compiled into straight-line
+//             Thumb (one signed add/sub per nonzero) by src/kernels. Sizes() reports the
+//             marginal kernel-text bytes so the flash/cycles trade-off stays comparable.
 //
 // Each concrete encoding provides: a host reference traversal (Accumulate), exact byte-size
 // accounting (Sizes), lossless decode back to the dense matrix (round-trip tested), a
@@ -28,12 +31,18 @@
 
 namespace neuroc {
 
-enum class EncodingKind : uint8_t { kCsc = 0, kDelta = 1, kMixed = 2, kBlock = 3 };
+enum class EncodingKind : uint8_t {
+  kCsc = 0,
+  kDelta = 1,
+  kMixed = 2,
+  kBlock = 3,
+  kUnrolled = 4,
+};
 
 const char* EncodingKindName(EncodingKind kind);
-inline constexpr EncodingKind kAllEncodingKinds[] = {EncodingKind::kCsc, EncodingKind::kDelta,
-                                                     EncodingKind::kMixed,
-                                                     EncodingKind::kBlock};
+inline constexpr EncodingKind kAllEncodingKinds[] = {
+    EncodingKind::kCsc, EncodingKind::kDelta, EncodingKind::kMixed, EncodingKind::kBlock,
+    EncodingKind::kUnrolled};
 
 struct EncodingOptions {
   // kBlock only; must be in [1, 256]. The default is 255 rather than the paper's stated

@@ -123,7 +123,11 @@ DeviceModelImage PackNeuroCModel(const NeuroCModel& model, uint32_t flash_data_b
     const std::string prefix = "layer" + std::to_string(k);
     const size_t enc_begin = blob.size();
     const EncodingDeviceLayout enc = l.encoding->Pack(blob);
-    AddSection(image, prefix + ".weights", enc_begin, blob.size());
+    if (blob.size() > enc_begin) {
+      // kUnrolled packs nothing — its weights live in the kernel text, so there is no
+      // weights section to digest.
+      AddSection(image, prefix + ".weights", enc_begin, blob.size());
+    }
     // Pack() appended arrays with offsets relative to blob start; they already include the
     // descriptor preamble because the descriptors were reserved first.
     uint32_t scale_addr = 0;
@@ -170,6 +174,9 @@ DeviceModelImage PackNeuroCModel(const NeuroCModel& model, uint32_t flash_data_b
     variant.meta_width = std::max(enc.pos_meta.elem_width, enc.neg_meta.elem_width);
     variant.idx_width = std::max(enc.pos_idx.elem_width, enc.neg_idx.elem_width);
     variant.has_scale = l.has_scale();
+    if (enc.kind == EncodingKind::kUnrolled) {
+      variant.unrolled_layer = static_cast<int16_t>(k);
+    }
     image.variants.push_back(variant);
 
     if (k + 1 == n) {

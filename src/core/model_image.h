@@ -53,6 +53,10 @@ struct KernelVariant {
   uint8_t meta_width = 1;           // pointer/count element bytes
   uint8_t idx_width = 1;            // index/delta element bytes
   bool has_scale = true;            // per-neuron multiply present
+  // kUnrolled kernels are generated per *model layer* (the adjacency is compiled into the
+  // instruction stream), not per shape class — the layer index keeps such variants from
+  // dedup-collapsing across layers. -1 for every other kind.
+  int16_t unrolled_layer = -1;
 
   bool operator==(const KernelVariant&) const = default;
 };

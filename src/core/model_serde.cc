@@ -243,7 +243,7 @@ StatusOr<NeuroCModel> DeserializeNeuroCModel(std::span<const uint8_t> bytes) {
     l.scale_frac = r.I32();
     l.requant_shift = r.I32();
     l.relu = r.U8() != 0;
-    if (!r.ok() || kind_raw > 3 || l.in_dim == 0 || l.out_dim == 0 ||
+    if (!r.ok() || kind_raw > 4 || l.in_dim == 0 || l.out_dim == 0 ||
         l.in_dim > (1u << 20) || l.out_dim > (1u << 20) || l.requant_shift < 0 ||
         l.requant_shift > 31 || block_size > 256 ||
         (static_cast<EncodingKind>(kind_raw) == EncodingKind::kBlock && block_size == 0)) {

@@ -125,6 +125,26 @@ NeuroCModel StripScales(const NeuroCModel& model) {
   return NeuroCModel::FromLayers(std::move(layers));
 }
 
+NeuroCModel ReencodeModel(const NeuroCModel& model, EncodingKind kind,
+                          const EncodingOptions& options) {
+  std::vector<QuantNeuroCLayer> layers;
+  for (const QuantNeuroCLayer& src : model.layers()) {
+    QuantNeuroCLayer l;
+    l.in_dim = src.in_dim;
+    l.out_dim = src.out_dim;
+    l.encoding = BuildEncoding(kind, src.encoding->Decode(), options);
+    l.scale_q = src.scale_q;
+    l.bias_q = src.bias_q;
+    l.in_frac = src.in_frac;
+    l.out_frac = src.out_frac;
+    l.scale_frac = src.scale_frac;
+    l.requant_shift = src.requant_shift;
+    l.relu = src.relu;
+    layers.push_back(std::move(l));
+  }
+  return NeuroCModel::FromLayers(std::move(layers));
+}
+
 NeuroCModel NeuroCModel::FromLayers(std::vector<QuantNeuroCLayer> layers) {
   NEUROC_CHECK(!layers.empty());
   for (size_t k = 0; k + 1 < layers.size(); ++k) {

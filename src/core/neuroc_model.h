@@ -100,6 +100,13 @@ void RunQuantNeuroCLayer(const QuantNeuroCLayer& layer, std::span<const int8_t> 
 // inference code with and without w_j to isolate its latency/memory overhead.
 NeuroCModel StripScales(const NeuroCModel& model);
 
+// Returns a copy of `model` with every layer's adjacency re-encoded as `kind` (identical
+// weights, scales, biases and requantization — only the storage scheme changes). Used by
+// `neuroc profile/deploy --encoding=...` and by the flash-budget fallback when an unrolled
+// image overflows the platform budget.
+NeuroCModel ReencodeModel(const NeuroCModel& model, EncodingKind kind,
+                          const EncodingOptions& options = {});
+
 }  // namespace neuroc
 
 #endif  // NEUROC_SRC_CORE_NEUROC_MODEL_H_

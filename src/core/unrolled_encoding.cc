@@ -1,0 +1,116 @@
+#include "src/core/unrolled_encoding.h"
+
+#include <cstdlib>
+
+#include "src/common/check.h"
+
+namespace neuroc {
+
+UnrolledEncoding::UnrolledEncoding(const TernaryMatrix& matrix)
+    : Encoding(matrix.in_dim(), matrix.out_dim()) {
+  columns_.resize(matrix.out_dim());
+  for (size_t j = 0; j < matrix.out_dim(); ++j) {
+    const std::vector<uint32_t> pos = matrix.PositiveIndices(j);
+    const std::vector<uint32_t> neg = matrix.NegativeIndices(j);
+    std::vector<Element>& col = columns_[j];
+    col.reserve(pos.size() + neg.size());
+    // Merge the two ascending polarity lists into one ascending walk so the generated
+    // pointer retargets are minimal forward hops within a column.
+    size_t p = 0;
+    size_t n = 0;
+    while (p < pos.size() || n < neg.size()) {
+      if (n >= neg.size() || (p < pos.size() && pos[p] < neg[n])) {
+        col.push_back({pos[p++], +1});
+      } else {
+        col.push_back({neg[n++], -1});
+      }
+    }
+  }
+}
+
+void UnrolledEncoding::Accumulate(std::span<const int8_t> input,
+                                  std::span<int32_t> sums) const {
+  NEUROC_CHECK(input.size() == in_dim_ && sums.size() == out_dim_);
+  for (size_t j = 0; j < out_dim_; ++j) {
+    int32_t acc = 0;
+    for (const Element& e : columns_[j]) {
+      acc += e.sign > 0 ? input[e.index] : -input[e.index];
+    }
+    sums[j] = acc;
+  }
+}
+
+TernaryMatrix UnrolledEncoding::Decode() const {
+  TernaryMatrix m(in_dim_, out_dim_);
+  for (size_t j = 0; j < out_dim_; ++j) {
+    for (const Element& e : columns_[j]) {
+      m.set(e.index, j, e.sign);
+    }
+  }
+  return m;
+}
+
+size_t UnrolledEncoding::NonZeroCount() const {
+  size_t n = 0;
+  for (const auto& col : columns_) {
+    n += col.size();
+  }
+  return n;
+}
+
+size_t UnrolledEncoding::RetargetInstrCount(int64_t delta) {
+  const uint64_t mag = static_cast<uint64_t>(delta < 0 ? -delta : delta);
+  return static_cast<size_t>((mag + 254) / 255);  // 0 for delta == 0
+}
+
+EncodingSizeBreakdown UnrolledEncoding::Sizes() const {
+  // Marginal code bytes of the generated kernel, mirroring GenerateUnrolledKernelSource:
+  //   per column    movs r3, #0 (2 B) + bl <epilogue> (4 B)        -> metadata
+  //   per element   retarget chunks (2 B each) + ldrsb (2 B) + add/sub (2 B) -> "index"
+  // The running input pointer carries across columns, exactly as the generator emits it.
+  EncodingSizeBreakdown s;
+  int64_t prev = 0;
+  for (const auto& col : columns_) {
+    s.metadata_bytes += 6;
+    for (const Element& e : col) {
+      s.index_bytes += 2 * RetargetInstrCount(static_cast<int64_t>(e.index) - prev) + 4;
+      prev = e.index;
+    }
+  }
+  return s;
+}
+
+EncodingDeviceLayout UnrolledEncoding::Pack(std::vector<uint8_t>& blob) const {
+  // Nothing to serialize: the weights live in the kernel text, not the model image. The
+  // descriptor still carries dims/requant fields; all four arrays are empty.
+  (void)blob;
+  EncodingDeviceLayout layout;
+  layout.kind = EncodingKind::kUnrolled;
+  return layout;
+}
+
+std::string UnrolledEncoding::Describe() const {
+  size_t pos = 0;
+  size_t neg = 0;
+  for (const auto& col : columns_) {
+    for (const Element& e : col) {
+      (e.sign > 0 ? pos : neg) += 1;
+    }
+  }
+  std::string s = "Unrolled encoding (weights compiled into kernel text, pos=" +
+                  std::to_string(pos) + " neg=" + std::to_string(neg) + ")\n";
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    s += "  col " + std::to_string(j) + ":";
+    for (const Element& e : columns_[j]) {
+      s += (e.sign > 0 ? " +" : " -") + std::to_string(e.index);
+    }
+    s += "\n";
+  }
+  const EncodingSizeBreakdown sz = Sizes();
+  s += "  marginal code bytes: " + std::to_string(sz.total()) + " (" +
+       std::to_string(sz.metadata_bytes) + " column overhead, " +
+       std::to_string(sz.index_bytes) + " accumulate stream)\n";
+  return s;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,56 @@
+// Unrolled encoding (ROADMAP "model-specific unrolled kernel codegen"; Tridgell et al.,
+// "Unrolling Ternary Neural Networks", ported from FPGA LUTs to Cortex-M0 Thumb):
+// the adjacency is not stored as data at all — it is compiled into straight-line code, one
+// signed add/sub per nonzero, with every operand address resolved at generation time. Pack()
+// therefore emits an empty blob; the flash cost lives in the kernel text instead, and
+// Sizes() models exactly the *marginal* instruction bytes the per-model generator in
+// src/kernels/kernel_sources.cc emits (pin-tested against the assembled kernel).
+//
+// Per column the generator walks the merged ascending (index, sign) sequence keeping a
+// running input pointer: an `adds r1, #delta` chunk sequence retargets the pointer, then
+// `ldrsb` + `adds`/`subs` accumulates. Both the generator and the size model consume the
+// same columns() accessor so the two cannot drift.
+
+#ifndef NEUROC_SRC_CORE_UNROLLED_ENCODING_H_
+#define NEUROC_SRC_CORE_UNROLLED_ENCODING_H_
+
+#include "src/core/encoding.h"
+
+namespace neuroc {
+
+class UnrolledEncoding : public Encoding {
+ public:
+  explicit UnrolledEncoding(const TernaryMatrix& matrix);
+
+  EncodingKind kind() const override { return EncodingKind::kUnrolled; }
+  void Accumulate(std::span<const int8_t> input, std::span<int32_t> sums) const override;
+  TernaryMatrix Decode() const override;
+  EncodingSizeBreakdown Sizes() const override;
+  EncodingDeviceLayout Pack(std::vector<uint8_t>& blob) const override;
+  std::string Describe() const override;
+
+  // One compiled accumulate step: load input[index], add it (sign=+1) or subtract it
+  // (sign=-1) into the running column sum.
+  struct Element {
+    uint32_t index = 0;
+    int8_t sign = 0;
+    bool operator==(const Element&) const = default;
+  };
+
+  // Merged ascending (index, sign) walk per output column — the exact sequence the
+  // per-model codegen emits instructions for.
+  const std::vector<std::vector<Element>>& columns() const { return columns_; }
+
+  size_t NonZeroCount() const;
+
+  // Number of `adds/subs r1, #imm8` instructions needed to move the input pointer by a
+  // signed byte delta (imm8 range is 0..255, so large hops are chunked).
+  static size_t RetargetInstrCount(int64_t delta);
+
+ private:
+  std::vector<std::vector<Element>> columns_;  // [out_dim]
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_CORE_UNROLLED_ENCODING_H_

@@ -33,9 +33,10 @@ inline constexpr FuzzOracle kAllFuzzOracles[] = {FuzzOracle::kKernel, FuzzOracle
 const char* FuzzOracleName(FuzzOracle oracle);
 bool ParseFuzzOracle(std::string_view text, FuzzOracle* out);
 
-// Kernel/serde cases address the four sparse encodings by EncodingKind value and the dense
-// q7 MLP baseline by this sentinel.
-inline constexpr int kDenseBaselineEncoding = 4;
+// Kernel/serde cases address the five sparse encodings by EncodingKind value and the dense
+// q7 MLP baseline by this sentinel (one past kUnrolled = 4; corpus files are immune to the
+// renumbering because the text form stores encodings by name).
+inline constexpr int kDenseBaselineEncoding = 5;
 const char* FuzzEncodingName(int encoding);
 bool ParseFuzzEncoding(std::string_view text, int* out);
 

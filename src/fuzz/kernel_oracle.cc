@@ -80,7 +80,7 @@ FuzzCase GenerateKernelCase(uint64_t case_seed) {
   c.case_seed = case_seed;
   Rng g(FuzzSubSeed(case_seed, 0));
 
-  c.encoding = static_cast<int>(g.NextBounded(5));  // four sparse encodings + dense q7
+  c.encoding = static_cast<int>(g.NextBounded(6));  // five sparse encodings + dense q7
   // Bucketed widths: the small buckets hit degenerate shapes (empty columns, single
   // neurons), the large ones push past 255 inputs where encodings switch to 16-bit
   // index arithmetic.

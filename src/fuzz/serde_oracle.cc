@@ -178,7 +178,7 @@ FuzzCase GenerateSerdeCase(uint64_t case_seed) {
   for (size_t l = 0; l < n_layers; ++l) {
     c.dims.push_back(static_cast<uint32_t>(1 + g.NextBounded(64)));
     c.layer_encodings.push_back(dense ? kDenseBaselineEncoding
-                                      : static_cast<int>(g.NextBounded(4)));
+                                      : static_cast<int>(g.NextBounded(5)));
   }
   c.density_ppm = static_cast<uint32_t>(50'000 + g.NextBounded(700'001));
   c.block_size = static_cast<uint32_t>(16 + g.NextBounded(240));

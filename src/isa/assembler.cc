@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <deque>
 #include <optional>
+#include <string_view>
+#include <unordered_map>
 
 #include "src/common/check.h"
 #include "src/isa/encoder.h"
@@ -46,24 +50,29 @@ const SymbolTable::Entry* SymbolTable::Resolve(uint32_t addr) const {
 
 namespace {
 
-struct Token {
-  std::string text;
-};
-
 // One parsed statement (instruction or directive) with source location for diagnostics.
+// Mnemonic and operands are views into the source text (or the impl's lowercase side
+// table), so a 100k-line generated kernel parses without per-token string copies.
 struct Statement {
   int line_no = 0;
-  std::string mnemonic;               // lowercase
-  std::vector<std::string> operands;  // raw operand strings, trimmed
+  std::string_view mnemonic;               // lowercase
+  std::vector<std::string_view> operands;  // raw operand views, trimmed
 };
 
-std::string ToLower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  return s;
+  return out;
 }
 
-std::string Trim(const std::string& s) {
+bool IsAllLower(std::string_view s) {
+  return std::none_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isupper(c);
+  });
+}
+
+std::string_view Trim(std::string_view s) {
   size_t b = 0;
   size_t e = s.size();
   while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
@@ -81,11 +90,12 @@ std::string Trim(const std::string& s) {
 }
 
 // Splits operands at top-level commas (commas inside [] or {} do not split).
-std::vector<std::string> SplitOperands(const std::string& s, int line_no) {
-  std::vector<std::string> out;
+std::vector<std::string_view> SplitOperands(std::string_view s, int line_no) {
+  std::vector<std::string_view> out;
   int depth = 0;
-  std::string cur;
-  for (char c : s) {
+  size_t start = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
     if (c == '[' || c == '{') {
       ++depth;
     } else if (c == ']' || c == '}') {
@@ -93,15 +103,12 @@ std::vector<std::string> SplitOperands(const std::string& s, int line_no) {
       if (depth < 0) {
         Fail(line_no, "unbalanced brackets");
       }
-    }
-    if (c == ',' && depth == 0) {
-      out.push_back(Trim(cur));
-      cur.clear();
-    } else {
-      cur += c;
+    } else if (c == ',' && depth == 0) {
+      out.push_back(Trim(s.substr(start, i - start)));
+      start = i + 1;
     }
   }
-  const std::string last = Trim(cur);
+  const std::string_view last = Trim(s.substr(start));
   if (!last.empty()) {
     out.push_back(last);
   }
@@ -111,8 +118,8 @@ std::vector<std::string> SplitOperands(const std::string& s, int line_no) {
   return out;
 }
 
-std::optional<uint8_t> TryParseReg(const std::string& raw) {
-  const std::string s = ToLower(Trim(raw));
+std::optional<uint8_t> TryParseReg(std::string_view raw) {
+  const std::string s = ToLower(Trim(raw));  // registers fit in SSO, no heap traffic
   if (s == "sp") {
     return kRegSp;
   }
@@ -137,15 +144,15 @@ std::optional<uint8_t> TryParseReg(const std::string& raw) {
   return std::nullopt;
 }
 
-uint8_t ParseReg(const std::string& raw, int line_no) {
+uint8_t ParseReg(std::string_view raw, int line_no) {
   auto r = TryParseReg(raw);
   if (!r) {
-    Fail(line_no, "bad register: " + raw);
+    Fail(line_no, "bad register: " + std::string(raw));
   }
   return *r;
 }
 
-bool IsNumber(const std::string& s) {
+bool IsNumber(std::string_view s) {
   if (s.empty()) {
     return false;
   }
@@ -164,39 +171,52 @@ bool IsNumber(const std::string& s) {
   return true;
 }
 
-int64_t ParseNumber(const std::string& s, int line_no) {
+int64_t ParseNumber(std::string_view s, int line_no) {
   if (!IsNumber(s)) {
-    Fail(line_no, "bad number: " + s);
+    Fail(line_no, "bad number: " + std::string(s));
   }
-  return std::strtoll(s.c_str(), nullptr, 0);
+  bool negate = false;
+  size_t i = 0;
+  if (s[0] == '-' || s[0] == '+') {
+    negate = (s[0] == '-');
+    i = 1;
+  }
+  int base = 10;
+  if (s.size() > i + 2 && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+    base = 16;
+    i += 2;
+  }
+  int64_t v = 0;
+  std::from_chars(s.data() + i, s.data() + s.size(), v, base);
+  return negate ? -v : v;
 }
 
 // Parses `#imm`.
-int32_t ParseImm(const std::string& raw, int line_no) {
-  const std::string s = Trim(raw);
+int32_t ParseImm(std::string_view raw, int line_no) {
+  const std::string_view s = Trim(raw);
   if (s.empty() || s[0] != '#') {
-    Fail(line_no, "expected immediate: " + raw);
+    Fail(line_no, "expected immediate: " + std::string(raw));
   }
   return static_cast<int32_t>(ParseNumber(Trim(s.substr(1)), line_no));
 }
 
-bool IsImm(const std::string& raw) { return !raw.empty() && Trim(raw)[0] == '#'; }
+bool IsImm(std::string_view raw) { return !raw.empty() && Trim(raw)[0] == '#'; }
 
 // Parses `{r0, r2-r4, lr}` into a PUSH/POP reglist mask. lr/pc map to bit 8.
-uint16_t ParseRegList(const std::string& raw, int line_no) {
-  std::string s = Trim(raw);
+uint16_t ParseRegList(std::string_view raw, int line_no) {
+  std::string_view s = Trim(raw);
   if (s.size() < 2 || s.front() != '{' || s.back() != '}') {
-    Fail(line_no, "expected register list: " + raw);
+    Fail(line_no, "expected register list: " + std::string(raw));
   }
   s = s.substr(1, s.size() - 2);
   uint16_t mask = 0;
-  for (const std::string& part : SplitOperands(s, line_no)) {
+  for (const std::string_view part : SplitOperands(s, line_no)) {
     const size_t dash = part.find('-');
-    if (dash != std::string::npos) {
+    if (dash != std::string_view::npos) {
       const uint8_t lo = ParseReg(part.substr(0, dash), line_no);
       const uint8_t hi = ParseReg(part.substr(dash + 1), line_no);
       if (lo > hi || hi > 7) {
-        Fail(line_no, "bad register range: " + part);
+        Fail(line_no, "bad register range: " + std::string(part));
       }
       for (uint8_t r = lo; r <= hi; ++r) {
         mask |= static_cast<uint16_t>(1u << r);
@@ -208,7 +228,7 @@ uint16_t ParseRegList(const std::string& raw, int line_no) {
       } else if (r == kRegLr || r == kRegPc) {
         mask |= 0x100;
       } else {
-        Fail(line_no, "register not allowed in list: " + part);
+        Fail(line_no, "register not allowed in list: " + std::string(part));
       }
     }
   }
@@ -223,13 +243,13 @@ struct MemOperand {
   int32_t imm = 0;
 };
 
-MemOperand ParseMem(const std::string& raw, int line_no) {
-  std::string s = Trim(raw);
+MemOperand ParseMem(std::string_view raw, int line_no) {
+  std::string_view s = Trim(raw);
   if (s.size() < 2 || s.front() != '[' || s.back() != ']') {
-    Fail(line_no, "expected memory operand: " + raw);
+    Fail(line_no, "expected memory operand: " + std::string(raw));
   }
   s = s.substr(1, s.size() - 2);
-  const std::vector<std::string> parts = SplitOperands(s, line_no);
+  const std::vector<std::string_view> parts = SplitOperands(s, line_no);
   MemOperand m;
   if (parts.empty()) {
     Fail(line_no, "empty memory operand");
@@ -243,12 +263,12 @@ MemOperand ParseMem(const std::string& raw, int line_no) {
       m.rm = ParseReg(parts[1], line_no);
     }
   } else if (parts.size() > 2) {
-    Fail(line_no, "too many memory operand parts: " + raw);
+    Fail(line_no, "too many memory operand parts: " + std::string(raw));
   }
   return m;
 }
 
-bool IsIdentifier(const std::string& s) {
+bool IsIdentifier(std::string_view s) {
   if (s.empty()) {
     return false;
   }
@@ -263,15 +283,16 @@ bool IsIdentifier(const std::string& s) {
   return true;
 }
 
-// A value that is either a literal number or a label reference.
+// A value that is either a literal number or a label reference. The label is a view into
+// the source text, which outlives the assembly passes.
 struct ValueRef {
   bool is_label = false;
-  std::string label;
+  std::string_view label;
   int64_t value = 0;
 };
 
-ValueRef ParseValueRef(const std::string& raw, int line_no) {
-  const std::string s = Trim(raw);
+ValueRef ParseValueRef(std::string_view raw, int line_no) {
+  const std::string_view s = Trim(raw);
   ValueRef v;
   if (IsNumber(s)) {
     v.value = ParseNumber(s, line_no);
@@ -279,12 +300,12 @@ ValueRef ParseValueRef(const std::string& raw, int line_no) {
     v.is_label = true;
     v.label = s;
   } else {
-    Fail(line_no, "expected number or label: " + raw);
+    Fail(line_no, "expected number or label: " + std::string(raw));
   }
   return v;
 }
 
-Cond ParseCondSuffix(const std::string& suffix, int line_no) {
+Cond ParseCondSuffix(std::string_view suffix, int line_no) {
   static const std::pair<const char*, Cond> kMap[] = {
       {"eq", Cond::kEq}, {"ne", Cond::kNe}, {"cs", Cond::kCs}, {"hs", Cond::kCs},
       {"cc", Cond::kCc}, {"lo", Cond::kCc}, {"mi", Cond::kMi}, {"pl", Cond::kPl},
@@ -295,7 +316,7 @@ Cond ParseCondSuffix(const std::string& suffix, int line_no) {
       return cond;
     }
   }
-  Fail(line_no, "bad condition suffix: " + suffix);
+  Fail(line_no, "bad condition suffix: " + std::string(suffix));
 }
 
 // ---------------------------------------------------------------------------
@@ -315,7 +336,9 @@ class AssemblerImpl {
     AssembledProgram p;
     p.base_addr = base_;
     p.bytes = std::move(bytes_);
-    p.symbols = std::move(symbols_);
+    // The public symbol table stays an ordered map (deterministic iteration for tools);
+    // the hash map is an internal lookup structure only.
+    p.symbols.insert(symbols_.begin(), symbols_.end());
     return p;
   }
 
@@ -333,34 +356,44 @@ class AssemblerImpl {
     uint32_t offset = 0;  // assigned at layout
   };
 
+  // Single scan over the source text. Every line, label, mnemonic and operand is a view
+  // into `source` (which the caller keeps alive for the lifetime of the impl), so parsing
+  // a 100k-line generated kernel does no per-line or per-token string copies; the items
+  // array itself is reserved up front from the newline count.
   void ParseSource(const std::string& source) {
+    const std::string_view src(source);
+    const size_t line_estimate =
+        1 + static_cast<size_t>(std::count(src.begin(), src.end(), '\n'));
+    items_.reserve(line_estimate);
+    item_labels_.reserve(line_estimate);
     int line_no = 0;
     size_t pos = 0;
-    while (pos <= source.size()) {
-      size_t eol = source.find('\n', pos);
-      if (eol == std::string::npos) {
-        eol = source.size();
+    while (pos <= src.size()) {
+      size_t eol = src.find('\n', pos);
+      if (eol == std::string_view::npos) {
+        eol = src.size();
       }
-      std::string line = source.substr(pos, eol - pos);
+      std::string_view line = src.substr(pos, eol - pos);
       pos = eol + 1;
       ++line_no;
-      // Strip comments.
-      for (const char* marker : {"@", "//", ";"}) {
-        const size_t c = line.find(marker);
-        if (c != std::string::npos) {
+      // Strip comments: truncate at the earliest of `@`, `;`, `//`.
+      for (size_t c = line.find_first_of("@;/"); c != std::string_view::npos;
+           c = line.find_first_of("@;/", c + 1)) {
+        if (line[c] != '/' || (c + 1 < line.size() && line[c + 1] == '/')) {
           line = line.substr(0, c);
+          break;
         }
       }
       line = Trim(line);
       // Labels (possibly several, possibly followed by a statement).
       for (;;) {
         const size_t colon = line.find(':');
-        if (colon == std::string::npos) {
+        if (colon == std::string_view::npos) {
           break;
         }
-        const std::string label = Trim(line.substr(0, colon));
+        const std::string_view label = Trim(line.substr(0, colon));
         if (!IsIdentifier(label)) {
-          Fail(line_no, "bad label: " + label);
+          Fail(line_no, "bad label: " + std::string(label));
         }
         pending_labels_.push_back(label);
         line = Trim(line.substr(colon + 1));
@@ -371,8 +404,12 @@ class AssemblerImpl {
       Statement stmt;
       stmt.line_no = line_no;
       const size_t sp = line.find_first_of(" \t");
-      stmt.mnemonic = ToLower(line.substr(0, sp));
-      if (sp != std::string::npos) {
+      const std::string_view mnemonic = line.substr(0, sp);
+      // Generated sources are all-lowercase already; hand-written uppercase mnemonics
+      // take the slow path through an owned lowercase side table.
+      stmt.mnemonic =
+          IsAllLower(mnemonic) ? mnemonic : std::string_view(owned_.emplace_back(ToLower(mnemonic)));
+      if (sp != std::string_view::npos) {
         stmt.operands = SplitOperands(Trim(line.substr(sp + 1)), line_no);
       }
       Item item;
@@ -437,7 +474,7 @@ class AssemblerImpl {
         item.size = static_cast<uint32_t>(aligned - offset + 2 * s.operands.size());
       }
       item.offset = offset;
-      for (const std::string& label : item_labels_[i]) {
+      for (const std::string_view label : item_labels_[i]) {
         // Labels bind to the aligned start of data for .word/.half.
         uint32_t label_off = offset;
         if (s.mnemonic == ".word") {
@@ -459,14 +496,14 @@ class AssemblerImpl {
       }
       total_size_ = pool_base_ + 4 * static_cast<uint32_t>(pool_.size());
     }
-    for (const std::string& label : trailing_labels_) {
+    for (const std::string_view label : trailing_labels_) {
       DefineSymbol(label, base_ + total_size_, 0);
     }
   }
 
-  void DefineSymbol(const std::string& name, uint32_t addr, int line_no) {
-    if (!symbols_.emplace(name, addr).second) {
-      Fail(line_no, "duplicate label: " + name);
+  void DefineSymbol(std::string_view name, uint32_t addr, int line_no) {
+    if (!symbols_.emplace(std::string(name), addr).second) {
+      Fail(line_no, "duplicate label: " + std::string(name));
     }
   }
 
@@ -474,14 +511,14 @@ class AssemblerImpl {
     if (!v.is_label) {
       return static_cast<uint32_t>(v.value);
     }
-    auto it = symbols_.find(v.label);
+    const auto it = symbols_.find(v.label);  // heterogeneous: no key allocation
     if (it == symbols_.end()) {
-      Fail(line_no, "undefined label: " + v.label);
+      Fail(line_no, "undefined label: " + std::string(v.label));
     }
     return it->second;
   }
 
-  uint32_t ResolveTarget(const std::string& operand, int line_no) const {
+  uint32_t ResolveTarget(std::string_view operand, int line_no) const {
     return Resolve(ParseValueRef(operand, line_no), line_no);
   }
 
@@ -518,14 +555,14 @@ class AssemblerImpl {
   void EmitItem(const Item& item) {
     const Statement& s = item.stmt;
     const int ln = s.line_no;
-    const std::string& m = s.mnemonic;
+    const std::string_view m = s.mnemonic;
 
     if (m == ".align" || m == ".pool") {
       return;  // padding already zeroed
     }
     if (m == ".word") {
       uint32_t off = (item.offset + 3u) & ~3u;
-      for (const std::string& op : s.operands) {
+      for (const std::string_view op : s.operands) {
         Put32(off, Resolve(ParseValueRef(op, ln), ln));
         off += 4;
       }
@@ -533,7 +570,7 @@ class AssemblerImpl {
     }
     if (m == ".half") {
       uint32_t off = (item.offset + 1u) & ~1u;
-      for (const std::string& op : s.operands) {
+      for (const std::string_view op : s.operands) {
         Put16(off, static_cast<uint16_t>(ParseNumber(op, ln)));
         off += 2;
       }
@@ -541,7 +578,7 @@ class AssemblerImpl {
     }
     if (m == ".byte") {
       uint32_t off = item.offset;
-      for (const std::string& op : s.operands) {
+      for (const std::string_view op : s.operands) {
         NEUROC_CHECK(off < bytes_.size());
         bytes_[off++] = static_cast<uint8_t>(ParseNumber(op, ln));
       }
@@ -554,17 +591,17 @@ class AssemblerImpl {
   Instr BuildInstr(const Item& item) {
     const Statement& s = item.stmt;
     const int ln = s.line_no;
-    const std::string& m = s.mnemonic;
+    const std::string_view m = s.mnemonic;
     const auto& ops = s.operands;
     const uint32_t pc = base_ + item.offset;  // address of this instruction
     Instr in;
 
     auto require = [&](size_t n) {
       if (ops.size() != n) {
-        Fail(ln, m + ": expected " + std::to_string(n) + " operands");
+        Fail(ln, std::string(m) + ": expected " + std::to_string(n) + " operands");
       }
     };
-    auto branch_offset = [&](const std::string& target) {
+    auto branch_offset = [&](std::string_view target) {
       return static_cast<int32_t>(ResolveTarget(target, ln)) -
              static_cast<int32_t>(pc + 4);
     };
@@ -618,9 +655,9 @@ class AssemblerImpl {
     }
     if (m == "ldmia" || m == "stmia" || m == "ldm" || m == "stm") {
       require(2);
-      std::string base = Trim(ops[0]);
+      std::string_view base = Trim(ops[0]);
       if (!base.empty() && base.back() == '!') {
-        base.pop_back();
+        base.remove_suffix(1);
       }
       in.op = (m[0] == 'l') ? Op::kLdm : Op::kStm;
       in.rn = ParseReg(base, ln);
@@ -780,7 +817,7 @@ class AssemblerImpl {
           in.rm = ParseReg(ops[1], ln);
           const uint8_t r2 = ParseReg(ops[2], ln);
           if (r2 != in.rd) {
-            Fail(ln, m + ": destination must equal last operand");
+            Fail(ln, std::string(m) + ": destination must equal last operand");
           }
         } else {
           require(2);
@@ -822,7 +859,7 @@ class AssemblerImpl {
         m == "str" || m == "strb" || m == "strh") {
       require(2);
       in.rd = ParseReg(ops[0], ln);
-      const std::string op1 = Trim(ops[1]);
+      const std::string_view op1 = Trim(ops[1]);
       if (m == "ldr" && !op1.empty() && op1[0] == '=') {
         // Pooled literal load.
         NEUROC_CHECK(item.pool_index >= 0);
@@ -883,22 +920,32 @@ class AssemblerImpl {
       } else if (m == "strh") {
         in.op = Op::kStrhImm;
       } else {
-        Fail(ln, m + " has no immediate-offset encoding in Thumb-1");
+        Fail(ln, std::string(m) + " has no immediate-offset encoding in Thumb-1");
       }
       return in;
     }
-    Fail(ln, "unknown mnemonic: " + m);
+    Fail(ln, "unknown mnemonic: " + std::string(m));
   }
+
+  // Hash map with heterogeneous lookup so branch-target resolution (one per bl/b in a
+  // 100k-line unrolled kernel) is O(1) with no temporary std::string keys.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
 
   uint32_t base_;
   std::vector<Item> items_;
-  std::vector<std::vector<std::string>> item_labels_;
-  std::vector<std::string> pending_labels_;
-  std::vector<std::string> trailing_labels_;
+  std::vector<std::vector<std::string_view>> item_labels_;
+  std::vector<std::string_view> pending_labels_;
+  std::vector<std::string_view> trailing_labels_;
   std::vector<PoolEntry> pool_;
   uint32_t pool_base_ = 0;
   uint32_t total_size_ = 0;
-  std::map<std::string, uint32_t> symbols_;
+  std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>> symbols_;
+  std::deque<std::string> owned_;  // lowercase copies of non-lowercase mnemonics
   std::vector<uint8_t> bytes_;
 };
 

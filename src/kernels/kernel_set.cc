@@ -8,7 +8,7 @@
 namespace neuroc {
 
 KernelSet KernelSet::Build(std::span<const KernelVariant> variants, uint32_t base_addr,
-                           bool include_conv) {
+                           bool include_conv, const NeuroCModel* model) {
   KernelSet set;
   for (const KernelVariant& v : variants) {
     if (std::find(set.variants_.begin(), set.variants_.end(), v) == set.variants_.end()) {
@@ -17,7 +17,16 @@ KernelSet KernelSet::Build(std::span<const KernelVariant> variants, uint32_t bas
   }
   std::string source;
   for (const KernelVariant& v : set.variants_) {
-    source += GenerateKernelSource(v);
+    if (!v.is_dense && v.kind == EncodingKind::kUnrolled) {
+      NEUROC_CHECK_MSG(model != nullptr, "kUnrolled kernel generation needs the model");
+      NEUROC_CHECK(v.unrolled_layer >= 0 &&
+                   static_cast<size_t>(v.unrolled_layer) < model->layers().size());
+      const Encoding& enc = *model->layers()[v.unrolled_layer].encoding;
+      NEUROC_CHECK(enc.kind() == EncodingKind::kUnrolled);
+      source += GenerateUnrolledKernelSource(v, static_cast<const UnrolledEncoding&>(enc));
+    } else {
+      source += GenerateKernelSource(v);
+    }
     source += "\n";
   }
   if (include_conv) {

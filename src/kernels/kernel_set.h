@@ -16,9 +16,11 @@ namespace neuroc {
 class KernelSet {
  public:
   // Deduplicates `variants`, generates and assembles their kernels at `base_addr`.
-  // `include_conv` additionally links the Fig. 2 convolution kernel.
+  // `include_conv` additionally links the Fig. 2 convolution kernel. `model` is required
+  // when any variant is kUnrolled: those kernels are generated from the layer's frozen
+  // adjacency (per model layer), not from the shape class alone.
   static KernelSet Build(std::span<const KernelVariant> variants, uint32_t base_addr,
-                         bool include_conv = false);
+                         bool include_conv = false, const NeuroCModel* model = nullptr);
 
   const AssembledProgram& program() const { return program_; }
   size_t code_bytes() const { return program_.bytes.size(); }

@@ -1,5 +1,7 @@
 #include "src/kernels/kernel_sources.h"
 
+#include <string_view>
+
 #include "src/common/check.h"
 
 namespace neuroc {
@@ -438,6 +440,7 @@ std::string GenerateNeuroCKernel(const KernelVariant& v) {
         }
         break;
       case EncodingKind::kBlock:
+      case EncodingKind::kUnrolled:
         NEUROC_CHECK(false);
         break;
     }
@@ -528,6 +531,68 @@ std::string GenerateNeuroCKernel(const KernelVariant& v) {
   return w.text();
 }
 
+// ---------------------------------------------------------------------------
+// Unrolled per-model codegen (EncodingKind::kUnrolled).
+//
+// Register plan for the straight-line column bodies:
+//   r0 = 0 (zero index register — Thumb-1 ldrsb has only the register-offset form)
+//   r1 = walking input pointer (input base + current element index)
+//   r3 = column accumulator
+//   r7 = output pointer (advanced by the shared epilogue)
+//   r4/r5/r6 = clobbered by the epilogue only; r5 doubles as the ldrsb destination
+// The epilogue is reached via `bl` from every column; sp is unchanged between the prologue
+// and the epilogue so the requant stack slots stay valid, and the caller's lr was saved by
+// the prologue push.
+// ---------------------------------------------------------------------------
+
+void EmitUnrolledPrologue(AsmWriter& w, bool has_scale) {
+  w.L("push {r4, r5, r6, r7, lr}");
+  w.L("sub sp, #28");
+  EmitCommonPrologueFields(w, has_scale);
+  w.L("ldr r7, [r0, " + Imm(kOffOutput) + "]");
+  w.L("ldr r1, [r0, " + Imm(kOffInput) + "]");
+  w.L("movs r0, #0");
+}
+
+void EmitUnrolledOutro(AsmWriter& w, const std::string& epi_label, bool has_scale) {
+  w.L("add sp, #28");
+  w.L("pop {r4, r5, r6, r7, pc}");
+  w.Label(epi_label);
+  EmitRequantEpilogue(w, has_scale);
+  w.L("bx lr");
+}
+
+// Moves the walking input pointer in r1 by a signed byte delta, chunked into imm8 adds/subs
+// (mirrored exactly by UnrolledEncoding::RetargetInstrCount for the size model).
+void EmitRetarget(AsmWriter& w, int64_t delta) {
+  const char* op = delta < 0 ? "subs r1, " : "adds r1, ";
+  int64_t mag = delta < 0 ? -delta : delta;
+  while (mag > 0) {
+    const int step = mag > 255 ? 255 : static_cast<int>(mag);
+    w.L(op + Imm(step));
+    mag -= step;
+  }
+}
+
+// Counts emitted instructions (every line except labels and comments). All fixed-part
+// instructions are 2-byte Thumb, so fixed bytes = 2 * count.
+size_t CountInstructions(const std::string& text) {
+  size_t n = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string_view line(text.data() + pos, end - pos);
+    if (line.rfind("    ", 0) == 0 && line.rfind("    @", 0) != 0) {
+      ++n;
+    }
+    pos = end + 1;
+  }
+  return n;
+}
+
 // Dense q7 layer: the CMSIS-NN-style fully-connected baseline (software MACs only, as forced
 // on a Cortex-M0).
 std::string GenerateDenseKernel(const KernelVariant& v) {
@@ -586,6 +651,11 @@ std::string KernelFunctionName(const KernelVariant& v) {
   if (v.is_dense) {
     return "dense_q7";
   }
+  if (v.kind == EncodingKind::kUnrolled) {
+    // Per-model-layer, not per-shape: the adjacency is baked into the text.
+    return "nc_unrolled_l" + std::to_string(v.unrolled_layer) +
+           (v.has_scale ? "_s1" : "_s0");
+  }
   std::string name = "nc_";
   name += EncodingKindName(v.kind);
   name += "_m" + std::to_string(v.meta_width);
@@ -598,12 +668,53 @@ std::string GenerateKernelSource(const KernelVariant& v) {
   if (v.is_dense) {
     return GenerateDenseKernel(v);
   }
+  NEUROC_CHECK_MSG(v.kind != EncodingKind::kUnrolled,
+                   "kUnrolled kernels are per-model; use GenerateUnrolledKernelSource");
   NEUROC_CHECK(v.meta_width == 1 || v.meta_width == 2);
   NEUROC_CHECK(v.idx_width == 1 || v.idx_width == 2);
   if (v.kind == EncodingKind::kBlock) {
     NEUROC_CHECK(v.meta_width == 1 && v.idx_width == 1);
   }
   return GenerateNeuroCKernel(v);
+}
+
+std::string GenerateUnrolledKernelSource(const KernelVariant& v,
+                                         const UnrolledEncoding& enc) {
+  NEUROC_CHECK(v.kind == EncodingKind::kUnrolled && !v.is_dense);
+  NEUROC_CHECK(v.unrolled_layer >= 0);
+  const std::string name = KernelFunctionName(v);
+  AsmWriter w(name);
+  const std::string epi = name + "_epi";
+  w.Label(name);
+  EmitUnrolledPrologue(w, v.has_scale);
+  // The walking pointer carries across columns: each element is reached by a signed delta
+  // from the previous element (forward within a column, possibly backward at a column
+  // boundary). This is the inter-column analogue of the delta format's pointer walk, with
+  // the offsets compiled into immediates instead of fetched from flash.
+  int64_t prev = 0;
+  for (size_t j = 0; j < enc.columns().size(); ++j) {
+    w.Comment("column " + std::to_string(j));
+    w.L("movs r3, #0");
+    for (const UnrolledEncoding::Element& e : enc.columns()[j]) {
+      EmitRetarget(w, static_cast<int64_t>(e.index) - prev);
+      prev = e.index;
+      w.L("ldrsb r5, [r1, r0]");
+      w.L(e.sign > 0 ? "adds r3, r3, r5" : "subs r3, r3, r5");
+    }
+    w.L("bl " + epi);
+  }
+  EmitUnrolledOutro(w, epi, v.has_scale);
+  return w.text();
+}
+
+size_t UnrolledKernelFixedBytes(bool has_scale) {
+  // Emit only the fixed scaffold through the same emitters the generator uses, then count:
+  // every fixed-part instruction is a 2-byte Thumb encoding (the 4-byte `bl`s are per
+  // column and belong to the marginal Sizes() model).
+  AsmWriter w("ukfixed");
+  EmitUnrolledPrologue(w, has_scale);
+  EmitUnrolledOutro(w, "ukfixed_epi", has_scale);
+  return 2 * CountInstructions(w.text());
 }
 
 std::string GenerateConvKernelSource() {

@@ -17,15 +17,33 @@
 #include <string>
 
 #include "src/core/model_image.h"
+#include "src/core/unrolled_encoding.h"
 
 namespace neuroc {
 
-// Stable symbol name for a kernel variant, e.g. "nc_delta_m1_i1_s1" or "dense_q7".
+// Stable symbol name for a kernel variant, e.g. "nc_delta_m1_i1_s1", "nc_unrolled_l0_s1"
+// or "dense_q7".
 std::string KernelFunctionName(const KernelVariant& variant);
 
 // Generates the assembly source for one kernel variant. All labels are prefixed with the
-// function name so multiple kernels can be assembled into one program.
+// function name so multiple kernels can be assembled into one program. kUnrolled variants
+// are per-model, not per-shape — use GenerateUnrolledKernelSource for those.
 std::string GenerateKernelSource(const KernelVariant& variant);
+
+// Per-model codegen for EncodingKind::kUnrolled: compiles the layer's frozen adjacency into
+// straight-line Thumb — per output neuron a `movs` reset, a chain of
+// `adds r1, #delta` pointer retargets + `ldrsb`/`adds`/`subs` accumulates (one per nonzero,
+// operand offsets resolved here at generation time), and a `bl` into a shared
+// scale/bias/requant/ReLU epilogue. Zero index decoding at runtime; the flash cost is the
+// kernel text itself (UnrolledEncoding::Sizes() models the marginal bytes exactly).
+std::string GenerateUnrolledKernelSource(const KernelVariant& variant,
+                                         const UnrolledEncoding& encoding);
+
+// Assembled bytes of the fixed (per-kernel, model-independent) part of an unrolled kernel:
+// prologue + frame teardown + shared requant epilogue. The pin-tested size contract is
+//   assembled kernel bytes == UnrolledEncoding::Sizes().total()
+//                             + UnrolledKernelFixedBytes(has_scale).
+size_t UnrolledKernelFixedBytes(bool has_scale);
 
 // Convolution kernel for the paper's Fig. 2 FC-vs-CNN comparison: direct convolution driven
 // by a precomputed receptive-field offset table (the static equivalent of im2col on a

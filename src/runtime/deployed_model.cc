@@ -24,7 +24,8 @@ size_t EstimateFromParts(size_t code_bytes, size_t image_bytes) {
 
 size_t DeployedModel::EstimateProgramBytes(const NeuroCModel& model) {
   DeviceModelImage image = PackNeuroCModel(model, kScratchFlashBase, 0x20000000);
-  KernelSet kernels = KernelSet::Build(image.variants, kScratchFlashBase);
+  KernelSet kernels =
+      KernelSet::Build(image.variants, kScratchFlashBase, /*include_conv=*/false, &model);
   return EstimateFromParts(kernels.code_bytes(), image.flash.size());
 }
 
@@ -45,8 +46,13 @@ StatusOr<DeployedModel> DeployedModel::DeployImage(DeviceModelImage image, Kerne
   dm.report_.ram_bytes = image.ram_bytes_used;
   if (dm.report_.program_bytes > config.flash_size) {
     return Status(ErrorCode::kResourceExhausted,
-                  "model does not fit program memory; check EstimateProgramBytes before "
-                  "deploying");
+                  "model does not fit program memory: needs " +
+                      std::to_string(dm.report_.program_bytes) + " B (" +
+                      std::to_string(kernels.code_bytes()) + " B code + " +
+                      std::to_string(image.flash.size()) + " B image + " +
+                      std::to_string(kRuntimeOverheadBytes) + " B runtime) of " +
+                      std::to_string(config.flash_size) +
+                      " B flash; check EstimateProgramBytes before deploying");
   }
   if (image.ram_bytes_used > config.ram_size - 512) {
     return Status(ErrorCode::kResourceExhausted,
@@ -68,12 +74,52 @@ StatusOr<DeployedModel> DeployedModel::TryDeploy(const NeuroCModel& model,
                                                  const MachineConfig& config) {
   // Kernels first (at the reset address, like a real linker script), image after.
   KernelSet probe = KernelSet::Build(
-      PackNeuroCModel(model, kScratchFlashBase, config.ram_base).variants, config.flash_base);
+      PackNeuroCModel(model, kScratchFlashBase, config.ram_base).variants, config.flash_base,
+      /*include_conv=*/false, &model);
   const uint32_t image_base = AlignUp4(config.flash_base +
                                        static_cast<uint32_t>(probe.code_bytes()) +
                                        static_cast<uint32_t>(kRuntimeOverheadBytes));
   DeviceModelImage image = PackNeuroCModel(model, image_base, config.ram_base);
   return DeployImage(std::move(image), std::move(probe), config, image_base);
+}
+
+StatusOr<DeployedModel> DeployedModel::TryDeployWithFallback(const NeuroCModel& model,
+                                                             const MachineConfig& config,
+                                                             DeployFallbackReport* report) {
+  DeployFallbackReport local;
+  DeployFallbackReport& r = report != nullptr ? *report : local;
+  r = DeployFallbackReport{};
+  r.requested = model.layers().front().encoding->kind();
+  r.selected = r.requested;
+  r.flash_budget = config.flash_size;
+  r.requested_bytes = EstimateProgramBytes(model);
+  r.selected_bytes = r.requested_bytes;
+  if (r.requested_bytes <= config.flash_size) {
+    return TryDeploy(model, config);
+  }
+  r.fell_back = true;
+  r.overflow = Status(
+      ErrorCode::kResourceExhausted,
+      std::string("flash budget overflow: ") + EncodingKindName(r.requested) +
+          " image needs " + std::to_string(r.requested_bytes) + " B of " +
+          std::to_string(config.flash_size) + " B flash; falling back");
+  // Candidates in descending expected speed: the guard exists because the caller asked for
+  // the fastest scheme, so "best fitting" is the fastest one that still fits.
+  for (const EncodingKind kind : {EncodingKind::kDelta, EncodingKind::kMixed,
+                                  EncodingKind::kCsc, EncodingKind::kBlock}) {
+    const NeuroCModel candidate = ReencodeModel(model, kind);
+    const size_t bytes = EstimateProgramBytes(candidate);
+    if (bytes <= config.flash_size) {
+      r.selected = kind;
+      r.selected_bytes = bytes;
+      return TryDeploy(candidate, config);
+    }
+  }
+  return Status(ErrorCode::kResourceExhausted,
+                "no encoding fits the flash budget: " +
+                    std::to_string(r.requested_bytes) + " B requested (" +
+                    EncodingKindName(r.requested) + ") vs " +
+                    std::to_string(config.flash_size) + " B flash");
 }
 
 StatusOr<DeployedModel> DeployedModel::TryDeploy(const MlpModel& model,

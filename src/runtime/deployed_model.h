@@ -43,6 +43,18 @@ struct RecoveryReport {
   std::vector<std::string> corrupted_sections;  // CRC-mismatching sections at fault time
 };
 
+// What the flash-budget guard did: whether the requested model overflowed flash, the
+// structured overflow status naming the shortfall, and which encoding was deployed instead.
+struct DeployFallbackReport {
+  bool fell_back = false;
+  EncodingKind requested = EncodingKind::kBlock;   // first layer's encoding as requested
+  EncodingKind selected = EncodingKind::kBlock;    // encoding actually deployed
+  size_t requested_bytes = 0;                      // estimate for the requested model
+  size_t selected_bytes = 0;                       // estimate for the deployed model
+  size_t flash_budget = 0;
+  Status overflow = Status::Ok();  // kResourceExhausted naming the overflow when fell_back
+};
+
 class DeployedModel {
  public:
   // Computes the program-memory footprint without requiring the model to fit the device
@@ -57,6 +69,17 @@ class DeployedModel {
                                            const MachineConfig& config = {});
   static StatusOr<DeployedModel> TryDeploy(const MlpModel& model,
                                            const MachineConfig& config = {});
+
+  // Flash-budget guard: deploys `model` if it fits the platform flash; otherwise reports
+  // the overflow as a structured kResourceExhausted Status (in `report->overflow`) and
+  // falls back to the best fitting encoding — candidates tried in descending expected
+  // speed order (delta, mixed, csc, block), first fit wins. Fails only when no encoding
+  // fits. Primarily guards kUnrolled, whose flash cost grows with every nonzero compiled
+  // into the kernel text.
+  static StatusOr<DeployedModel> TryDeployWithFallback(const NeuroCModel& model,
+                                                       const MachineConfig& config = {},
+                                                       DeployFallbackReport* report =
+                                                           nullptr);
 
   // Legacy abort-on-failure wrappers around TryDeploy; check EstimateProgramBytes against
   // the platform budget first.

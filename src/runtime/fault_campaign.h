@@ -58,7 +58,8 @@ struct FaultCampaignConfig {
   FaultTrigger trigger = FaultTrigger::kPreInference;
   std::vector<CampaignRegion> regions{kAllCampaignRegions,
                                       kAllCampaignRegions + 4};
-  std::vector<EncodingKind> encodings{kAllEncodingKinds, kAllEncodingKinds + 4};
+  std::vector<EncodingKind> encodings{std::begin(kAllEncodingKinds),
+                                      std::end(kAllEncodingKinds)};
   bool scrub_retry = true;  // recover detected faults via scrub-and-retry
   // Per-trial instruction budget = golden instructions × margin (runaway trials classify
   // as budget_exceeded instead of burning the 400M-instruction default guard).

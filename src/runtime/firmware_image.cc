@@ -166,7 +166,8 @@ std::optional<std::vector<FirmwareChunk>> ParseIntelHex(const std::string& text)
 
 std::string FirmwareHexForModel(const NeuroCModel& model, const MachineConfig& config) {
   DeviceModelImage probe = PackNeuroCModel(model, config.flash_base, config.ram_base);
-  KernelSet kernels = KernelSet::Build(probe.variants, config.flash_base);
+  KernelSet kernels =
+      KernelSet::Build(probe.variants, config.flash_base, /*include_conv=*/false, &model);
   const uint32_t image_base =
       (config.flash_base + static_cast<uint32_t>(kernels.code_bytes()) +
        static_cast<uint32_t>(kRuntimeOverheadBytes) + 3u) & ~3u;

@@ -261,8 +261,10 @@ uint32_t StaticExecCycles(const Instr& in, const CycleModel& m) {
 // the executor can skip materializing them.
 int32_t Cpu::CompileBlock(size_t entry_slot) {
   // Bounds compile time and the O(length) cold-path fault fixup; a longer straight-line
-  // run simply continues as a fall-through successor block.
-  constexpr size_t kMaxBlockOps = 4096;
+  // run simply continues as a fall-through successor block. Sized so the per-column bodies
+  // of unrolled kernels (kUnrolled compiles ~3 ops per nonzero between `bl` terminators)
+  // are eaten whole even for near-dense columns of wide layers.
+  constexpr size_t kMaxBlockOps = 16384;
   Block b;
   uint32_t static_cycles = 0;
   size_t slot = entry_slot;

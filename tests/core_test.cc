@@ -109,8 +109,16 @@ TEST_P(EncodingPropertyTest, SizesMatchPackedBlobSize) {
   const auto enc = Build(m);
   std::vector<uint8_t> blob;
   enc->Pack(blob);
-  // Packed blob may include up to 3 alignment pad bytes for 16-bit arrays.
   const size_t total = enc->Sizes().total();
+  if (p.kind == EncodingKind::kUnrolled) {
+    // Unrolled weights live in generated kernel text, not the packed image: Pack()
+    // contributes nothing and Sizes() reports the marginal code bytes instead
+    // (pinned against the assembler in kernels_test).
+    EXPECT_EQ(blob.size(), 0u);
+    EXPECT_GT(total, 0u);
+    return;
+  }
+  // Packed blob may include up to 3 alignment pad bytes for 16-bit arrays.
   EXPECT_GE(blob.size(), total);
   EXPECT_LE(blob.size(), total + 4);
 }

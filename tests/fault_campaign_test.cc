@@ -137,7 +137,7 @@ FaultCampaignConfig SmallCampaign() {
 TEST(FaultCampaignTest, OutcomesPartitionTrialsAndDetectedFaultsRecover) {
   const FaultCampaignConfig cfg = SmallCampaign();
   const FaultCampaignResult result = RunFaultCampaign(cfg);
-  ASSERT_EQ(result.encodings.size(), 4u);
+  ASSERT_EQ(result.encodings.size(), std::size(kAllEncodingKinds));
   uint64_t trials = 0;
   for (const EncodingCampaignResult& enc : result.encodings) {
     EXPECT_GT(enc.golden_instructions, 0u);

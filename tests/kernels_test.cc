@@ -16,6 +16,9 @@ namespace {
 
 TEST(KernelSourcesTest, AllVariantsAssemble) {
   for (EncodingKind kind : kAllEncodingKinds) {
+    if (kind == EncodingKind::kUnrolled) {
+      continue;  // per-model codegen, covered by UnrolledKernel* below
+    }
     for (int mw : {1, 2}) {
       for (int iw : {1, 2}) {
         for (bool scale : {false, true}) {
@@ -59,6 +62,9 @@ TEST(KernelSetTest, DeduplicatesVariants) {
 TEST(KernelSetTest, VariantNamesAreUnique) {
   std::set<std::string> names;
   for (EncodingKind kind : kAllEncodingKinds) {
+    if (kind == EncodingKind::kUnrolled) {
+      continue;
+    }
     for (int mw : {1, 2}) {
       for (int iw : {1, 2}) {
         for (bool scale : {false, true}) {
@@ -72,7 +78,92 @@ TEST(KernelSetTest, VariantNamesAreUnique) {
       }
     }
   }
-  EXPECT_EQ(names.size(), 4u * 2 * 2 * 2);
+  // Unrolled kernels are named per model layer, so distinct layers never collide.
+  for (int layer : {0, 1, 2}) {
+    for (bool scale : {false, true}) {
+      KernelVariant v;
+      v.kind = EncodingKind::kUnrolled;
+      v.unrolled_layer = static_cast<int16_t>(layer);
+      v.has_scale = scale;
+      names.insert(KernelFunctionName(v));
+    }
+  }
+  EXPECT_EQ(names.size(), 4u * 2 * 2 * 2 + 3u * 2);
+}
+
+// ---------------------------------------------------------------------------
+// Unrolled per-model codegen.
+// ---------------------------------------------------------------------------
+
+TEST(UnrolledKernelTest, GeneratesAndAssembles) {
+  Rng rng(321);
+  const TernaryMatrix m = TernaryMatrix::Random(300, 24, 0.1, rng);
+  const UnrolledEncoding enc(m);
+  KernelVariant v;
+  v.kind = EncodingKind::kUnrolled;
+  v.unrolled_layer = 0;
+  v.has_scale = true;
+  const std::string src = GenerateUnrolledKernelSource(v, enc);
+  const AssembledProgram p = Assemble(src, 0x08000000);
+  EXPECT_GT(p.bytes.size(), 100u);
+  EXPECT_TRUE(p.symbols.contains("nc_unrolled_l0_s1"));
+}
+
+TEST(UnrolledKernelTest, SizeModelPinsAssembledBytes) {
+  // The contract that keeps UnrolledEncoding::Sizes() honest: assembled kernel bytes must
+  // equal the marginal size model plus the fixed scaffold, for any adjacency.
+  Rng rng(987);
+  for (const auto [in, out, density] :
+       {std::tuple<size_t, size_t, double>{64, 16, 0.2}, {300, 24, 0.05}, {17, 3, 0.9},
+        {784, 32, 0.02}, {40, 8, 0.0}}) {
+    for (const bool scale : {false, true}) {
+      const TernaryMatrix m = TernaryMatrix::Random(in, out, density, rng);
+      const UnrolledEncoding enc(m);
+      KernelVariant v;
+      v.kind = EncodingKind::kUnrolled;
+      v.unrolled_layer = 3;
+      v.has_scale = scale;
+      const AssembledProgram p = Assemble(GenerateUnrolledKernelSource(v, enc), 0x08000000);
+      EXPECT_EQ(p.bytes.size(), enc.Sizes().total() + UnrolledKernelFixedBytes(scale))
+          << in << "x" << out << " d=" << density << " scale=" << scale;
+    }
+  }
+}
+
+TEST(UnrolledKernelTest, RoundTripDecode) {
+  Rng rng(654);
+  const TernaryMatrix m = TernaryMatrix::Random(120, 20, 0.15, rng);
+  const UnrolledEncoding enc(m);
+  EXPECT_EQ(enc.Decode(), m);
+  EXPECT_EQ(enc.NonZeroCount(), m.NonZeroCount());
+}
+
+TEST(UnrolledKernelTest, PerLayerKernelsDoNotDeduplicate) {
+  // Two unrolled layers with identical shape classes must still get distinct kernels —
+  // their instruction streams differ because the adjacencies differ.
+  Rng rng(4321);
+  SyntheticNeuroCLayerSpec l0;
+  l0.in_dim = 48;
+  l0.out_dim = 48;
+  l0.density = 0.2;
+  l0.encoding = EncodingKind::kUnrolled;
+  SyntheticNeuroCLayerSpec l1 = l0;
+  l1.relu = false;
+  std::vector<QuantNeuroCLayer> layers;
+  layers.push_back(MakeSyntheticNeuroCLayer(l0, rng));
+  layers.push_back(MakeSyntheticNeuroCLayer(l1, rng));
+  NeuroCModel model = NeuroCModel::FromLayers(std::move(layers));
+  DeployedModel deployed = DeployedModel::Deploy(model);
+  const AssembledProgram& p = deployed.kernel_program();
+  EXPECT_TRUE(p.symbols.contains("nc_unrolled_l0_s1"));
+  EXPECT_TRUE(p.symbols.contains("nc_unrolled_l1_s1"));
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::vector<int8_t> input = MakeRandomInput(48, rng);
+    std::vector<int8_t> expected;
+    model.Forward(input, expected);
+    deployed.Predict(input);
+    EXPECT_EQ(deployed.LastOutput(), expected);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -244,7 +335,7 @@ TEST(KernelEquivalenceTest, RandomizedArchitectureSweepMatchesHost) {
       spec.in_dim = in_dim;
       spec.out_dim = static_cast<size_t>(rng.NextInt(1, 48));
       spec.density = rng.NextUniform(0.02f, 0.9f);
-      spec.encoding = kAllEncodingKinds[rng.NextBounded(4)];
+      spec.encoding = kAllEncodingKinds[rng.NextBounded(std::size(kAllEncodingKinds))];
       spec.has_scale = rng.NextBool(0.8);
       spec.relu = d + 1 < depth ? true : rng.NextBool(0.5);
       spec.requant_shift = static_cast<int>(rng.NextInt(0, 14));

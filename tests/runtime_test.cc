@@ -133,6 +133,72 @@ INSTANTIATE_TEST_SUITE_P(AllEncodings, CEmitterCompileTest,
                              std::begin(kAllEncodingKinds), std::end(kAllEncodingKinds))));
 
 // ---------------------------------------------------------------------------
+// Flash-budget guard and encoding fallback.
+// ---------------------------------------------------------------------------
+
+NeuroCModel MakeWideLayerModel(EncodingKind kind, size_t in_dim, size_t out_dim,
+                               double density) {
+  Rng rng(41);
+  SyntheticNeuroCLayerSpec spec;
+  spec.in_dim = in_dim;
+  spec.out_dim = out_dim;
+  spec.density = density;
+  spec.encoding = kind;
+  std::vector<QuantNeuroCLayer> layers;
+  layers.push_back(MakeSyntheticNeuroCLayer(spec, rng));
+  return NeuroCModel::FromLayers(std::move(layers));
+}
+
+TEST(DeployFallbackTest, FittingModelDeploysWithoutFallback) {
+  NeuroCModel model = MakeSmallModel(3, EncodingKind::kUnrolled);
+  DeployFallbackReport report;
+  StatusOr<DeployedModel> deployed = DeployedModel::TryDeployWithFallback(model, {}, &report);
+  ASSERT_TRUE(deployed.ok()) << deployed.status().ToString();
+  EXPECT_FALSE(report.fell_back);
+  EXPECT_EQ(report.requested, EncodingKind::kUnrolled);
+  EXPECT_EQ(report.selected, EncodingKind::kUnrolled);
+  EXPECT_TRUE(report.overflow.ok());
+}
+
+TEST(DeployFallbackTest, OversizedUnrolledFallsBackToBestFittingEncoding) {
+  // 784x256 at density 0.115 is ~139 KB as unrolled code — past the 128 KB budget —
+  // but ~25 KB as a delta stream.
+  NeuroCModel model = MakeWideLayerModel(EncodingKind::kUnrolled, 784, 256, 0.115);
+  DeployFallbackReport report;
+  StatusOr<DeployedModel> deployed = DeployedModel::TryDeployWithFallback(model, {}, &report);
+  ASSERT_TRUE(deployed.ok()) << deployed.status().ToString();
+  EXPECT_TRUE(report.fell_back);
+  EXPECT_EQ(report.requested, EncodingKind::kUnrolled);
+  EXPECT_EQ(report.selected, EncodingKind::kDelta);  // fastest stream format that fits
+  EXPECT_GT(report.requested_bytes, report.flash_budget);
+  EXPECT_LE(report.selected_bytes, report.flash_budget);
+  // The overflow is reported as a structured status naming the failure, not an abort.
+  EXPECT_EQ(report.overflow.code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(report.overflow.ToString().find("flash budget overflow"), std::string::npos);
+  // The fallback deployment must still match the host bit-for-bit.
+  Rng rng(5);
+  std::vector<int8_t> expected;
+  for (int t = 0; t < 3; ++t) {
+    const std::vector<int8_t> input = MakeRandomInput(model.in_dim(), rng);
+    model.Forward(input, expected);
+    deployed->Predict(input);
+    EXPECT_EQ(deployed->LastOutput(), expected);
+  }
+}
+
+TEST(DeployFallbackTest, NothingFitsReportsResourceExhausted) {
+  NeuroCModel model = MakeWideLayerModel(EncodingKind::kUnrolled, 784, 256, 0.115);
+  MachineConfig tiny;
+  tiny.flash_size = 4 * 1024;
+  DeployFallbackReport report;
+  StatusOr<DeployedModel> deployed =
+      DeployedModel::TryDeployWithFallback(model, tiny, &report);
+  ASSERT_FALSE(deployed.ok());
+  EXPECT_EQ(deployed.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(deployed.status().ToString().find("no encoding fits"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end integration: train → quantize → deploy → simulate.
 // ---------------------------------------------------------------------------
 

@@ -50,6 +50,12 @@ MetricClass Classify(std::string_view key) {
       return MetricClass::kIgnored;
     }
   }
+  // Cycle-derived metrics are deterministic even when the key also matches a
+  // host-varying pattern: "cycle_ratio_delta_vs_unrolled" is a ratio of simulated cycle
+  // counts, which cannot drift without a code change.
+  if (Contains(key, "cycle")) {
+    return MetricClass::kDeterministic;
+  }
   static constexpr std::string_view kHostPatterns[] = {
       "wall", "mips", "per_sec", "_ms",  "ms_",     "seconds",   "speedup",
       "_vs_", "ratio", "overhead", "host", "elapsed", "throughput"};

@@ -77,7 +77,9 @@ int Usage() {
                "  bench   --model model.ncm [--platform STM32F072RB]\n"
                "  profile --model model.ncm [--platform STM32F072RB] [--json out.json]\n"
                "          [--trace out.trace] [--asm] [--mode <legacy|cached|block>]\n"
+               "          [--encoding <csc|delta|mixed|block|unrolled>]\n"
                "  deploy  --model model.ncm --format <c|hex> --out <path> [--prefix name]\n"
+               "          [--encoding <csc|delta|mixed|block|unrolled>]\n"
                "  faultcampaign [--trials N] [--seed N]\n"
                "          [--fault <bitflip|multibit|stuck0|stuck1>] [--bits N]\n"
                "          [--trigger <pre|mid>]\n"
@@ -258,26 +260,58 @@ int CmdBench(const Args& args) {
   return 0;
 }
 
+bool ParseEncodingKind(const std::string& text, EncodingKind* out);
+
+// Applies --encoding=<kind>: re-encodes every layer of the loaded model in place, so any
+// model file can be profiled or exported under any of the five encodings.
+bool MaybeReencode(const Args& args, NeuroCModel* model) {
+  if (!args.Has("encoding")) {
+    return true;
+  }
+  EncodingKind kind;
+  if (!ParseEncodingKind(args.Get("encoding"), &kind)) {
+    std::fprintf(stderr, "unknown encoding: %s (csc|delta|mixed|block|unrolled)\n",
+                 args.Get("encoding"));
+    return false;
+  }
+  *model = ReencodeModel(*model, kind);
+  return true;
+}
+
 int CmdProfile(const Args& args) {
   auto model = LoadOrComplain(args);
   if (!model) {
     return 1;
   }
+  if (!MaybeReencode(args, &*model)) {
+    return 2;
+  }
   const PlatformSpec& platform = PlatformByName(args.Get("platform", "STM32F072RB"));
   const size_t bytes = DeployedModel::EstimateProgramBytes(*model);
   std::printf("platform: %s (%s @ %.0f MHz, %u KB flash)\n", platform.name.c_str(),
               platform.core.c_str(), platform.clock_hz / 1e6, platform.flash_bytes / 1024);
-  if (bytes > platform.flash_bytes) {
-    std::printf("NOT DEPLOYABLE: needs %zu B of %u B flash\n", bytes, platform.flash_bytes);
-    return 1;
-  }
   ProfileMode mode = ProfileMode::kBlock;
   if (args.Has("mode") && !ParseProfileMode(args.Get("mode"), &mode)) {
     std::fprintf(stderr, "unknown profile mode: %s (legacy|cached|block)\n",
                  args.Get("mode"));
     return 2;
   }
-  DeployedModel deployed = DeployedModel::Deploy(*model, platform.ToMachineConfig());
+  // Oversized models fall back to the fastest encoding that fits (unrolled kernels are
+  // the usual reason: they trade flash for cycles).
+  DeployFallbackReport fallback;
+  StatusOr<DeployedModel> deployed_or =
+      DeployedModel::TryDeployWithFallback(*model, platform.ToMachineConfig(), &fallback);
+  if (!deployed_or.ok()) {
+    std::printf("NOT DEPLOYABLE: needs %zu B of %u B flash (%s)\n", bytes,
+                platform.flash_bytes, deployed_or.status().ToString().c_str());
+    return 1;
+  }
+  if (fallback.fell_back) {
+    std::printf("flash fallback: %s (%zu B) -> %s (%zu B)\n",
+                EncodingKindName(fallback.requested), fallback.requested_bytes,
+                EncodingKindName(fallback.selected), fallback.selected_bytes);
+  }
+  DeployedModel deployed = std::move(*deployed_or);
   const InferenceProfile profile = ProfileInferenceDetailed(deployed, 64, mode);
   std::printf("latency: %.3f ms (%llu cycles)\n", deployed.report().latency_ms,
               static_cast<unsigned long long>(deployed.report().cycles_per_inference));
@@ -321,6 +355,9 @@ int CmdDeploy(const Args& args) {
   auto model = LoadOrComplain(args);
   if (!model || !args.Has("format") || !args.Has("out")) {
     return model ? Usage() : 1;
+  }
+  if (!MaybeReencode(args, &*model)) {
+    return 2;
   }
   const std::string format = args.Get("format");
   if (format == "c") {
