@@ -12,6 +12,7 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kUnalignedAccess: return "UNALIGNED_ACCESS";
     case ErrorCode::kIllegalStore: return "ILLEGAL_STORE";
     case ErrorCode::kInstructionBudgetExceeded: return "INSTRUCTION_BUDGET_EXCEEDED";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case ErrorCode::kIntegrityFailure: return "INTEGRITY_FAILURE";
     case ErrorCode::kMalformedImage: return "MALFORMED_IMAGE";
     case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";

@@ -34,6 +34,7 @@ enum class ErrorCode : uint8_t {
   kUnalignedAccess,             // ARMv6-M alignment fault
   kIllegalStore,                // guest store into flash (read-only to the CPU)
   kInstructionBudgetExceeded,   // runaway-loop guard tripped
+  kDeadlineExceeded,            // watchdog cycle budget exhausted (supervisor, not guest)
   // Host-side data faults.
   kIntegrityFailure,            // CRC section digest mismatch
   kMalformedImage,              // unparseable/inconsistent model blob or IDX file

@@ -1,5 +1,6 @@
 #include "src/runtime/deployed_model.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -67,6 +68,9 @@ StatusOr<DeployedModel> DeployedModel::DeployImage(DeviceModelImage image, Kerne
   dm.kernel_crc_ = Crc32(std::span<const uint8_t>(kernels.program().bytes));
   dm.image_ = std::move(image);
   dm.kernels_ = std::move(kernels);
+  // Pristine machine snapshot: everything is loaded, nothing has executed. Scrub() and
+  // the recovery ladder restore from this instead of rewriting sections piecemeal.
+  dm.pristine_ = dm.machine_->Snapshot();
   return dm;
 }
 
@@ -170,8 +174,24 @@ StatusOr<int> DeployedModel::TryPredict(std::span<const int8_t> input) {
   uint64_t cycles = 0;
   report_.layer_cycles.assign(image_.num_layers(), 0);
   for (size_t k = 0; k < image_.num_layers(); ++k) {
-    StatusOr<uint64_t> layer_cycles =
-        machine_->TryCallFunction(layer_entries_[k], {image_.descriptor_addrs[k]});
+    // Watchdog supervision: each layer call gets whatever remains of the per-inference
+    // cycle budget. A budget exhausted exactly on a layer boundary synthesizes the same
+    // structured deadline fault the in-layer watchdog raises.
+    uint64_t layer_budget = 0;
+    if (watchdog_budget_ != 0) {
+      if (cycles >= watchdog_budget_) {
+        FaultReport report;
+        report.code = ErrorCode::kDeadlineExceeded;
+        report.message = "watchdog cycle deadline exceeded";
+        report.pc = machine_->cpu().pc();
+        report.cycles = machine_->cpu().cycles();
+        report.instructions = machine_->cpu().instructions();
+        return Status::FromFault(std::move(report));
+      }
+      layer_budget = watchdog_budget_ - cycles;
+    }
+    StatusOr<uint64_t> layer_cycles = machine_->TryCallFunction(
+        layer_entries_[k], {image_.descriptor_addrs[k]}, layer_budget);
     if (!layer_cycles.ok()) {
       return layer_cycles.status();
     }
@@ -253,10 +273,28 @@ std::vector<std::string> DeployedModel::CorruptedSections() const {
 }
 
 void DeployedModel::Scrub() {
-  machine_->LoadBytes(kernels_.program().base_addr, kernels_.program().bytes);
-  machine_->LoadBytes(image_base_, image_.flash);
-  const std::vector<uint8_t> zeros(machine_->config().ram_size, 0);
-  machine_->LoadBytes(machine_->config().ram_base, zeros);
+  machine_->Restore(pristine_);
+}
+
+Status DeployedModel::ArmWatchdog(double headroom) {
+  NEUROC_CHECK(headroom >= 1.0);
+  DisarmWatchdog();
+  // Calibration: one unsupervised golden inference (zero input — latency is
+  // input-independent by construction, so it represents every input).
+  std::vector<int8_t> zeros(image_.input_dim, 0);
+  StatusOr<int> golden = TryPredict(zeros);
+  if (!golden.ok()) {
+    Scrub();
+    return golden.status();
+  }
+  const uint64_t golden_cycles = report_.cycles_per_inference;
+  // The +64 floor keeps the budget strictly above the golden count even at headroom 1.0,
+  // so a clean inference can never trip its own deadline.
+  watchdog_budget_ = std::max<uint64_t>(
+      static_cast<uint64_t>(headroom * static_cast<double>(golden_cycles)),
+      golden_cycles + 64);
+  Scrub();  // undo the calibration run's side effects (SRAM, counters)
+  return Status::Ok();
 }
 
 std::vector<int8_t> DeployedModel::LastOutput() {

@@ -107,10 +107,28 @@ class DeployedModel {
   // Names of the sections whose device bytes no longer match their pack-time digest.
   std::vector<std::string> CorruptedSections() const;
 
-  // Restores pristine state: rewrites kernel code and the packed image into simulated
-  // flash and zeroes all of SRAM. Clean-path behaviour afterwards is bit-identical to a
-  // fresh deployment.
+  // Restores pristine state from the deploy-time machine snapshot: flash (kernel code +
+  // packed image), all of SRAM, CPU registers/flags and counters. The machine afterwards
+  // is byte-identical to a fresh deployment — registers and counters included, which the
+  // old rewrite-the-sections scrub never guaranteed.
   void Scrub();
+
+  // Deploy-time machine snapshot (taken before any guest instruction ran). Exposed so
+  // recovery ladders and search-trial forking can restore or clone pristine state
+  // directly; RestoreScope::kRamAndRegisters restores from it without the flash rewrite.
+  const MachineSnapshot& pristine_snapshot() const { return pristine_; }
+
+  // Watchdog supervision. ArmWatchdog calibrates a per-inference cycle budget from one
+  // golden (zero-input, fault-free by assumption) inference: budget = golden cycles ×
+  // `headroom`. Subsequent TryPredict calls are supervised — an inference that exceeds
+  // the budget stops with a structured kDeadlineExceeded FaultReport carrying the PC it
+  // was stopped at, distinguishable from genuine guest faults. The golden run's side
+  // effects are undone by a scrub, so arming leaves the machine pristine. Returns the
+  // fault status if the calibration run itself faults. headroom must be >= 1.
+  Status ArmWatchdog(double headroom = 8.0);
+  void DisarmWatchdog() { watchdog_budget_ = 0; }
+  // Cycle budget enforced per inference; 0 when disarmed.
+  uint64_t watchdog_budget() const { return watchdog_budget_; }
 
   // Final-layer activations after the last Predict.
   std::vector<int8_t> LastOutput();
@@ -153,6 +171,8 @@ class DeployedModel {
   DeploymentReport report_;
   uint32_t image_base_ = 0;
   uint32_t kernel_crc_ = 0;  // digest of the assembled kernel section, taken at deploy
+  MachineSnapshot pristine_;  // machine state right after load, before any execution
+  uint64_t watchdog_budget_ = 0;  // per-inference cycle budget; 0 = unsupervised
 };
 
 }  // namespace neuroc

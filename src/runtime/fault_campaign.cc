@@ -45,7 +45,14 @@ NeuroCModel BuildCampaignModel(const FaultCampaignConfig& cfg, EncodingKind kind
   return NeuroCModel::FromLayers(std::move(layers));
 }
 
-enum class Outcome : uint8_t { kCorrect, kSdc, kDetected, kBudgetExceeded };
+enum class Outcome : uint8_t {
+  kCorrect,
+  kSdc,
+  kDetected,
+  kBudgetExceeded,
+  kDeadlineExceeded,
+  kDualRunCaught,
+};
 
 struct TrialRecord {
   uint8_t region_index = 0;  // into FaultCampaignConfig::regions
@@ -54,6 +61,9 @@ struct TrialRecord {
   bool crc_flagged = false;
   bool attempted_recovery = false;
   bool recovered = false;
+  RecoveryRung resolved = RecoveryRung::kNone;
+  bool has_latency = false;
+  uint64_t detect_latency_cycles = 0;
 };
 
 struct RegionSpan {
@@ -99,51 +109,67 @@ Golden MeasureGolden(const NeuroCModel& model) {
   return g;
 }
 
-TrialRecord RunTrial(DeployedModel& dm, const NeuroCModel& model,
-                     const FaultCampaignConfig& cfg, const Golden& golden,
-                     uint64_t trial_seed) {
+TrialRecord RunTrial(GuardedModel& gm, const FaultCampaignConfig& cfg,
+                     const Golden& golden, uint64_t trial_seed) {
   Rng rng(trial_seed);
   const std::vector<int8_t> input = MakeRandomInput(cfg.in_dim, rng);
-  const int golden_pred = model.Predict(input);
+  const int golden_pred = gm.model().Predict(input);
   const size_t region_index = rng.NextBounded(cfg.regions.size());
   const CampaignRegion region = cfg.regions[region_index];
 
   TrialRecord rec;
   rec.region_index = static_cast<uint8_t>(region_index);
-  dm.Scrub();
-  const RegionSpan span = ResolveRegion(dm, region);
+  gm.deployed().Scrub();
+  const RegionSpan span = ResolveRegion(gm.deployed(), region);
 
-  StatusOr<int> pred = Status(ErrorCode::kInternal, "trial did not run");
+  GuardedResult gr;
+  uint64_t injected_at_cycles = 0;
+  bool injection_timed = false;  // both latency endpoints are known
   if (cfg.trigger == FaultTrigger::kPreInference) {
     const InjectedFault f =
-        InjectFault(dm.machine().memory(), span.base, span.size, cfg.fault_model,
-                    cfg.bits, rng);
+        InjectFault(gm.deployed().machine().memory(), span.base, span.size,
+                    cfg.fault_model, cfg.bits, rng);
     rec.masked = !f.changed();
-    pred = dm.TryPredict(input);
+    gr = gm.Predict(input);
+    injection_timed = true;  // strike at cycle 0 of the inference
   } else {
+    // The injector fires exactly once, so ladder retries after the strike run clean. If
+    // the kRedeploy rung swapped machines mid-ladder the probe pointer below targets the
+    // replacement — a no-op detach, which is fine: the original machine is gone.
     const uint64_t trigger = 1 + rng.NextBounded(golden.instructions);
-    TriggeredInjector injector(&dm.machine().memory(), trigger, span.base, span.size,
-                               cfg.fault_model, cfg.bits, rng);
-    dm.machine().cpu().set_probe(&injector);
-    pred = dm.TryPredict(input);
-    dm.machine().cpu().set_probe(nullptr);
+    TriggeredInjector injector(&gm.deployed().machine().memory(), trigger, span.base,
+                               span.size, cfg.fault_model, cfg.bits, rng);
+    gm.deployed().machine().cpu().set_probe(&injector);
+    gr = gm.Predict(input);
+    gm.deployed().machine().cpu().set_probe(nullptr);
     rec.masked = injector.fired() && !injector.fault().changed();
+    injected_at_cycles = injector.fired_at_cycles();
+    injection_timed = injector.fired();
   }
 
-  if (pred.ok()) {
-    rec.outcome = (*pred == golden_pred) ? Outcome::kCorrect : Outcome::kSdc;
-  } else if (pred.status().code() == ErrorCode::kInstructionBudgetExceeded) {
+  if (gr.sdc_detected) {
+    rec.outcome = Outcome::kDualRunCaught;
+  } else if (!gr.faulted) {
+    rec.outcome = (gr.prediction == golden_pred) ? Outcome::kCorrect : Outcome::kSdc;
+  } else if (gr.first_fault.code == ErrorCode::kInstructionBudgetExceeded) {
     rec.outcome = Outcome::kBudgetExceeded;
+  } else if (gr.first_fault.code == ErrorCode::kDeadlineExceeded) {
+    rec.outcome = Outcome::kDeadlineExceeded;
   } else {
     rec.outcome = Outcome::kDetected;
   }
-  if (!pred.ok()) {
-    rec.crc_flagged = !dm.CorruptedSections().empty();
-    if (cfg.scrub_retry) {
+
+  if (gr.faulted || gr.sdc_detected) {
+    rec.crc_flagged = !gr.corrupted_sections.empty();
+    const RecoveryPolicy& p = gm.policy();
+    if (p.snapshot_retry || p.scrub_retry || p.redeploy) {
       rec.attempted_recovery = true;
-      dm.Scrub();
-      StatusOr<int> retry = dm.TryPredict(input);
-      rec.recovered = retry.ok() && *retry == golden_pred;
+      rec.recovered = gr.ok && gr.prediction == golden_pred;
+      rec.resolved = gr.resolved_by;
+    }
+    if (injection_timed && gr.detection_cycles >= injected_at_cycles) {
+      rec.has_latency = true;
+      rec.detect_latency_cycles = gr.detection_cycles - injected_at_cycles;
     }
   }
   return rec;
@@ -156,11 +182,28 @@ void Accumulate(RegionStats& stats, const TrialRecord& rec) {
     case Outcome::kSdc: ++stats.sdc; break;
     case Outcome::kDetected: ++stats.detected; break;
     case Outcome::kBudgetExceeded: ++stats.budget_exceeded; break;
+    case Outcome::kDeadlineExceeded: ++stats.deadline_exceeded; break;
+    case Outcome::kDualRunCaught: ++stats.dual_run_caught; break;
   }
   if (rec.masked) ++stats.masked;
   if (rec.crc_flagged) ++stats.crc_flagged;
   if (rec.attempted_recovery) {
-    (rec.recovered ? stats.recovered : stats.unrecovered) += 1;
+    if (rec.recovered) {
+      ++stats.recovered;
+      switch (rec.resolved) {
+        case RecoveryRung::kSnapshotRetry: ++stats.recovered_snapshot; break;
+        case RecoveryRung::kScrubRetry: ++stats.recovered_scrub; break;
+        case RecoveryRung::kRedeploy: ++stats.recovered_redeploy; break;
+        default: break;
+      }
+    } else {
+      ++stats.unrecovered;
+    }
+    if (rec.resolved == RecoveryRung::kPermanentFailure) ++stats.permanent_failure;
+  }
+  if (rec.has_latency) {
+    stats.detect_latency_cycles_sum += rec.detect_latency_cycles;
+    ++stats.detect_count;
   }
 }
 
@@ -211,10 +254,18 @@ void RegionStats::Add(const RegionStats& o) {
   sdc += o.sdc;
   detected += o.detected;
   budget_exceeded += o.budget_exceeded;
+  deadline_exceeded += o.deadline_exceeded;
+  dual_run_caught += o.dual_run_caught;
   masked += o.masked;
   recovered += o.recovered;
   unrecovered += o.unrecovered;
   crc_flagged += o.crc_flagged;
+  recovered_snapshot += o.recovered_snapshot;
+  recovered_scrub += o.recovered_scrub;
+  recovered_redeploy += o.recovered_redeploy;
+  permanent_failure += o.permanent_failure;
+  detect_latency_cycles_sum += o.detect_latency_cycles_sum;
+  detect_count += o.detect_count;
 }
 
 FaultCampaignResult RunFaultCampaign(const FaultCampaignConfig& config) {
@@ -236,27 +287,31 @@ FaultCampaignResult RunFaultCampaign(const FaultCampaignConfig& config) {
   const size_t total = per_enc * config.encodings.size();
   std::vector<TrialRecord> records(total);
 
-  // Each chunk rebuilds the (deterministic) model + deployment it needs; every trial owns
-  // the slot records[t] and scrubs the device first, so outcomes are independent of chunk
-  // boundaries and thread count. Grain 32: a trial is one small inference (plus scrubs),
-  // so chunks amortize the per-chunk deployment without starving the pool.
+  // Each chunk rebuilds the (deterministic) model + guarded deployment it needs; every
+  // trial owns the slot records[t], scrubs the device first, and resets to the primary
+  // encoding after (a kRedeploy rung must not leak into the next trial), so outcomes are
+  // independent of chunk boundaries and thread count. Grain 32: a trial is one small
+  // inference (plus scrubs), so chunks amortize the per-chunk deployment without starving
+  // the pool.
   ParallelFor(0, total, 32, [&](size_t t0, size_t t1) {
     size_t current_enc = static_cast<size_t>(-1);
-    NeuroCModel model;
-    std::unique_ptr<DeployedModel> dm;
+    std::unique_ptr<GuardedModel> gm;
     for (size_t t = t0; t < t1; ++t) {
       const size_t e = t / per_enc;
       if (e != current_enc) {
         current_enc = e;
-        model = BuildCampaignModel(config, config.encodings[e]);
         MachineConfig mc;
         mc.max_instructions = std::max<uint64_t>(
             static_cast<uint64_t>(config.budget_margin *
                                   static_cast<double>(golden[e].instructions)),
             golden[e].instructions + 1024);
-        dm = std::make_unique<DeployedModel>(DeployedModel::Deploy(model, mc));
+        StatusOr<GuardedModel> guarded = GuardedModel::Create(
+            BuildCampaignModel(config, config.encodings[e]), mc, config.policy);
+        NEUROC_CHECK_MSG(guarded.ok(), "campaign deployment failed");
+        gm = std::make_unique<GuardedModel>(std::move(*guarded));
       }
-      records[t] = RunTrial(*dm, model, config, golden[e], TrialSeed(config.seed, t));
+      records[t] = RunTrial(*gm, config, golden[e], TrialSeed(config.seed, t));
+      NEUROC_CHECK(gm->ResetToPrimary().ok());
     }
   });
 
@@ -282,6 +337,8 @@ FaultCampaignResult RunFaultCampaign(const FaultCampaignConfig& config) {
   reg.GetCounter("faultcampaign.sdc").Add(result.totals.sdc);
   reg.GetCounter("faultcampaign.detected").Add(result.totals.detected);
   reg.GetCounter("faultcampaign.recovered").Add(result.totals.recovered);
+  reg.GetCounter("faultcampaign.deadline_exceeded").Add(result.totals.deadline_exceeded);
+  reg.GetCounter("faultcampaign.dual_run_caught").Add(result.totals.dual_run_caught);
   return result;
 }
 
@@ -294,11 +351,19 @@ void WriteStats(JsonWriter& w, const RegionStats& s) {
   w.Key("sdc").Value(s.sdc);
   w.Key("detected").Value(s.detected);
   w.Key("budget_exceeded").Value(s.budget_exceeded);
+  w.Key("deadline_exceeded").Value(s.deadline_exceeded);
+  w.Key("dual_run_caught").Value(s.dual_run_caught);
   w.Key("masked").Value(s.masked);
   w.Key("crc_flagged").Value(s.crc_flagged);
   w.Key("recovered").Value(s.recovered);
+  w.Key("recovered_snapshot").Value(s.recovered_snapshot);
+  w.Key("recovered_scrub").Value(s.recovered_scrub);
+  w.Key("recovered_redeploy").Value(s.recovered_redeploy);
   w.Key("unrecovered").Value(s.unrecovered);
+  w.Key("permanent_failure").Value(s.permanent_failure);
   w.Key("sdc_rate").Value(s.SdcRate());
+  w.Key("detect_latency_samples").Value(s.detect_count);
+  w.Key("mean_detect_latency_cycles").Value(s.MeanDetectLatencyCycles());
   w.EndObject();
 }
 
@@ -314,7 +379,13 @@ std::string FaultCampaignJson(const FaultCampaignResult& result) {
   w.Key("fault_model").Value(FaultModelName(cfg.fault_model));
   w.Key("bits").Value(cfg.bits);
   w.Key("trigger").Value(FaultTriggerName(cfg.trigger));
-  w.Key("scrub_retry").Value(cfg.scrub_retry);
+  w.Key("policy").BeginObject();
+  w.Key("snapshot_retry").Value(cfg.policy.snapshot_retry);
+  w.Key("scrub_retry").Value(cfg.policy.scrub_retry);
+  w.Key("redeploy").Value(cfg.policy.redeploy);
+  w.Key("dual_run").Value(cfg.policy.dual_run);
+  w.Key("watchdog_headroom").Value(cfg.policy.watchdog_headroom);
+  w.EndObject();
   w.Key("budget_margin").Value(cfg.budget_margin);
   w.Key("model").BeginObject();
   w.Key("in_dim").Value(static_cast<uint64_t>(cfg.in_dim));

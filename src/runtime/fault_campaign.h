@@ -1,21 +1,26 @@
-// Deterministic memory-fault injection campaigns over deployed Neuro-C models.
+// Deterministic memory-fault injection campaigns over guarded Neuro-C deployments.
 //
 // A campaign builds one synthetic model per weight encoding (same seeded adjacency for
-// every encoding, so rates are comparable across CSC/delta/mixed/block), deploys it on the
-// simulated MCU, and runs seeded fault-injection trials. Each trial scrubs the device back
+// every encoding, so rates are comparable across all five encodings — CSC, delta, mixed,
+// block, and unrolled per-model kernels), deploys it on the simulated MCU behind a
+// GuardedModel, and runs seeded fault-injection trials. Each trial scrubs the device back
 // to pristine state, injects one fault (bit flip or stuck-at, into kernel code, layer
 // descriptors, the packed weight payload, or activation SRAM; before or mid-inference),
-// runs one inference through the recoverable TryPredict path and classifies the outcome:
+// runs one guarded inference and classifies the outcome:
 //
-//   correct          prediction matches the fault-free golden run (fault masked/benign)
-//   sdc              silent data corruption — wrong prediction, no fault raised
-//   detected         the guest faulted (undefined instruction, unmapped access, ...)
-//   budget_exceeded  runaway execution caught by the per-trial instruction budget
+//   correct            prediction matches the fault-free golden run (fault masked/benign)
+//   sdc                silent data corruption — wrong prediction, nothing detected
+//   detected           the guest faulted (undefined instruction, unmapped access, ...)
+//   budget_exceeded    runaway execution caught by the per-trial instruction budget
+//   deadline_exceeded  runaway execution caught first by the watchdog cycle budget
+//   dual_run_caught    redundant execution detected an output mismatch (former SDC)
 //
-// Detected faults optionally go through the scrub-and-retry recovery path and are counted
-// recovered/unrecovered. Every trial derives its RNG stream from (seed, trial index) with
-// a SplitMix64 finalizer and owns a pre-sized result slot, so campaign output — including
-// the JSON report — is byte-identical for any NEUROC_NUM_THREADS.
+// Detected faults walk the configured recovery ladder (snapshot retry → scrub retry →
+// redeploy; see src/runtime/recovery.h) and are counted per resolving rung, plus
+// recovered/unrecovered/permanent_failure totals and injection→detection latency. Every
+// trial derives its RNG stream from (seed, trial index) with a SplitMix64 finalizer and
+// owns a pre-sized result slot, so campaign output — including the JSON report — is
+// byte-identical for any NEUROC_NUM_THREADS.
 
 #ifndef NEUROC_SRC_RUNTIME_FAULT_CAMPAIGN_H_
 #define NEUROC_SRC_RUNTIME_FAULT_CAMPAIGN_H_
@@ -26,6 +31,7 @@
 #include <vector>
 
 #include "src/core/encoding.h"
+#include "src/runtime/recovery.h"
 #include "src/sim/fault_injector.h"
 
 namespace neuroc {
@@ -60,9 +66,12 @@ struct FaultCampaignConfig {
                                       kAllCampaignRegions + 4};
   std::vector<EncodingKind> encodings{std::begin(kAllEncodingKinds),
                                       std::end(kAllEncodingKinds)};
-  bool scrub_retry = true;  // recover detected faults via scrub-and-retry
+  // Recovery ladder + watchdog + dual-run configuration for every trial's GuardedModel.
+  // Disabling every rung reproduces the raw (unrecovered) outcome distribution.
+  RecoveryPolicy policy;
   // Per-trial instruction budget = golden instructions × margin (runaway trials classify
-  // as budget_exceeded instead of burning the 400M-instruction default guard).
+  // as budget_exceeded instead of burning the 400M-instruction default guard). The
+  // watchdog cycle budget (policy.watchdog_headroom) usually fires first.
   double budget_margin = 8.0;
 
   // Synthetic campaign model shape (in → hidden → out, ternary density `density`).
@@ -79,14 +88,30 @@ struct RegionStats {
   uint64_t sdc = 0;
   uint64_t detected = 0;
   uint64_t budget_exceeded = 0;
+  uint64_t deadline_exceeded = 0;  // watchdog cycle budget fired (kDeadlineExceeded)
+  uint64_t dual_run_caught = 0;    // redundant execution flagged an output mismatch
   uint64_t masked = 0;       // injection left the byte unchanged (stuck-at at value)
-  uint64_t recovered = 0;    // faulting trials (detected/budget) fixed by scrub-and-retry
-  uint64_t unrecovered = 0;  // faulting trials the retry did not fix
+  uint64_t recovered = 0;    // detected trials the ladder fixed (correct prediction)
+  uint64_t unrecovered = 0;  // detected trials no enabled rung fixed
   uint64_t crc_flagged = 0;  // detected faults attributed to a section by CRC
+  // Which ladder rung resolved each recovered trial.
+  uint64_t recovered_snapshot = 0;
+  uint64_t recovered_scrub = 0;
+  uint64_t recovered_redeploy = 0;
+  uint64_t permanent_failure = 0;  // ladder exhausted without a clean prediction
+  // Injection→detection latency, summed over trials where both endpoints are known
+  // (pre-inference: cycles from inference start; mid-inference: cycles from the strike).
+  uint64_t detect_latency_cycles_sum = 0;
+  uint64_t detect_count = 0;
 
   void Add(const RegionStats& o);
   double SdcRate() const {
     return trials == 0 ? 0.0 : static_cast<double>(sdc) / static_cast<double>(trials);
+  }
+  double MeanDetectLatencyCycles() const {
+    return detect_count == 0 ? 0.0
+                             : static_cast<double>(detect_latency_cycles_sum) /
+                                   static_cast<double>(detect_count);
   }
 };
 

@@ -331,9 +331,22 @@ int32_t Cpu::CompileBlock(size_t entry_slot) {
   // so it is sized here once instead of checked on every block entry.
   b.static_cycles = static_cycles;
   b.prof_mem_hits.assign(b.ops.size(), 0);
+  // Worst-case dynamic cycles one execution can add: every possible-fault op charged as a
+  // flash data access (the reglist ops never charge dynamically — conservative is fine,
+  // over-estimating only breaks to the exact step interpreter a little earlier), plus the
+  // dearer outcome of a kBcond terminator. Run uses static_cycles + dyn_bound to prove a
+  // block cannot cross the watchdog cycle limit.
+  const uint32_t fw = static_cast<uint32_t>(model_.flash_wait_states);
   std::array<uint32_t, 80> histo{};
   for (const BlockOp& o : b.ops) {
     b.fetch_reads += o.fetch_reads;
+    if (o.is_mem) {
+      b.dyn_bound += fw;
+    }
+    if (o.op == Op::kBcond) {
+      b.dyn_bound += static_cast<uint32_t>(
+          std::max(model_.branch_taken, model_.branch_not_taken));
+    }
     ++histo[static_cast<size_t>(o.op)];
   }
   for (size_t op = 0; op < histo.size(); ++op) {
@@ -345,6 +358,32 @@ int32_t Cpu::CompileBlock(size_t entry_slot) {
   const int32_t index = static_cast<int32_t>(blocks_.size() - 1);
   block_index_[entry_slot] = index;
   return index;
+}
+
+CpuArchState Cpu::SaveState() const {
+  // Fold deferred block-exit accounting so the captured histogram reads exactly as the
+  // step interpreter would have left it.
+  FlushBlockHistograms();
+  CpuArchState s;
+  s.regs = regs_;
+  s.pc = pc_;
+  s.flags = flags_;
+  s.cycles = cycles_;
+  s.instructions = instructions_;
+  s.op_histogram = op_histogram_;
+  return s;
+}
+
+void Cpu::RestoreState(const CpuArchState& state) {
+  // Flush first so block exec counters accrued since the capture fold into the *current*
+  // histogram and then get overwritten — never into the restored one.
+  FlushBlockHistograms();
+  regs_ = state.regs;
+  pc_ = state.pc;
+  flags_ = state.flags;
+  cycles_ = state.cycles;
+  instructions_ = state.instructions;
+  op_histogram_ = state.op_histogram;
 }
 
 void Cpu::ResetCounters() {
@@ -508,7 +547,7 @@ void Cpu::ChargeMemAccess(uint32_t addr, bool is_store) {
   }
 }
 
-void Cpu::Run(uint64_t max_instructions) {
+void Cpu::Run(uint64_t max_instructions, uint64_t cycle_limit) {
   const uint64_t start = instructions_;
   while (!halted()) {
     if (BlockModeActive()) {
@@ -519,10 +558,10 @@ void Cpu::Run(uint64_t max_instructions) {
       // cannot change inside Run (probes/traces attach between calls, and the guest
       // cannot write flash — it faults), so blocks execute back to back until the pc
       // leaves compiled coverage, an entry can't start a block, or a block could cross
-      // the instruction budget. Those cases break to the step interpreter, which keeps
-      // the budget fault firing at exactly the same retired instruction as the legacy
-      // path. A wrapping pc (SRAM, unmapped, the halt sentinel) makes `slot` huge and
-      // exits the loop through the coverage check.
+      // the instruction budget or the watchdog cycle limit. Those cases break to the step
+      // interpreter, which keeps the budget/deadline fault firing at exactly the same
+      // retired instruction as the legacy path. A wrapping pc (SRAM, unmapped, the halt
+      // sentinel) makes `slot` huge and exits the loop through the coverage check.
       const uint32_t flash_base = mem_->flash_base();
       const size_t covered_slots = block_index_.size();
       for (;;) {
@@ -541,6 +580,10 @@ void Cpu::Run(uint64_t max_instructions) {
         if (instructions_ - start + blk.ops.size() > max_instructions) {
           break;
         }
+        if (cycle_limit != 0 &&
+            cycles_ + blk.static_cycles + blk.dyn_bound > cycle_limit) {
+          break;
+        }
         if (block_profile_enabled_) {
           ExecuteBlock<true>(blk);
         } else {
@@ -554,6 +597,10 @@ void Cpu::Run(uint64_t max_instructions) {
     Step();
     if (instructions_ - start > max_instructions) {
       throw GuestFault{ErrorCode::kInstructionBudgetExceeded, "instruction budget exceeded",
+                       /*addr=*/0, /*pc=*/pc_, /*instruction=*/0};
+    }
+    if (cycle_limit != 0 && cycles_ > cycle_limit) {
+      throw GuestFault{ErrorCode::kDeadlineExceeded, "watchdog cycle deadline exceeded",
                        /*addr=*/0, /*pc=*/pc_, /*instruction=*/0};
     }
   }

@@ -40,6 +40,20 @@ class CpuProbe {
   virtual void OnRetire(uint32_t addr, Op op, uint32_t cycles) = 0;
 };
 
+// Snapshot of the CPU's architectural state (see Cpu::SaveState). Deferred block-exit
+// accounting is folded in before capture, so `op_histogram` and the counters always read
+// as the step interpreter would have left them. Derived state (decode cache, compiled
+// blocks, trace ring, probe attachment) is deliberately absent — caches rebuild
+// deterministically and observers are host-side attachments, not machine state.
+struct CpuArchState {
+  std::array<uint32_t, 16> regs{};
+  uint32_t pc = 0;
+  CpuFlags flags;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  std::array<uint64_t, 80> op_histogram{};
+};
+
 class Cpu {
  public:
   static constexpr uint32_t kStopAddress = 0xFFFFFFFE;
@@ -68,8 +82,20 @@ class Cpu {
 
   // Steps until halted; throws GuestFault(kInstructionBudgetExceeded) once more than
   // `max_instructions` retire. Keeping the loop in the CPU's own translation unit lets
-  // the per-instruction dispatch stay call-free and hot.
-  void Run(uint64_t max_instructions);
+  // the per-instruction dispatch stay call-free and hot. `cycle_limit` is the watchdog
+  // deadline: an absolute bound on `cycles()` (0 disables). The first retired instruction
+  // that pushes the counter past it throws GuestFault(kDeadlineExceeded) — block-compiled
+  // execution breaks to the step interpreter before any block that *could* cross the
+  // limit, so the faulting instruction, counters and registers are bit-identical across
+  // all decode modes, and a limit that is never approached costs one compare per block.
+  void Run(uint64_t max_instructions, uint64_t cycle_limit = 0);
+
+  // Architectural state capture/restore, the substrate for Machine::Snapshot. Save folds
+  // the deferred block-exit histograms first (so the capture matches the interpreter);
+  // Restore folds any counters accrued since, then overwrites — pending block accounting
+  // can never leak into the restored histogram.
+  CpuArchState SaveState() const;
+  void RestoreState(const CpuArchState& state);
 
   uint64_t cycles() const { return cycles_; }
   uint64_t instructions() const { return instructions_; }
@@ -190,6 +216,12 @@ class Cpu {
     std::vector<BlockOp> ops;
     // Batched accounting applied once at block exit instead of per retired instruction.
     uint32_t static_cycles = 0;  // fetch wait states + fixed execution costs, whole block
+    // Upper bound on the runtime-dynamic cycles one execution can add on top of
+    // static_cycles (per-access flash wait states, the dearer kBcond outcome). The Run
+    // loop uses static_cycles + dyn_bound to prove a block cannot cross the watchdog
+    // cycle limit; blocks that might cross fall back to the step interpreter so the
+    // deadline fires at exactly the same instruction as the legacy path.
+    uint32_t dyn_bound = 0;
     uint64_t fetch_reads = 0;
     std::vector<std::pair<uint8_t, uint32_t>> histogram;  // (Op, retire count)
     bool terminated = false;  // ends in a control-flow op (else falls through)

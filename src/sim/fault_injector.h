@@ -68,10 +68,10 @@ class TriggeredInjector : public CpuProbe {
   void OnRetire(uint32_t addr, Op op, uint32_t cycles) override {
     (void)addr;
     (void)op;
-    (void)cycles;
     if (fired_) {
       return;
     }
+    seen_cycles_ += cycles;
     if (remaining_ > 1) {
       --remaining_;
       return;
@@ -82,6 +82,10 @@ class TriggeredInjector : public CpuProbe {
 
   bool fired() const { return fired_; }
   const InjectedFault& fault() const { return fault_; }
+  // Cycles retired between probe attachment and the injection (exact: per-retire charges
+  // sum to the CPU cycle delta). Feeds detection-latency reporting — the campaign
+  // subtracts this from the cycles-at-detection to get injection→detection latency.
+  uint64_t fired_at_cycles() const { return seen_cycles_; }
 
  private:
   MemoryMap* memory_;
@@ -92,6 +96,7 @@ class TriggeredInjector : public CpuProbe {
   int bits_;
   Rng rng_;
   bool fired_ = false;
+  uint64_t seen_cycles_ = 0;  // cycles retired before the injection fired
   InjectedFault fault_;
 };
 

@@ -19,6 +19,12 @@ void Machine::LoadBytes(uint32_t addr, std::span<const uint8_t> bytes) {
 
 StatusOr<uint64_t> Machine::TryCallFunction(uint32_t addr,
                                             std::initializer_list<uint32_t> args) {
+  return TryCallFunction(addr, args, /*cycle_budget=*/0);
+}
+
+StatusOr<uint64_t> Machine::TryCallFunction(uint32_t addr,
+                                            std::initializer_list<uint32_t> args,
+                                            uint64_t cycle_budget) {
   NEUROC_CHECK(args.size() <= 4);
   int i = 0;
   for (uint32_t a : args) {
@@ -30,7 +36,8 @@ StatusOr<uint64_t> Machine::TryCallFunction(uint32_t addr,
   cpu_.set_pc(addr);
   const uint64_t start_cycles = cpu_.cycles();
   try {
-    cpu_.Run(config_.max_instructions);
+    cpu_.Run(config_.max_instructions,
+             cycle_budget == 0 ? 0 : start_cycles + cycle_budget);
   } catch (const GuestFault& gf) {
     FaultReport report;
     report.code = gf.code;
@@ -46,6 +53,21 @@ StatusOr<uint64_t> Machine::TryCallFunction(uint32_t addr,
   }
   last_fault_ = FaultReport{};
   return cpu_.cycles() - start_cycles;
+}
+
+MachineSnapshot Machine::Snapshot() const {
+  MachineSnapshot s;
+  s.cpu = cpu_.SaveState();
+  s.memory = memory_.SaveState();
+  s.last_fault = last_fault_;
+  return s;
+}
+
+void Machine::Restore(const MachineSnapshot& snapshot, RestoreScope scope) {
+  memory_.RestoreState(snapshot.memory,
+                       /*restore_flash=*/scope == RestoreScope::kFull);
+  cpu_.RestoreState(snapshot.cpu);
+  last_fault_ = snapshot.last_fault;
 }
 
 uint64_t Machine::CallFunction(uint32_t addr, std::initializer_list<uint32_t> args) {

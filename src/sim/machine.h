@@ -25,6 +25,23 @@ struct MachineConfig {
   uint64_t max_instructions = 400'000'000;  // runaway guard
 };
 
+// Full architectural snapshot of a machine: CPU registers/flags/counters plus memory
+// contents and observation state. What is NOT captured (all host-side attachments or
+// deterministically rebuilt derived state): probe/trace attachment and ring contents,
+// the decode cache, compiled blocks, and block-profile windows. Restoring is therefore
+// bit-identical for every architecturally observable quantity — cycles, instructions,
+// registers, memory, stats, heatmaps — across all decode modes.
+struct MachineSnapshot {
+  CpuArchState cpu;
+  MemoryState memory;
+  FaultReport last_fault;
+};
+
+// How much of a snapshot Restore rewinds. kFull also rewrites flash (and invalidates the
+// decode/block caches); kRamAndRegisters leaves flash and its derived caches untouched —
+// the cheap per-trial fork/retry path when flash is known (or assumed) pristine.
+enum class RestoreScope : uint8_t { kFull = 0, kRamAndRegisters = 1 };
+
 class Machine {
  public:
   explicit Machine(const MachineConfig& config = {});
@@ -44,6 +61,24 @@ class Machine {
   // trace-ring tail (when tracing is enabled). This is the single exception→Status
   // conversion boundary: no GuestFault propagates past it.
   StatusOr<uint64_t> TryCallFunction(uint32_t addr, std::initializer_list<uint32_t> args);
+
+  // Watchdog-supervised variant: additionally stops the guest with a structured
+  // kDeadlineExceeded FaultReport once the call has consumed more than `cycle_budget`
+  // simulated cycles (relative to the call start; 0 = unsupervised). The deadline fires
+  // at the same retired instruction in every decode mode, and a budget that is never
+  // approached changes no observable quantity — identical cycles, counters, heatmaps.
+  StatusOr<uint64_t> TryCallFunction(uint32_t addr, std::initializer_list<uint32_t> args,
+                                     uint64_t cycle_budget);
+
+  // Captures the full architectural state (CPU + memory + last fault). Snapshots are
+  // plain values: fork as many machines from one warmed-up state as needed (search
+  // trials), or park one as the pristine image for scrub/retry recovery.
+  MachineSnapshot Snapshot() const;
+  // Restores a snapshot taken on a machine with the same configuration. kFull rewinds
+  // everything including flash; kRamAndRegisters skips the flash rewrite (and the decode
+  // cache invalidation it forces), which is the fast path for retry-from-snapshot when
+  // flash integrity is separately assured.
+  void Restore(const MachineSnapshot& snapshot, RestoreScope scope = RestoreScope::kFull);
 
   // Legacy abort-on-fault wrapper: prints the FaultReport diagnostic and aborts if the
   // call faults. For measurement code where a guest fault means the experiment itself is

@@ -124,6 +124,46 @@ void MemoryMap::HostWrite(uint32_t addr, std::span<const uint8_t> bytes) {
   }
 }
 
+MemoryState MemoryMap::SaveState() const {
+  MemoryState s;
+  s.flash.assign(flash_.begin(), flash_.begin() + flash_high_water_);
+  s.flash_high_water = flash_high_water_;
+  s.ram = ram_;
+  s.stats = stats_;
+  s.heatmap = heatmap_;
+  s.stack_watch = stack_watch_;
+  s.stack_floor = stack_floor_;
+  s.stack_low_water = stack_low_water_;
+  return s;
+}
+
+void MemoryMap::RestoreState(const MemoryState& state, bool restore_flash) {
+  NEUROC_CHECK(state.ram.size() == ram_.size());
+  NEUROC_CHECK(state.flash_high_water <= flash_.size());
+  if (restore_flash) {
+    std::memcpy(flash_.data(), state.flash.data(), state.flash.size());
+    // Bytes loaded after the capture sit between the two high-water marks; re-erase them
+    // so the flash image is byte-identical to capture time, then let the mark revert (it
+    // normally never shrinks, but a restore is an explicit rewind of load history).
+    if (flash_high_water_ > state.flash_high_water) {
+      std::memset(flash_.data() + state.flash_high_water, 0,
+                  flash_high_water_ - state.flash_high_water);
+    }
+    flash_high_water_ = state.flash_high_water;
+    ++flash_generation_;
+    if (flash_listener_ != nullptr) {
+      *flash_listener_ = false;
+    }
+  }
+  ram_ = state.ram;
+  stats_ = state.stats;
+  heatmap_ = state.heatmap;
+  stack_watch_ = state.stack_watch;
+  stack_floor_ = state.stack_floor;
+  stack_low_water_ = state.stack_low_water;
+  UpdateObserving();
+}
+
 void MemoryMap::HostRead(uint32_t addr, std::span<uint8_t> bytes) const {
   const uint8_t* p = HostPtrConst(addr, static_cast<uint32_t>(bytes.size()));
   std::memcpy(bytes.data(), p, bytes.size());

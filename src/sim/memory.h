@@ -32,6 +32,21 @@ struct MemHeatmap {
   std::vector<uint64_t> sram_writes;
 };
 
+// Snapshot of the architectural memory state (see MemoryMap::SaveState). Flash is stored
+// only up to the load high-water mark — the untouched erase pattern beyond it is implied —
+// so snapshots of a few-KB image don't copy the full 128 KB part. Derived state (decode
+// caches, compiled blocks) is deliberately absent: it is rebuilt deterministically.
+struct MemoryState {
+  std::vector<uint8_t> flash;  // [0, flash_high_water) at capture time
+  uint32_t flash_high_water = 0;
+  std::vector<uint8_t> ram;    // full SRAM
+  MemAccessStats stats;
+  MemHeatmap heatmap;
+  bool stack_watch = false;
+  uint32_t stack_floor = 0;
+  uint32_t stack_low_water = 0xFFFFFFFFu;
+};
+
 class MemoryMap {
  public:
   MemoryMap(uint32_t flash_base, uint32_t flash_size, uint32_t ram_base, uint32_t ram_size);
@@ -171,6 +186,16 @@ class MemoryMap {
   }
   // Smallest stack address observed since EnableStackWatch; UINT32_MAX if none yet.
   uint32_t stack_low_water() const { return stack_low_water_; }
+
+  // Captures the architectural memory state (flash up to the high-water mark, all of
+  // SRAM, access stats, heatmap/stack-watch configuration and contents).
+  MemoryState SaveState() const;
+  // Restores a captured state. With `restore_flash` the flash contents and high-water
+  // mark revert to capture time (bytes loaded after the capture are re-erased to 0) and
+  // the flash generation is bumped so decoded-flash consumers rebuild; without it the
+  // flash image — and therefore every derived cache — is left untouched, making the
+  // RAM-and-stats restore cheap enough for per-trial forking.
+  void RestoreState(const MemoryState& state, bool restore_flash);
 
  private:
   uint8_t* HostPtr(uint32_t addr, uint32_t size, bool allow_flash_write);

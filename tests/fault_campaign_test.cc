@@ -1,6 +1,7 @@
 // Fault-injection campaign tests: integrity coverage (every single-bit flip in the model
 // image and kernel code is CRC-detectable), deterministic campaign output across thread
-// counts, and full scrub-and-retry recovery of detected faults.
+// counts, and full recovery-ladder coverage (snapshot retry, scrub, redeploy, dual-run)
+// of detected faults.
 
 #include <gtest/gtest.h>
 
@@ -147,7 +148,9 @@ TEST(FaultCampaignTest, OutcomesPartitionTrialsAndDetectedFaultsRecover) {
     RegionStats sum;
     for (const RegionStats& r : enc.regions) {
       sum.Add(r);
-      EXPECT_EQ(r.correct + r.sdc + r.detected + r.budget_exceeded, r.trials);
+      EXPECT_EQ(r.correct + r.sdc + r.detected + r.budget_exceeded +
+                    r.deadline_exceeded + r.dual_run_caught,
+                r.trials);
     }
     EXPECT_EQ(sum.trials, enc.totals.trials);
     EXPECT_EQ(sum.sdc, enc.totals.sdc);
@@ -155,11 +158,17 @@ TEST(FaultCampaignTest, OutcomesPartitionTrialsAndDetectedFaultsRecover) {
     trials += enc.totals.trials;
   }
   EXPECT_EQ(trials, result.totals.trials);
-  // With scrub-and-retry on, every faulting trial (detected or budget-exceeded) must
-  // recover: the pristine host copy of the image is always available to rewrite.
+  // With the ladder on, every detected trial must recover: the pristine snapshot (and as
+  // a last resort a fresh deployment) is always available.
   EXPECT_EQ(result.totals.recovered,
-            result.totals.detected + result.totals.budget_exceeded);
+            result.totals.detected + result.totals.budget_exceeded +
+                result.totals.deadline_exceeded + result.totals.dual_run_caught);
   EXPECT_EQ(result.totals.unrecovered, 0u);
+  EXPECT_EQ(result.totals.permanent_failure, 0u);
+  // Recoveries are attributed to exactly one rung.
+  EXPECT_EQ(result.totals.recovered_snapshot + result.totals.recovered_scrub +
+                result.totals.recovered_redeploy,
+            result.totals.recovered);
 }
 
 TEST(FaultCampaignTest, JsonIsByteIdenticalAcrossRunsAndThreadCounts) {
@@ -185,9 +194,50 @@ TEST(FaultCampaignTest, MidInferenceTriggerAndStuckAtFaultsClassifyCleanly) {
   ASSERT_EQ(result.encodings.size(), 2u);
   EXPECT_EQ(result.totals.trials, 24u);
   EXPECT_EQ(result.totals.correct + result.totals.sdc + result.totals.detected +
-                result.totals.budget_exceeded,
+                result.totals.budget_exceeded + result.totals.deadline_exceeded +
+                result.totals.dual_run_caught,
             result.totals.trials);
   EXPECT_EQ(result.totals.unrecovered, 0u);
+}
+
+TEST(FaultCampaignTest, DualRunConvertsSramSdcIntoDetectedAndRecovers) {
+  // Mid-inference SRAM faults with redundant execution: every wrong output stems from
+  // state the second (pristine-RAM) run does not share, so nothing can stay silent —
+  // former SDC classifies as dual_run_caught and the ladder recovers it. (Pre-inference
+  // SRAM faults are mostly masked: the inference rewrites its buffers before reading.)
+  FaultCampaignConfig cfg = SmallCampaign();
+  cfg.trials_per_encoding = 48;
+  cfg.trigger = FaultTrigger::kMidInference;
+  cfg.regions = {CampaignRegion::kSram};
+  cfg.encodings = {EncodingKind::kCsc, EncodingKind::kUnrolled};
+  cfg.policy.dual_run = true;
+  const FaultCampaignResult result = RunFaultCampaign(cfg);
+  EXPECT_EQ(result.totals.sdc, 0u);
+  EXPECT_GT(result.totals.dual_run_caught, 0u);
+  EXPECT_EQ(result.totals.unrecovered, 0u);
+
+  // The same campaign without dual-run leaves a nonzero silent-corruption rate — the
+  // measured improvement the redundancy pays for.
+  cfg.policy.dual_run = false;
+  const FaultCampaignResult baseline = RunFaultCampaign(cfg);
+  EXPECT_GT(baseline.totals.sdc, 0u);
+}
+
+TEST(FaultCampaignTest, FullLadderJsonIsByteIdenticalAcrossThreadCounts) {
+  // The thread-invariance contract must survive the complete ladder: watchdog, dual-run,
+  // and the redeploy rung (which swaps deployments mid-chunk) all enabled at once.
+  GlobalThreadsGuard guard;
+  FaultCampaignConfig cfg = SmallCampaign();
+  cfg.trigger = FaultTrigger::kMidInference;
+  cfg.policy.dual_run = true;
+  cfg.encodings = {EncodingKind::kCsc, EncodingKind::kBlock, EncodingKind::kUnrolled};
+  ThreadPool::SetGlobalThreads(1);
+  const std::string json1 = FaultCampaignJson(RunFaultCampaign(cfg));
+  ThreadPool::SetGlobalThreads(4);
+  const std::string json4 = FaultCampaignJson(RunFaultCampaign(cfg));
+  EXPECT_EQ(json1, json4);
+  EXPECT_NE(json1.find("\"dual_run\": true"), std::string::npos);
+  EXPECT_NE(json1.find("mean_detect_latency_cycles"), std::string::npos);
 }
 
 TEST(FaultCampaignTest, RecoveryReportOnCleanDeploymentDoesNotFault) {

@@ -10,7 +10,8 @@
 //   neuroc deploy  --model model.ncm --format c|hex --out <path> [--prefix name]
 //   neuroc faultcampaign [--trials N] [--seed N] [--fault bitflip|multibit|stuck0|stuck1]
 //                  [--bits N] [--trigger pre|mid] [--regions a,b,..] [--encodings a,b,..]
-//                  [--no-retry] [--json out.json] [--smoke]
+//                  [--no-retry] [--no-snapshot-retry] [--no-redeploy] [--no-watchdog]
+//                  [--dual-run] [--json out.json] [--smoke]
 //   neuroc fuzz    --oracle kernel|isa|serde [--seed N] [--cases N] [--json out.json]
 //                  [--corpus-dir dir] [--no-minimize] | --replay case.fuzzcase
 //                  | --case-seed 0x... | --smoke
@@ -84,8 +85,9 @@ int Usage() {
                "          [--fault <bitflip|multibit|stuck0|stuck1>] [--bits N]\n"
                "          [--trigger <pre|mid>]\n"
                "          [--regions <kernel_code,descriptors,payload,sram>]\n"
-               "          [--encodings <csc,delta,mixed,block>] [--no-retry]\n"
-               "          [--json out.json] [--smoke]\n"
+               "          [--encodings <csc,delta,mixed,block,unrolled>] [--no-retry]\n"
+               "          [--no-snapshot-retry] [--no-redeploy] [--no-watchdog]\n"
+               "          [--dual-run] [--json out.json] [--smoke]\n"
                "  fuzz    --oracle <kernel|isa|serde> [--seed N] [--cases N]\n"
                "          [--json out.json] [--corpus-dir dir] [--no-minimize]\n"
                "          | --replay case.fuzzcase | --case-seed 0xSEED | --smoke\n"
@@ -421,9 +423,18 @@ int CmdFaultCampaign(const Args& args) {
   cfg.trials_per_encoding =
       static_cast<int>(std::strtol(args.Get("trials", "256"), nullptr, 10));
   cfg.bits = static_cast<int>(std::strtol(args.Get("bits", "2"), nullptr, 10));
-  cfg.scrub_retry = !args.Has("no-retry");
+  if (args.Has("no-retry")) {  // raw outcome distribution: no ladder at all
+    cfg.policy.snapshot_retry = false;
+    cfg.policy.scrub_retry = false;
+    cfg.policy.redeploy = false;
+  }
+  if (args.Has("no-snapshot-retry")) cfg.policy.snapshot_retry = false;
+  if (args.Has("no-redeploy")) cfg.policy.redeploy = false;
+  if (args.Has("no-watchdog")) cfg.policy.watchdog_headroom = 0.0;
+  if (args.Has("dual-run")) cfg.policy.dual_run = true;
   if (args.Has("smoke")) {
     cfg.trials_per_encoding = 24;  // tier-1 CI mode: small but covers every cell
+    cfg.policy.dual_run = true;    // exercise the full ladder including SDC detection
   }
   if (!ParseFaultModel(args.Get("fault", "bitflip"), &cfg.fault_model) ||
       !ParseFaultTrigger(args.Get("trigger", "pre"), &cfg.trigger)) {
@@ -449,20 +460,32 @@ int CmdFaultCampaign(const Args& args) {
   for (const EncodingCampaignResult& enc : result.encodings) {
     const RegionStats& t = enc.totals;
     std::printf(
-        "  %-5s correct=%llu sdc=%llu detected=%llu budget=%llu recovered=%llu/%llu "
-        "sdc_rate=%.4f\n",
+        "  %-8s correct=%llu sdc=%llu detected=%llu budget=%llu deadline=%llu "
+        "dualrun=%llu recovered=%llu/%llu (snap=%llu scrub=%llu redeploy=%llu) "
+        "sdc_rate=%.4f latency=%.0f\n",
         EncodingKindName(enc.encoding), static_cast<unsigned long long>(t.correct),
         static_cast<unsigned long long>(t.sdc), static_cast<unsigned long long>(t.detected),
         static_cast<unsigned long long>(t.budget_exceeded),
+        static_cast<unsigned long long>(t.deadline_exceeded),
+        static_cast<unsigned long long>(t.dual_run_caught),
         static_cast<unsigned long long>(t.recovered),
-        static_cast<unsigned long long>(t.recovered + t.unrecovered), t.SdcRate());
+        static_cast<unsigned long long>(t.recovered + t.unrecovered),
+        static_cast<unsigned long long>(t.recovered_snapshot),
+        static_cast<unsigned long long>(t.recovered_scrub),
+        static_cast<unsigned long long>(t.recovered_redeploy), t.SdcRate(),
+        t.MeanDetectLatencyCycles());
   }
   const RegionStats& tot = result.totals;
-  std::printf("totals: %llu trials, %llu sdc (%.4f), %llu detected, %llu recovered\n",
-              static_cast<unsigned long long>(tot.trials),
-              static_cast<unsigned long long>(tot.sdc), tot.SdcRate(),
-              static_cast<unsigned long long>(tot.detected + tot.budget_exceeded),
-              static_cast<unsigned long long>(tot.recovered));
+  std::printf(
+      "totals: %llu trials, %llu sdc (%.4f), %llu detected, %llu dual-run caught, "
+      "%llu recovered, %llu permanent\n",
+      static_cast<unsigned long long>(tot.trials),
+      static_cast<unsigned long long>(tot.sdc), tot.SdcRate(),
+      static_cast<unsigned long long>(tot.detected + tot.budget_exceeded +
+                                      tot.deadline_exceeded),
+      static_cast<unsigned long long>(tot.dual_run_caught),
+      static_cast<unsigned long long>(tot.recovered),
+      static_cast<unsigned long long>(tot.permanent_failure));
   if (args.Has("json")) {
     if (WriteStringToFile(args.Get("json"), FaultCampaignJson(result) + "\n")) {
       std::printf("wrote %s\n", args.Get("json"));
@@ -470,10 +493,12 @@ int CmdFaultCampaign(const Args& args) {
       return 1;
     }
   }
-  // In smoke/CI mode the deterministic simulator must recover every detected fault after
-  // a scrub — an unrecovered one means pristine-state restoration is broken.
-  if (cfg.scrub_retry && tot.unrecovered != 0) {
-    std::fprintf(stderr, "FAIL: %llu detected faults did not recover after scrub\n",
+  // With any ladder rung enabled, the deterministic simulator must recover every detected
+  // fault — an unrecovered one means pristine-state restoration is broken.
+  const bool ladder_enabled =
+      cfg.policy.snapshot_retry || cfg.policy.scrub_retry || cfg.policy.redeploy;
+  if (ladder_enabled && tot.unrecovered != 0) {
+    std::fprintf(stderr, "FAIL: %llu detected faults did not recover via the ladder\n",
                  static_cast<unsigned long long>(tot.unrecovered));
     return 1;
   }
