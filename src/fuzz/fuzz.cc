@@ -19,6 +19,7 @@ size_t GrainFor(FuzzOracle oracle) {
     case FuzzOracle::kKernel: return 2;
     case FuzzOracle::kIsa: return 64;
     case FuzzOracle::kSerde: return 4;
+    case FuzzOracle::kFrame: return 64;
   }
   return 8;
 }

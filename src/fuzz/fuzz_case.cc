@@ -62,6 +62,7 @@ const char* FuzzOracleName(FuzzOracle oracle) {
     case FuzzOracle::kKernel: return "kernel";
     case FuzzOracle::kIsa: return "isa";
     case FuzzOracle::kSerde: return "serde";
+    case FuzzOracle::kFrame: return "frame";
   }
   return "unknown";
 }
@@ -89,6 +90,28 @@ bool ParseFuzzEncoding(std::string_view text, int* out) {
   for (EncodingKind k : kAllEncodingKinds) {
     if (text == EncodingKindName(k)) {
       *out = static_cast<int>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* FrameMutationName(int mutation) {
+  switch (static_cast<FrameMutation>(mutation)) {
+    case FrameMutation::kNone: return "none";
+    case FrameMutation::kTruncate: return "truncate";
+    case FrameMutation::kBitflip: return "bitflip";
+    case FrameMutation::kTrailing: return "trailing";
+    case FrameMutation::kOversized: return "oversized";
+    case FrameMutation::kGarbage: return "garbage";
+  }
+  return "unknown";
+}
+
+bool ParseFrameMutation(std::string_view text, int* out) {
+  for (int m = 0; m <= static_cast<int>(FrameMutation::kGarbage); ++m) {
+    if (text == FrameMutationName(m)) {
+      *out = m;
       return true;
     }
   }
@@ -147,6 +170,10 @@ std::string FuzzCase::ToText() const {
       os << "requant_shift " << requant_shift << "\n";
       os << "legacy_v1 " << (legacy_v1 ? 1 : 0) << "\n";
       os << "mutate " << (mutate ? 1 : 0) << "\n";
+      break;
+    case FuzzOracle::kFrame:
+      os << "frame_kind " << (frame_kind == 0 ? "request" : "response") << "\n";
+      os << "frame_mutation " << FrameMutationName(frame_mutation) << "\n";
       break;
   }
   return os.str();
@@ -242,6 +269,18 @@ StatusOr<FuzzCase> ParseFuzzCase(std::string_view text) {
     } else if (key == "mutate") {
       if (!ParseU64(value, &u) || u > 1) return Malformed("bad mutate");
       c.mutate = u != 0;
+    } else if (key == "frame_kind") {
+      if (value == "request") {
+        c.frame_kind = 0;
+      } else if (value == "response") {
+        c.frame_kind = 1;
+      } else {
+        return Malformed("bad frame_kind");
+      }
+    } else if (key == "frame_mutation") {
+      if (!ParseFrameMutation(value, &c.frame_mutation)) {
+        return Malformed("bad frame_mutation");
+      }
     } else {
       return Malformed("unknown key '" + std::string(key) + "'");
     }
@@ -262,6 +301,8 @@ StatusOr<FuzzCase> ParseFuzzCase(std::string_view text) {
       if (c.layer_encodings.size() != c.dims.size() - 1) {
         return Malformed("layer_encodings length != layer count");
       }
+      break;
+    case FuzzOracle::kFrame:
       break;
   }
   return c;

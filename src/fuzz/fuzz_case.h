@@ -27,9 +27,10 @@ enum class FuzzOracle : uint8_t {
   kKernel = 0,  // host reference inference vs simulated Thumb kernels
   kIsa = 1,     // decoder/encoder/disassembler/assembler round-trips + structural faults
   kSerde = 2,   // model image serialize/deserialize/deploy round-trips + mutations
+  kFrame = 3,   // serve wire-frame codec round-trips + hostile-byte totality
 };
 inline constexpr FuzzOracle kAllFuzzOracles[] = {FuzzOracle::kKernel, FuzzOracle::kIsa,
-                                                 FuzzOracle::kSerde};
+                                                 FuzzOracle::kSerde, FuzzOracle::kFrame};
 const char* FuzzOracleName(FuzzOracle oracle);
 bool ParseFuzzOracle(std::string_view text, FuzzOracle* out);
 
@@ -39,6 +40,19 @@ bool ParseFuzzOracle(std::string_view text, FuzzOracle* out);
 inline constexpr int kDenseBaselineEncoding = 5;
 const char* FuzzEncodingName(int encoding);
 bool ParseFuzzEncoding(std::string_view text, int* out);
+
+// Frame-oracle byte-level mutations applied to a well-formed serve frame. Stored as int
+// in FuzzCase (text form uses names, so renumbering cannot invalidate corpus files).
+enum class FrameMutation : uint8_t {
+  kNone = 0,       // valid frame: decode must succeed and re-encode byte-identically
+  kTruncate = 1,   // payload cut short: structured kMalformedImage, never a hang
+  kBitflip = 2,    // one flipped bit: structured rejection OR a canonical re-decode
+  kTrailing = 3,   // extra bytes after a valid payload: trailing-garbage rejection
+  kOversized = 4,  // declared length beyond the cap: FrameReader poisons the stream
+  kGarbage = 5,    // random bytes as payload: total decode, no allocation blow-up
+};
+const char* FrameMutationName(int mutation);
+bool ParseFrameMutation(std::string_view text, int* out);
 
 struct FuzzCase {
   FuzzOracle oracle = FuzzOracle::kKernel;
@@ -67,6 +81,10 @@ struct FuzzCase {
   std::vector<int> layer_encodings;   // per layer (ignored for the dense baseline)
   bool legacy_v1 = false;             // exercise the v1 (no CRC trailer) load path
   bool mutate = false;                // flip one seeded bit and expect structured rejection
+
+  // --- frame oracle ---
+  int frame_kind = 0;      // 0 = request frame, 1 = response frame
+  int frame_mutation = 0;  // FrameMutation value
 
   std::string ToText() const;
 };

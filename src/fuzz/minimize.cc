@@ -122,6 +122,17 @@ void SerdeShrinks(const FuzzCase& c, std::vector<FuzzCase>& out) {
   }
 }
 
+// A frame case has one knob worth shrinking: a failing response-frame case is tried as
+// the (smaller) request frame. Everything else lives in the seed-derived byte stream,
+// which is not meaningfully shrinkable without changing what the case tests.
+void FrameShrinks(const FuzzCase& c, std::vector<FuzzCase>& out) {
+  if (c.frame_kind != 0) {
+    FuzzCase v = c;
+    v.frame_kind = 0;
+    out.push_back(v);
+  }
+}
+
 }  // namespace
 
 std::vector<FuzzCase> ShrinkCandidates(const FuzzCase& c) {
@@ -130,6 +141,7 @@ std::vector<FuzzCase> ShrinkCandidates(const FuzzCase& c) {
     case FuzzOracle::kKernel: KernelShrinks(c, out); break;
     case FuzzOracle::kIsa: IsaShrinks(c, out); break;
     case FuzzOracle::kSerde: SerdeShrinks(c, out); break;
+    case FuzzOracle::kFrame: FrameShrinks(c, out); break;
   }
   return out;
 }

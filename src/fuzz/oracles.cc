@@ -16,6 +16,7 @@ FuzzCase GenerateFuzzCase(FuzzOracle oracle, uint64_t case_seed) {
     case FuzzOracle::kKernel: return GenerateKernelCase(case_seed);
     case FuzzOracle::kIsa: return GenerateIsaCase(case_seed);
     case FuzzOracle::kSerde: return GenerateSerdeCase(case_seed);
+    case FuzzOracle::kFrame: return GenerateFrameCase(case_seed);
   }
   return {};
 }
@@ -25,6 +26,7 @@ CaseResult RunFuzzCase(const FuzzCase& c) {
     case FuzzOracle::kKernel: return RunKernelCase(c);
     case FuzzOracle::kIsa: return RunIsaCase(c);
     case FuzzOracle::kSerde: return RunSerdeCase(c);
+    case FuzzOracle::kFrame: return RunFrameCase(c);
   }
   return {FuzzVerdict::kFail, "unknown oracle"};
 }

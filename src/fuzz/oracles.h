@@ -1,4 +1,4 @@
-// The three differential-testing oracles. Each oracle is a pair of pure functions over
+// The four differential-testing oracles. Each oracle is a pair of pure functions over
 // FuzzCase: a generator (case_seed -> fully explicit case) and a runner (case -> verdict).
 // Runners never mutate global state and derive every random draw from the case's seed, so
 // a case behaves identically whether it runs inside a parallel campaign, a corpus replay,
@@ -14,6 +14,10 @@
 //   serde   random models: serialize -> deserialize -> re-serialize must be lossless and
 //           the reloaded model must deploy and predict identically; seeded single-bit
 //           mutations must be rejected with a structured error (CRC on v2 images).
+//   frame   serve wire frames: valid frames must decode -> re-encode byte-identically
+//           (whole-buffer and split-fed through FrameReader alike); truncated, bit-
+//           flipped, oversized-length, trailing-garbage and random-byte frames must
+//           yield structured errors — never a hang, allocation blow-up or host abort.
 
 #ifndef NEUROC_SRC_FUZZ_ORACLES_H_
 #define NEUROC_SRC_FUZZ_ORACLES_H_
@@ -40,11 +44,13 @@ struct CaseResult {
 FuzzCase GenerateKernelCase(uint64_t case_seed);
 FuzzCase GenerateIsaCase(uint64_t case_seed);
 FuzzCase GenerateSerdeCase(uint64_t case_seed);
+FuzzCase GenerateFrameCase(uint64_t case_seed);
 FuzzCase GenerateFuzzCase(FuzzOracle oracle, uint64_t case_seed);
 
 CaseResult RunKernelCase(const FuzzCase& c);
 CaseResult RunIsaCase(const FuzzCase& c);
 CaseResult RunSerdeCase(const FuzzCase& c);
+CaseResult RunFrameCase(const FuzzCase& c);
 CaseResult RunFuzzCase(const FuzzCase& c);
 
 // The concrete input vectors a kernel case runs (the single explicit_input when set,

@@ -91,6 +91,17 @@ class MetricsRegistry {
   // Process-wide registry used by the subsystems' default instrumentation.
   static MetricsRegistry& Global();
 
+  // Deterministic metric-name prefixing is defined once here (used by MetricsScope and
+  // anything else composing scoped names by hand).
+  static std::string ScopedName(std::string_view prefix, std::string_view name) {
+    std::string full;
+    full.reserve(prefix.size() + 1 + name.size());
+    full.append(prefix);
+    full.push_back('.');
+    full.append(name);
+    return full;
+  }
+
  private:
   struct Named {
     std::string name;
@@ -107,6 +118,34 @@ class MetricsRegistry {
   std::deque<Counter> counters_;
   std::deque<Gauge> gauges_;
   std::deque<Histogram> histograms_;
+};
+
+// A registry view with a fixed name prefix: GetCounter("requests") on a scope with
+// prefix "serve.tenant.alice" resolves to the registry metric
+// "serve.tenant.alice.requests". Scopes are how multi-tenant subsystems keep one flat,
+// deterministic registry while attributing traffic per tenant — handles come from the
+// underlying registry, so the determinism and thread-safety contracts above apply
+// unchanged.
+class MetricsScope {
+ public:
+  MetricsScope(MetricsRegistry* registry, std::string prefix)
+      : registry_(registry), prefix_(std::move(prefix)) {}
+
+  MetricsRegistry::Counter& GetCounter(std::string_view name) {
+    return registry_->GetCounter(MetricsRegistry::ScopedName(prefix_, name));
+  }
+  MetricsRegistry::Gauge& GetGauge(std::string_view name) {
+    return registry_->GetGauge(MetricsRegistry::ScopedName(prefix_, name));
+  }
+  MetricsRegistry::Histogram& GetHistogram(std::string_view name) {
+    return registry_->GetHistogram(MetricsRegistry::ScopedName(prefix_, name));
+  }
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string prefix_;
 };
 
 }  // namespace neuroc

@@ -205,4 +205,21 @@ GuardedResult GuardedModel::Predict(std::span<const int8_t> input) {
   return gr;
 }
 
+std::vector<GuardedResult> GuardedModel::PredictBatch(
+    const std::vector<std::vector<int8_t>>& inputs, std::vector<uint64_t>* cycles) {
+  std::vector<GuardedResult> results;
+  results.reserve(inputs.size());
+  if (cycles != nullptr) {
+    cycles->clear();
+    cycles->reserve(inputs.size());
+  }
+  for (const std::vector<int8_t>& input : inputs) {
+    results.push_back(Predict(input));
+    if (cycles != nullptr) {
+      cycles->push_back(results.back().ok ? dm_->report().cycles_per_inference : 0);
+    }
+  }
+  return results;
+}
+
 }  // namespace neuroc

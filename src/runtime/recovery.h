@@ -90,6 +90,16 @@ class GuardedModel {
   // with the recovery ladder walked on any detected fault. Never aborts.
   GuardedResult Predict(std::span<const int8_t> input);
 
+  // Batched entrypoint for the serving layer: runs `inputs` back-to-back on the one
+  // deployed machine (the simulated MCU is single-core — batching amortizes host-side
+  // dispatch, it cannot parallelize the guest). Each element gets the full guarded
+  // treatment independently; `cycles` (when non-null) receives the per-inference
+  // simulated cycle count of each successful element (0 on permanent failure). Results
+  // are element-wise identical to calling Predict in a loop.
+  std::vector<GuardedResult> PredictBatch(
+      const std::vector<std::vector<int8_t>>& inputs,
+      std::vector<uint64_t>* cycles = nullptr);
+
   // Re-deploys the original model/encoding if a previous Predict's kRedeploy rung left a
   // fallback encoding active. Campaign trials call this so every trial starts from an
   // identical deployment regardless of what earlier trials in the chunk hit.

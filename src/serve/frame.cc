@@ -1,0 +1,214 @@
+#include "src/serve/frame.h"
+
+#include <algorithm>
+
+namespace neuroc {
+
+namespace {
+
+Status Malformed(const std::string& why) {
+  return Status(ErrorCode::kMalformedImage, "frame: " + why);
+}
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+// Bounds-checked little-endian cursor over a payload span.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool TakeU16(uint16_t* v) {
+    if (bytes_.size() - pos_ < 2) return false;
+    *v = static_cast<uint16_t>(bytes_[pos_] | (bytes_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool TakeU32(uint32_t* v) {
+    if (bytes_.size() - pos_ < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool TakeU64(uint64_t* v) {
+    if (bytes_.size() - pos_ < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool TakeBytes(size_t n, std::span<const uint8_t>* out) {
+    if (bytes_.size() - pos_ < n) return false;
+    *out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+std::vector<uint8_t> WithLengthPrefix(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(4 + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+}  // namespace
+
+void AppendRequestPayload(const ServeRequest& request, std::vector<uint8_t>* out) {
+  PutU32(out, kRequestMagic);
+  PutU64(out, request.request_id);
+  PutU16(out, static_cast<uint16_t>(request.tenant.size()));
+  out->insert(out->end(), request.tenant.begin(), request.tenant.end());
+  PutU16(out, static_cast<uint16_t>(request.model.size()));
+  out->insert(out->end(), request.model.begin(), request.model.end());
+  PutU32(out, static_cast<uint32_t>(request.input.size()));
+  for (const int8_t v : request.input) {
+    out->push_back(static_cast<uint8_t>(v));
+  }
+}
+
+void AppendResponsePayload(const ServeResponse& response, std::vector<uint8_t>* out) {
+  PutU32(out, kResponseMagic);
+  PutU64(out, response.request_id);
+  PutU16(out, static_cast<uint16_t>(response.code));
+  PutU32(out, static_cast<uint32_t>(response.prediction));
+  PutU64(out, response.cycles);
+  PutU64(out, response.energy_pj);
+  PutU16(out, static_cast<uint16_t>(response.message.size()));
+  out->insert(out->end(), response.message.begin(), response.message.end());
+}
+
+std::vector<uint8_t> EncodeRequestFrame(const ServeRequest& request) {
+  std::vector<uint8_t> payload;
+  AppendRequestPayload(request, &payload);
+  return WithLengthPrefix(payload);
+}
+
+std::vector<uint8_t> EncodeResponseFrame(const ServeResponse& response) {
+  std::vector<uint8_t> payload;
+  AppendResponsePayload(response, &payload);
+  return WithLengthPrefix(payload);
+}
+
+StatusOr<ServeRequest> DecodeRequestPayload(std::span<const uint8_t> payload) {
+  Cursor c(payload);
+  uint32_t magic = 0;
+  if (!c.TakeU32(&magic)) return Malformed("truncated before magic");
+  if (magic != kRequestMagic) return Malformed("bad request magic");
+  ServeRequest req;
+  if (!c.TakeU64(&req.request_id)) return Malformed("truncated request_id");
+
+  uint16_t tenant_len = 0;
+  if (!c.TakeU16(&tenant_len)) return Malformed("truncated tenant length");
+  if (tenant_len > kMaxTenantBytes) return Malformed("tenant name too long");
+  std::span<const uint8_t> bytes;
+  if (!c.TakeBytes(tenant_len, &bytes)) return Malformed("truncated tenant");
+  req.tenant.assign(bytes.begin(), bytes.end());
+
+  uint16_t model_len = 0;
+  if (!c.TakeU16(&model_len)) return Malformed("truncated model length");
+  if (model_len > kMaxModelNameBytes) return Malformed("model name too long");
+  if (!c.TakeBytes(model_len, &bytes)) return Malformed("truncated model");
+  req.model.assign(bytes.begin(), bytes.end());
+
+  uint32_t input_len = 0;
+  if (!c.TakeU32(&input_len)) return Malformed("truncated input length");
+  if (input_len > kMaxInputBytes) return Malformed("input too long");
+  if (!c.TakeBytes(input_len, &bytes)) return Malformed("truncated input");
+  req.input.resize(input_len);
+  std::transform(bytes.begin(), bytes.end(), req.input.begin(),
+                 [](uint8_t b) { return static_cast<int8_t>(b); });
+
+  if (c.remaining() != 0) return Malformed("trailing garbage after request");
+  return req;
+}
+
+StatusOr<ServeResponse> DecodeResponsePayload(std::span<const uint8_t> payload) {
+  Cursor c(payload);
+  uint32_t magic = 0;
+  if (!c.TakeU32(&magic)) return Malformed("truncated before magic");
+  if (magic != kResponseMagic) return Malformed("bad response magic");
+  ServeResponse resp;
+  if (!c.TakeU64(&resp.request_id)) return Malformed("truncated request_id");
+  uint16_t code = 0;
+  if (!c.TakeU16(&code)) return Malformed("truncated status code");
+  if (code > static_cast<uint16_t>(ErrorCode::kInternal)) {
+    return Malformed("unknown status code");
+  }
+  resp.code = static_cast<ErrorCode>(code);
+  uint32_t prediction = 0;
+  if (!c.TakeU32(&prediction)) return Malformed("truncated prediction");
+  resp.prediction = static_cast<int32_t>(prediction);
+  if (!c.TakeU64(&resp.cycles)) return Malformed("truncated cycles");
+  if (!c.TakeU64(&resp.energy_pj)) return Malformed("truncated energy");
+  uint16_t message_len = 0;
+  if (!c.TakeU16(&message_len)) return Malformed("truncated message length");
+  std::span<const uint8_t> bytes;
+  if (!c.TakeBytes(message_len, &bytes)) return Malformed("truncated message");
+  resp.message.assign(bytes.begin(), bytes.end());
+  if (c.remaining() != 0) return Malformed("trailing garbage after response");
+  return resp;
+}
+
+void FrameReader::Feed(std::span<const uint8_t> bytes) {
+  if (!poisoned_.ok()) {
+    return;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+StatusOr<bool> FrameReader::Next(std::vector<uint8_t>* payload) {
+  if (!poisoned_.ok()) {
+    return poisoned_;
+  }
+  if (buffer_.size() < 4) {
+    return false;
+  }
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(buffer_[static_cast<size_t>(i)]) << (8 * i);
+  }
+  if (length > kMaxFramePayloadBytes) {
+    // Sync is unrecoverable: a corrupt length field means every subsequent byte offset
+    // is suspect. Poison instead of resynchronizing heuristically.
+    poisoned_ = Status(ErrorCode::kResourceExhausted,
+                       "frame: declared payload length " + std::to_string(length) +
+                           " exceeds cap " + std::to_string(kMaxFramePayloadBytes));
+    buffer_.clear();
+    return poisoned_;
+  }
+  if (buffer_.size() - 4 < length) {
+    return false;
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4);
+  payload->assign(buffer_.begin(), buffer_.begin() + length);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + length);
+  return true;
+}
+
+}  // namespace neuroc

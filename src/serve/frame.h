@@ -1,0 +1,97 @@
+// Wire framing for `neuroc serve`: deliberately dumb length-prefixed frames over a byte
+// stream (TCP or a socketpair) — the interesting serving work is scheduling, not protocol.
+//
+//   frame    := u32le payload_length | payload
+//   request  := u32le magic "NRQ1" | u64le request_id | u16le tenant_len | tenant bytes
+//               | u16le model_len | model bytes | u32le input_len | int8 input bytes
+//   response := u32le magic "NRS1" | u64le request_id | u16le status code
+//               | i32le prediction | u64le cycles | u64le energy_pj
+//               | u16le message_len | message bytes
+//
+// Every decoder is total: random, truncated, oversized or bit-flipped bytes yield a
+// structured Status (kMalformedImage for structural nonsense, kResourceExhausted for a
+// declared length beyond kMaxFramePayloadBytes) — never a hang, allocation blow-up or
+// host abort. That contract is fuzzed by the `frame` oracle (src/fuzz/frame_oracle.cc).
+//
+// Responses carry simulated cycles and the energy proxy (integer picojoules) next to the
+// prediction, so latency *and* energy per request are first-class all the way to the
+// client ("Measuring what Really Matters", Heim et al., PAPERS.md). All payloads are pure
+// functions of their fields — byte-identical across hosts and thread counts.
+
+#ifndef NEUROC_SRC_SERVE_FRAME_H_
+#define NEUROC_SRC_SERVE_FRAME_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace neuroc {
+
+// Hard cap on a frame payload; a declared length beyond this is rejected before any
+// buffering (the reader never allocates on the say-so of a hostile length field).
+inline constexpr uint32_t kMaxFramePayloadBytes = 1u << 20;
+// Field caps, sized generously above anything the service produces.
+inline constexpr size_t kMaxTenantBytes = 64;
+inline constexpr size_t kMaxModelNameBytes = 128;
+inline constexpr size_t kMaxInputBytes = 1u << 16;
+
+inline constexpr uint32_t kRequestMagic = 0x3151524Eu;   // "NRQ1" little-endian
+inline constexpr uint32_t kResponseMagic = 0x3153524Eu;  // "NRS1" little-endian
+
+struct ServeRequest {
+  uint64_t request_id = 0;
+  std::string tenant;
+  std::string model;
+  std::vector<int8_t> input;
+};
+
+struct ServeResponse {
+  uint64_t request_id = 0;
+  ErrorCode code = ErrorCode::kOk;
+  int32_t prediction = -1;
+  uint64_t cycles = 0;     // simulated cycles of the inference (0 on error)
+  uint64_t energy_pj = 0;  // energy proxy for the inference, integer pJ (0 on error)
+  std::string message;     // deterministic error detail; empty on success
+
+  bool ok() const { return code == ErrorCode::kOk; }
+};
+
+// Whole frames (length prefix included).
+std::vector<uint8_t> EncodeRequestFrame(const ServeRequest& request);
+std::vector<uint8_t> EncodeResponseFrame(const ServeResponse& response);
+
+// Payload codecs (the bytes after the length prefix). Decoders reject bad magic,
+// truncation, field caps and trailing garbage with kMalformedImage.
+void AppendRequestPayload(const ServeRequest& request, std::vector<uint8_t>* out);
+void AppendResponsePayload(const ServeResponse& response, std::vector<uint8_t>* out);
+StatusOr<ServeRequest> DecodeRequestPayload(std::span<const uint8_t> payload);
+StatusOr<ServeResponse> DecodeResponsePayload(std::span<const uint8_t> payload);
+
+// Incremental defragmenter: feed arbitrary byte chunks, pop complete payloads. One
+// oversized declared length poisons the stream permanently (framing sync is lost — the
+// connection must be dropped), reported as kResourceExhausted from then on.
+class FrameReader {
+ public:
+  // Appends stream bytes. No-op once the stream is poisoned.
+  void Feed(std::span<const uint8_t> bytes);
+
+  // Pops the next complete payload into `payload`. Returns true when one was popped,
+  // false when more bytes are needed, or the poisoned-stream error.
+  StatusOr<bool> Next(std::vector<uint8_t>* payload);
+
+  // Bytes buffered but not yet consumed (a non-empty value at EOF means the peer died
+  // mid-frame).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::deque<uint8_t> buffer_;
+  Status poisoned_ = Status::Ok();
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_SERVE_FRAME_H_

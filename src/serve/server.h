@@ -1,0 +1,74 @@
+// Socket front-end for InferenceService: length-prefixed request frames in, response
+// frames out. The protocol is deliberately dumb (see frame.h) — the scheduling lives in
+// InferenceService; this layer only pumps bytes.
+//
+// Each connection gets one reader thread that feeds a FrameReader and Submits decoded
+// requests; completions (which may fire on pool workers) serialize response frames back
+// through a per-connection write mutex. Responses are matched to requests by request_id,
+// not by stream order — pipelined requests may complete out of order.
+//
+// Connections can be real TCP accepts (ListenAndServe) or pre-connected fds such as one
+// end of a socketpair (AddConnection) — the deterministic in-process test harness uses
+// the latter so no port or network nondeterminism enters the tests.
+
+#ifndef NEUROC_SRC_SERVE_SERVER_H_
+#define NEUROC_SRC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/common/status.h"
+#include "src/serve/service.h"
+
+namespace neuroc {
+
+class FrameServer {
+ public:
+  explicit FrameServer(InferenceService* service);
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  // Adopts a connected stream fd (takes ownership; closed on teardown) and spawns its
+  // reader thread. Used directly by tests with socketpair fds.
+  void AddConnection(int fd);
+
+  // Binds 127.0.0.1:port (port 0 picks a free one; see bound_port()), then accepts
+  // connections until Stop. Blocks; call from a dedicated thread.
+  Status ListenAndServe(uint16_t port);
+
+  // After ListenAndServe has bound: the actual port (for port 0).
+  uint16_t bound_port() const { return bound_port_.load(); }
+
+  // Shuts the listener (if any) and every connection down and joins all threads. A
+  // malformed-frame error already closes just its own connection. Idempotent.
+  void Stop();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;     // completions serialize response frames
+    std::atomic<bool> closing{false};
+    std::thread reader;
+  };
+
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  // Encodes and writes one response under the connection's write mutex. Write failures
+  // mark the connection closing (the reader notices on its next read).
+  static void SendResponse(Connection* conn, const ServeResponse& response);
+
+  InferenceService* service_;
+  std::mutex mutex_;
+  std::list<std::shared_ptr<Connection>> connections_;  // shared: completions may outlive Stop
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<uint16_t> bound_port_{0};
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_SERVE_SERVER_H_

@@ -1,0 +1,284 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/thread_pool.h"
+
+namespace neuroc {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+ServeResponse ErrorResponse(const ServeRequest& request, const Status& status) {
+  ServeResponse resp;
+  resp.request_id = request.request_id;
+  resp.code = status.code();
+  resp.message = status.message();
+  return resp;
+}
+
+}  // namespace
+
+InferenceService::InferenceService(const ServeConfig& config, ModelLoader loader)
+    : config_(config),
+      cache_(ModelCacheConfig{config.cache_capacity, config.machine, config.policy},
+             std::move(loader)) {
+  NEUROC_CHECK(config_.max_batch >= 1);
+  NEUROC_CHECK(config_.max_queue_depth >= 1);
+}
+
+InferenceService::~InferenceService() { Stop(); }
+
+void InferenceService::Start() {
+  if (config_.manual_dispatch || dispatcher_.joinable()) {
+    return;
+  }
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+void InferenceService::Stop() {
+  std::vector<Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+    // Fail queued-but-undispatched work now; leaving the completions unfired would hang
+    // any client blocked on a response.
+    for (auto& [model, mq] : queues_) {
+      for (auto& [tenant, q] : mq.by_tenant) {
+        for (Pending& p : q) {
+          orphans.push_back(std::move(p));
+        }
+        q.clear();
+      }
+      mq.depth = 0;
+    }
+    total_depth_ = 0;
+  }
+  work_available_.notify_all();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+  const Status shutdown(ErrorCode::kResourceExhausted, "serve: shutting down");
+  for (Pending& p : orphans) {
+    p.done(ErrorResponse(p.request, shutdown));
+  }
+}
+
+void InferenceService::Submit(ServeRequest request, Completion done) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Pending pending;
+  pending.submitted = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_ || total_depth_ >= config_.max_queue_depth) {
+      lock.unlock();
+      reg.GetCounter("serve.rejected").Add(1);
+      const Status overload =
+          stopping_ ? Status(ErrorCode::kResourceExhausted, "serve: shutting down")
+                    : Status(ErrorCode::kResourceExhausted,
+                             "serve: admission queue full (" +
+                                 std::to_string(config_.max_queue_depth) + ")");
+      done(ErrorResponse(request, overload));
+      return;
+    }
+    reg.GetCounter("serve.accepted").Add(1);
+    TenantScopeLocked(request.tenant).GetCounter("requests").Add(1);
+    ModelQueue& mq = queues_[request.model];
+    auto [it, inserted] = mq.by_tenant.try_emplace(request.tenant);
+    if (inserted) {
+      mq.tenant_order.push_back(request.tenant);
+    }
+    pending.request = std::move(request);
+    pending.done = std::move(done);
+    it->second.push_back(std::move(pending));
+    ++mq.depth;
+    ++total_depth_;
+  }
+  work_available_.notify_one();
+}
+
+void InferenceService::DispatcherLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || total_depth_ > 0; });
+      if (stopping_) {
+        return;
+      }
+    }
+    RunOnce();
+  }
+}
+
+InferenceService::Batch InferenceService::FormBatchLocked(const std::string& model,
+                                                          ModelQueue& mq) {
+  Batch batch;
+  batch.model = model;
+  BatchRecord record;
+  record.model = model;
+  // Round-robin across tenant FIFOs starting at the cursor: one request per non-empty
+  // tenant per lap, so a flooding tenant shares every batch it rides in.
+  const size_t n = mq.tenant_order.size();
+  size_t scanned_empty = 0;
+  size_t i = mq.rr_cursor % std::max<size_t>(1, n);
+  while (batch.requests.size() < config_.max_batch && scanned_empty < n && mq.depth > 0) {
+    const std::string& tenant = mq.tenant_order[i];
+    std::deque<Pending>& q = mq.by_tenant[tenant];
+    if (q.empty()) {
+      ++scanned_empty;
+    } else {
+      scanned_empty = 0;
+      batch.requests.push_back(std::move(q.front()));
+      q.pop_front();
+      --mq.depth;
+      --total_depth_;
+      if (!record.per_tenant.empty() && record.per_tenant.back().first == tenant) {
+        ++record.per_tenant.back().second;
+      } else {
+        record.per_tenant.emplace_back(tenant, 1);
+      }
+    }
+    i = (i + 1) % n;
+  }
+  mq.rr_cursor = i;
+  if (config_.record_batches) {
+    record.size = batch.requests.size();
+    batch_records_.push_back(std::move(record));
+  }
+  return batch;
+}
+
+size_t InferenceService::RunOnce() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  std::vector<Batch> batches;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // queues_ is an ordered map, so the round always visits models in name order —
+    // batch formation is a deterministic function of queue contents.
+    for (auto& [model, mq] : queues_) {
+      if (!mq.empty()) {
+        batches.push_back(FormBatchLocked(model, mq));
+      }
+    }
+  }
+  if (batches.empty()) {
+    return 0;
+  }
+  reg.GetCounter("serve.batches").Add(batches.size());
+  size_t served = 0;
+  for (const Batch& b : batches) {
+    reg.GetHistogram("serve.batch_size").Observe(static_cast<double>(b.requests.size()));
+    served += b.requests.size();
+  }
+  // Distinct batches mean distinct models (one batch per model per round), so they can
+  // execute concurrently — each chunk drives its own deployed machine.
+  if (batches.size() == 1) {
+    ExecuteBatch(batches.front());
+  } else {
+    ParallelFor(0, batches.size(), 1,
+                [&](size_t b0, size_t b1) {
+                  for (size_t b = b0; b < b1; ++b) {
+                    ExecuteBatch(batches[b]);
+                  }
+                });
+  }
+  return served;
+}
+
+void InferenceService::ExecuteBatch(Batch& batch) {
+  StatusOr<ModelCache::Entry*> entry = cache_.Acquire(batch.model);
+  if (!entry.ok()) {
+    for (Pending& p : batch.requests) {
+      CompleteRequest(p, ErrorResponse(p.request, entry.status()));
+    }
+    return;
+  }
+  GuardedModel& gm = (*entry)->model;
+  const size_t in_dim = gm.deployed().input_dim();
+
+  // Length-checked inputs run batched on the one machine; misfits answer immediately.
+  std::vector<std::vector<int8_t>> inputs;
+  std::vector<Pending*> batched;
+  for (Pending& p : batch.requests) {
+    if (p.request.input.size() != in_dim) {
+      CompleteRequest(
+          p, ErrorResponse(p.request,
+                           Status(ErrorCode::kInvalidArgument,
+                                  "serve: input length " +
+                                      std::to_string(p.request.input.size()) +
+                                      " != model input dim " + std::to_string(in_dim))));
+      continue;
+    }
+    inputs.push_back(p.request.input);
+    batched.push_back(&p);
+  }
+  std::vector<uint64_t> cycles;
+  const std::vector<GuardedResult> results = gm.PredictBatch(inputs, &cycles);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const GuardedResult& gr = results[i];
+    ServeResponse resp;
+    resp.request_id = batched[i]->request.request_id;
+    if (gr.ok) {
+      resp.prediction = gr.prediction;
+      resp.cycles = cycles[i];
+      resp.energy_pj = (*entry)->energy_pj;
+    } else {
+      resp.code = gr.first_fault.code == ErrorCode::kOk ? ErrorCode::kInternal
+                                                        : gr.first_fault.code;
+      resp.message = "serve: inference failed permanently: " + gr.first_fault.message;
+    }
+    CompleteRequest(*batched[i], resp);
+  }
+  cache_.Release(*entry);
+}
+
+void InferenceService::CompleteRequest(Pending& pending, const ServeResponse& response) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const double latency_ms = MsSince(pending.submitted);
+  reg.GetHistogram("serve.latency_ms").Observe(latency_ms);
+  reg.GetCounter(response.ok() ? "serve.completed" : "serve.failed").Add(1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsScope& tenant = TenantScopeLocked(pending.request.tenant);
+    tenant.GetHistogram("latency_ms").Observe(latency_ms);
+    if (response.ok()) {
+      tenant.GetHistogram("cycles").Observe(static_cast<double>(response.cycles));
+    } else {
+      tenant.GetCounter("failures").Add(1);
+    }
+  }
+  pending.done(response);
+}
+
+MetricsScope& InferenceService::TenantScopeLocked(const std::string& tenant) {
+  auto it = tenant_scopes_.find(tenant);
+  if (it == tenant_scopes_.end()) {
+    it = tenant_scopes_
+             .emplace(tenant, MetricsScope(&MetricsRegistry::Global(),
+                                           "serve.tenant." + tenant))
+             .first;
+  }
+  return it->second;
+}
+
+size_t InferenceService::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_depth_;
+}
+
+std::vector<BatchRecord> InferenceService::TakeBatchRecords() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BatchRecord> out;
+  out.swap(batch_records_);
+  return out;
+}
+
+}  // namespace neuroc

@@ -1,0 +1,148 @@
+// The multi-tenant batched inference service behind `neuroc serve`.
+//
+// Request lifecycle:
+//
+//   Submit() ──admission──▶ per-model queues (per-tenant sub-queues) ──RunOnce()──▶
+//     one batch per model per round (round-robin across tenants, so no tenant can
+//     starve another inside a shared model) ──▶ batches execute concurrently on the
+//     shared ThreadPool (one worker drives one model's machine; a simulated MCU is
+//     single-core, so requests *within* a batch run back-to-back via
+//     GuardedModel::PredictBatch) ──▶ completions fire with the response.
+//
+// Determinism contract: a response payload is a pure function of (request, model) —
+// inference is input-deterministic, per-inference cycles are input-independent, and the
+// energy proxy is profiled once per model load — so payloads are byte-identical at any
+// NEUROC_NUM_THREADS and any batching/arrival interleaving (asserted in
+// tests/serve_test.cc). Scheduling order, by contrast, is load-dependent by design; only
+// the payloads are pinned.
+//
+// Observability: global serve.* counters/histograms plus per-tenant scopes
+// (serve.tenant.<name>.* via MetricsScope) in the process MetricsRegistry — the
+// `neuroc.serve.v1` metrics schema documented in docs/SERVING.md.
+
+#ifndef NEUROC_SRC_SERVE_SERVICE_H_
+#define NEUROC_SRC_SERVE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/obs/registry.h"
+#include "src/serve/frame.h"
+#include "src/serve/model_cache.h"
+
+namespace neuroc {
+
+struct ServeConfig {
+  size_t max_batch = 8;          // requests per model per dispatch round
+  size_t max_queue_depth = 1024; // admission cap; beyond it requests are rejected
+  size_t cache_capacity = 4;     // resident deployed models (LRU beyond this)
+  MachineConfig machine;
+  RecoveryPolicy policy;
+  // Tests: no dispatcher thread; the test drives RunOnce() itself, making batch
+  // formation a deterministic function of the queued requests.
+  bool manual_dispatch = false;
+  // Tests: keep a journal of formed batches (model, per-tenant composition).
+  bool record_batches = false;
+};
+
+// What one dispatch round decided for one model — the observable batching decision the
+// test harness asserts on.
+struct BatchRecord {
+  std::string model;
+  size_t size = 0;
+  // Tenant -> requests taken this batch, in pop order (round-robin).
+  std::vector<std::pair<std::string, size_t>> per_tenant;
+};
+
+class InferenceService {
+ public:
+  // Runs when the request completes (possibly on a pool worker or the dispatcher
+  // thread; never concurrently for the same request). Must not block for long — it sits
+  // on the serving hot path.
+  using Completion = std::function<void(const ServeResponse&)>;
+
+  InferenceService(const ServeConfig& config, ModelLoader loader);
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  // Spawns the dispatcher thread (no-op under manual_dispatch).
+  void Start();
+  // Stops the dispatcher and fails any still-queued request with kResourceExhausted
+  // ("shutting down") so no client is left waiting. Idempotent.
+  void Stop();
+
+  // Thread-safe asynchronous intake. Admission control rejects (with an immediate
+  // error completion) when the total queue depth is at max_queue_depth.
+  void Submit(ServeRequest request, Completion done);
+
+  // One dispatch round: forms at most one batch per model with pending work and
+  // executes them (concurrently when more than one) on the shared ThreadPool. Returns
+  // the number of requests completed. Public for the manual_dispatch test mode; the
+  // dispatcher thread calls exactly this.
+  size_t RunOnce();
+
+  // Requests queued but not yet dispatched.
+  size_t QueueDepth() const;
+  // Drains the batch journal (record_batches mode).
+  std::vector<BatchRecord> TakeBatchRecords();
+
+  ModelCache& cache() { return cache_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    Completion done;
+    std::chrono::steady_clock::time_point submitted;
+  };
+  // Per-model admission queue: per-tenant FIFOs plus the round-robin state that keeps
+  // batch formation fair across tenants.
+  struct ModelQueue {
+    std::vector<std::string> tenant_order;  // first-arrival order, stable
+    std::map<std::string, std::deque<Pending>> by_tenant;
+    size_t rr_cursor = 0;  // index into tenant_order to start the next batch from
+    size_t depth = 0;
+
+    bool empty() const { return depth == 0; }
+  };
+  struct Batch {
+    std::string model;
+    std::vector<Pending> requests;
+  };
+
+  void DispatcherLoop();
+  // Pops up to max_batch requests from `mq` round-robin across tenants (mutex held).
+  Batch FormBatchLocked(const std::string& model, ModelQueue& mq);
+  void ExecuteBatch(Batch& batch);
+  void CompleteRequest(Pending& pending, const ServeResponse& response);
+  // Per-tenant metric scope, created on first use (mutex held).
+  MetricsScope& TenantScopeLocked(const std::string& tenant);
+
+  ServeConfig config_;
+  ModelCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::map<std::string, ModelQueue> queues_;  // keyed by model name (sorted: round order)
+  size_t total_depth_ = 0;
+  std::map<std::string, MetricsScope> tenant_scopes_;
+  std::vector<BatchRecord> batch_records_;
+  bool stopping_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace neuroc
+
+#endif  // NEUROC_SRC_SERVE_SERVICE_H_

@@ -1,10 +1,14 @@
 // Shared helpers for the unit tests: seeded random-model construction (previously
-// duplicated across the firmware, robustness and fault-campaign tests) and the global
-// thread-pool guard. Layers are built sequentially from a single Rng, so a (seed, spec)
+// duplicated across the firmware, robustness and fault-campaign tests), the global
+// thread-pool guard, and the FakeClient serve-protocol driver (tests that use it must
+// link neuroc_serve). Layers are built sequentially from a single Rng, so a (seed, spec)
 // pair fully determines the model.
 
 #ifndef NEUROC_TESTS_TEST_UTIL_H_
 #define NEUROC_TESTS_TEST_UTIL_H_
+
+#include <poll.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <utility>
@@ -12,6 +16,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/core/synthetic.h"
+#include "src/serve/frame.h"
 
 namespace neuroc::testutil {
 
@@ -42,6 +47,72 @@ inline NeuroCModel MakeTestModel(uint64_t seed, const TestModelSpec& spec = {}) 
 // Restores the default (env-derived) global pool size when a test returns or throws.
 struct GlobalThreadsGuard {
   ~GlobalThreadsGuard() { ThreadPool::SetGlobalThreads(0); }
+};
+
+// Scripted serve-protocol client over one end of a socketpair: sends request frames (or
+// raw bytes, for malformed-input tests) and reads response frames with a poll timeout so
+// a server bug can never hang the test binary. Every read is bounded; responses arrive
+// in completion order and are matched to requests by request_id, not stream position.
+class FakeClient {
+ public:
+  explicit FakeClient(int fd) : fd_(fd) {}
+  ~FakeClient() { Close(); }
+  FakeClient(const FakeClient&) = delete;
+  FakeClient& operator=(const FakeClient&) = delete;
+
+  bool SendRequest(const ServeRequest& request) {
+    const std::vector<uint8_t> frame = EncodeRequestFrame(request);
+    return SendBytes(frame.data(), frame.size());
+  }
+
+  bool SendBytes(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::write(fd_, p + off, n - off);
+      if (w <= 0) {
+        return false;
+      }
+      off += static_cast<size_t>(w);
+    }
+    return true;
+  }
+
+  // Blocks (bounded by `timeout_ms`) for the next response frame on the stream.
+  StatusOr<ServeResponse> ReadResponse(int timeout_ms = 10000) {
+    for (;;) {
+      std::vector<uint8_t> payload;
+      StatusOr<bool> got = reader_.Next(&payload);
+      if (!got.ok()) {
+        return got.status();
+      }
+      if (*got) {
+        return DecodeResponsePayload(payload);
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) {
+        return Status(ErrorCode::kDeadlineExceeded, "FakeClient: response timeout");
+      }
+      uint8_t buf[4096];
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) {
+        return Status(ErrorCode::kIoError, "FakeClient: connection closed");
+      }
+      reader_.Feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+    }
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
 };
 
 }  // namespace neuroc::testutil

@@ -12,9 +12,10 @@
 //                  [--bits N] [--trigger pre|mid] [--regions a,b,..] [--encodings a,b,..]
 //                  [--no-retry] [--no-snapshot-retry] [--no-redeploy] [--no-watchdog]
 //                  [--dual-run] [--json out.json] [--smoke]
-//   neuroc fuzz    --oracle kernel|isa|serde [--seed N] [--cases N] [--json out.json]
+//   neuroc fuzz    --oracle kernel|isa|serde|frame [--seed N] [--cases N] [--json out.json]
 //                  [--corpus-dir dir] [--no-minimize] | --replay case.fuzzcase
 //                  | --case-seed 0x... | --smoke
+//   neuroc serve   --models <dir> [--port N] [--max-batch N] [--cache N] [--queue N]
 //   neuroc report  --in runs.jsonl [--json out.json]
 //
 // Every subcommand also accepts --metrics-out <runs.jsonl>: on exit it appends one
@@ -48,6 +49,8 @@
 #include "src/runtime/firmware_image.h"
 #include "src/runtime/platform.h"
 #include "src/runtime/profile.h"
+#include "src/serve/server.h"
+#include "src/serve/service.h"
 #include "src/train/metrics.h"
 #include "src/train/trainer.h"
 
@@ -68,7 +71,7 @@ struct Args {
 int Usage() {
   std::fprintf(stderr,
                "usage: neuroc "
-               "<train|eval|inspect|bench|profile|deploy|faultcampaign|fuzz|report>"
+               "<train|eval|inspect|bench|profile|deploy|faultcampaign|fuzz|serve|report>"
                " [options]\n"
                "  train   --dataset <digits|mnist|fashion|cifar5|events> --out model.ncm\n"
                "          [--hidden 128,64] [--density 0.12] [--epochs 8] [--tnn] [--seed N]\n"
@@ -88,9 +91,11 @@ int Usage() {
                "          [--encodings <csc,delta,mixed,block,unrolled>] [--no-retry]\n"
                "          [--no-snapshot-retry] [--no-redeploy] [--no-watchdog]\n"
                "          [--dual-run] [--json out.json] [--smoke]\n"
-               "  fuzz    --oracle <kernel|isa|serde> [--seed N] [--cases N]\n"
+               "  fuzz    --oracle <kernel|isa|serde|frame> [--seed N] [--cases N]\n"
                "          [--json out.json] [--corpus-dir dir] [--no-minimize]\n"
                "          | --replay case.fuzzcase | --case-seed 0xSEED | --smoke\n"
+               "  serve   --models <dir of .ncm images> [--port N (default 7433)]\n"
+               "          [--max-batch N] [--cache N] [--queue N]\n"
                "  report  --in runs.jsonl [--json out.json]\n"
                "every subcommand accepts --metrics-out runs.jsonl (append one run record)\n");
   return 2;
@@ -573,7 +578,8 @@ int CmdFuzz(const Args& args) {
     uint64_t failed = 0;
     const std::pair<FuzzOracle, int> budgets[] = {{FuzzOracle::kKernel, 24},
                                                   {FuzzOracle::kIsa, 2048},
-                                                  {FuzzOracle::kSerde, 48}};
+                                                  {FuzzOracle::kSerde, 48},
+                                                  {FuzzOracle::kFrame, 512}};
     for (const auto& [oracle, cases] : budgets) {
       cfg.oracle = oracle;
       cfg.cases = cases;
@@ -595,6 +601,33 @@ int CmdFuzz(const Args& args) {
     }
   }
   return failed == 0 ? 0 : 1;
+}
+
+// Multi-tenant batched inference over TCP (see docs/SERVING.md). Blocks until killed.
+int CmdServe(const Args& args) {
+  if (!args.Has("models")) {
+    return Usage();
+  }
+  ServeConfig cfg;
+  cfg.max_batch = static_cast<size_t>(std::strtoul(args.Get("max-batch", "8"), nullptr, 10));
+  cfg.cache_capacity = static_cast<size_t>(std::strtoul(args.Get("cache", "4"), nullptr, 10));
+  cfg.max_queue_depth =
+      static_cast<size_t>(std::strtoul(args.Get("queue", "1024"), nullptr, 10));
+  const uint16_t port =
+      static_cast<uint16_t>(std::strtoul(args.Get("port", "7433"), nullptr, 10));
+
+  InferenceService service(cfg, DirectoryModelLoader(args.Get("models")));
+  service.Start();
+  FrameServer server(&service);
+  std::printf("neuroc serve: models=%s port=%u max_batch=%zu cache=%zu queue=%zu\n",
+              args.Get("models"), static_cast<unsigned>(port), cfg.max_batch,
+              cfg.cache_capacity, cfg.max_queue_depth);
+  const Status st = server.ListenAndServe(port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
 }
 
 // Aggregates metrics-registry run records (JSONL files appended via --metrics-out) into
@@ -774,6 +807,8 @@ int Main(int argc, char** argv) {
     rc = CmdFaultCampaign(args);
   } else if (args.command == "fuzz") {
     rc = CmdFuzz(args);
+  } else if (args.command == "serve") {
+    rc = CmdServe(args);
   } else if (args.command == "report") {
     rc = CmdReport(args);
   } else {
